@@ -1,0 +1,22 @@
+; Figure 3(b) of the paper: speculative DSWP stage 1.
+; Walks a linked list (word 0 = next, word 1 = payload), publishing each
+; node through the versioned producedNode slot at 0x200000 and its VID
+; through hardware queue q0.
+    li   r10, 1              ; vid = 1
+    li   r9, 0x200040
+    ld   r0, (r9)            ; node (non-speculative initial load)
+    beq  r0, 0, finish
+loop:
+    beginMTX r10
+    li   r8, 0x200000
+    st   r0, (r8)            ; producedNode = node
+    ld   r0, (r0)            ; node = node->next
+    li   r7, 0
+    beginMTX r7
+    produce q0, r10          ; produceVID(vid++)
+    add  r10, r10, 1
+    bne  r0, 0, loop
+finish:
+    li   r7, 0
+    produce q0, r7           ; produceVID(0)
+    halt

@@ -1,0 +1,19 @@
+; Figure 3(c): speculative DSWP stage 2. Consumes VIDs, continues each
+; transaction, runs work(node), commits in order; aborts later iterations
+; if the early-exit condition (w > 100) fires.
+loop:
+    consume r10, q0          ; vid = consumeVID()
+    beq  r10, 0, done
+    beginMTX r10
+    li   r8, 0x200000
+    ld   r0, (r8)            ; this VID's producedNode version
+    ld   r1, 8(r0)           ; w = work(node)
+    out  r1
+    commitMTX r10
+    bgeu r1, 101, do_abort   ; if (w > MAX): abortMTX(vid+1)
+    j    loop
+do_abort:
+    add  r11, r10, 1
+    abortMTX r11
+done:
+    halt

@@ -1,0 +1,156 @@
+//! Criterion benchmarks: one group per paper table/figure plus the
+//! ablations. Each benchmark times the simulation that regenerates the
+//! corresponding result (at quick scale, so `cargo bench` stays tractable),
+//! asserting on the way that the result has the paper's shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmtx_bench::fig1::render_paradigm;
+use hmtx_bench::{
+    ablation_commit, ablation_sla, ablation_unbounded, ablation_victim, ablation_vid_width,
+    extension_scaling, fig2, fig8, fig9, table1, table3,
+};
+use hmtx_runtime::{run_loop, Paradigm};
+use hmtx_smtx::{run_smtx, RwSetMode};
+use hmtx_types::MachineConfig;
+use hmtx_workloads::{suite, Scale};
+
+fn cfg() -> MachineConfig {
+    MachineConfig::test_default()
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_paradigms");
+    g.sample_size(10);
+    for paradigm in [
+        Paradigm::Sequential,
+        Paradigm::Doacross,
+        Paradigm::Dswp,
+        Paradigm::PsDswp,
+    ] {
+        g.bench_function(paradigm.name(), |b| {
+            b.iter(|| render_paradigm(paradigm, &cfg()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_smtx_rwset");
+    g.sample_size(10);
+    // One representative benchmark per mode keeps the bench fast; the
+    // experiments binary runs the full set.
+    g.bench_function("gzip_minimal", |b| {
+        b.iter(|| {
+            let w = &suite(Scale::Quick)[2];
+            run_smtx(w.as_ref(), &cfg(), RwSetMode::Minimal, u64::MAX)
+                .unwrap()
+                .1
+                .cycles
+        });
+    });
+    g.bench_function("gzip_substantial", |b| {
+        b.iter(|| {
+            let w = &suite(Scale::Quick)[2];
+            run_smtx(w.as_ref(), &cfg(), RwSetMode::Substantial, u64::MAX)
+                .unwrap()
+                .1
+                .cycles
+        });
+    });
+    g.bench_function("all_rows", |b| {
+        b.iter(|| fig2(Scale::Quick, &cfg()).unwrap().len());
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_speedup");
+    g.sample_size(10);
+    for (i, name) in ["alvinn", "li", "ispell"].iter().enumerate() {
+        let idx = [0usize, 1, 7][i];
+        g.bench_function(format!("hmtx_{name}"), |b| {
+            b.iter(|| {
+                let w = &suite(Scale::Quick)[idx];
+                run_loop(w.meta().paradigm, w.as_ref(), &cfg(), u64::MAX)
+                    .unwrap()
+                    .1
+                    .cycles
+            });
+        });
+    }
+    g.bench_function("summary", |b| {
+        b.iter(|| {
+            let (_, s) = fig8(Scale::Quick, &cfg()).unwrap();
+            assert!(s.hmtx_all > 1.0, "HMTX must speed up overall");
+            s.hmtx_all
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_rwsets");
+    g.sample_size(10);
+    g.bench_function("all_rows", |b| {
+        b.iter(|| {
+            let rows = fig9(Scale::Quick, &cfg()).unwrap();
+            assert_eq!(rows.len(), 8);
+            rows.len()
+        });
+    });
+    g.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_stats");
+    g.sample_size(10);
+    g.bench_function("all_rows", |b| {
+        b.iter(|| table1(Scale::Quick, &cfg()).unwrap().len());
+    });
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_power");
+    g.sample_size(10);
+    g.bench_function("all_rows", |b| {
+        b.iter(|| table3(Scale::Quick, &cfg()).unwrap().len());
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("ablation_lazy_commit", |b| {
+        b.iter(|| ablation_commit(Scale::Quick, &cfg()).unwrap().len());
+    });
+    g.bench_function("ablation_sla", |b| {
+        b.iter(|| ablation_sla(Scale::Quick, &cfg()).unwrap().len());
+    });
+    g.bench_function("ablation_vid_width", |b| {
+        b.iter(|| ablation_vid_width(Scale::Quick, &cfg()).unwrap().len());
+    });
+    g.bench_function("ablation_victim", |b| {
+        b.iter(|| ablation_victim(Scale::Quick, &cfg()).unwrap().len());
+    });
+    g.bench_function("ablation_unbounded", |b| {
+        b.iter(|| ablation_unbounded(Scale::Quick, &cfg()).unwrap().len());
+    });
+    g.bench_function("extension_scaling", |b| {
+        b.iter(|| extension_scaling(Scale::Quick, &cfg()).unwrap().len());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_fig8,
+    bench_fig9,
+    bench_table1,
+    bench_table3,
+    bench_ablations
+);
+criterion_main!(benches);

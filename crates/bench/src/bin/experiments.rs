@@ -1,0 +1,109 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [fig1|fig2|fig8|fig9|table1|table2|table3|ablations|all] [--quick]
+//! ```
+//!
+//! `--quick` uses the small test-scale workloads and caches (for smoke
+//! runs); the default is the standard benchmark scale on the paper's
+//! Table 2 configuration.
+
+use hmtx_bench::fig1::fig1;
+use hmtx_bench::{
+    ablation_commit, ablation_sla, ablation_unbounded, ablation_victim, ablation_vid_width,
+    experiment_config, extension_scaling, fig2, fig8, fig9, latency_sensitivity, render_ablation,
+    render_fig2, render_fig8, render_fig9, render_latency, render_scaling, render_table1,
+    render_table2, render_table3, table1, table3,
+};
+use hmtx_types::MachineConfig;
+use hmtx_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or("all".to_string());
+    let scale = if quick { Scale::Quick } else { Scale::Standard };
+    let cfg: MachineConfig = if quick {
+        MachineConfig::test_default()
+    } else {
+        experiment_config()
+    };
+
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("table2") {
+        println!("{}", render_table2(&cfg));
+    }
+    if run("fig1") {
+        println!("{}", fig1(&cfg).expect("fig1"));
+    }
+    if run("fig2") {
+        println!("{}", render_fig2(&fig2(scale, &cfg).expect("fig2")));
+    }
+    if run("fig8") {
+        let (rows, summary) = fig8(scale, &cfg).expect("fig8");
+        println!("{}", render_fig8(&rows, &summary));
+    }
+    if run("fig9") {
+        println!("{}", render_fig9(&fig9(scale, &cfg).expect("fig9")));
+    }
+    if run("table1") {
+        println!("{}", render_table1(&table1(scale, &cfg).expect("table1")));
+    }
+    if run("table3") {
+        println!("{}", render_table3(&table3(scale, &cfg).expect("table3")));
+    }
+    if run("ablations") {
+        println!(
+            "{}",
+            render_ablation(
+                "Ablation A (5.3): lazy vs eager commit processing",
+                &ablation_commit(scale, &cfg).expect("ablation A"),
+            )
+        );
+        println!(
+            "{}",
+            render_ablation(
+                "Ablation B (5.1): speculative load acknowledgments on/off",
+                &ablation_sla(scale, &cfg).expect("ablation B"),
+            )
+        );
+        println!(
+            "{}",
+            render_ablation(
+                "Ablation C (4.6): VID width sweep",
+                &ablation_vid_width(scale, &cfg).expect("ablation C"),
+            )
+        );
+        println!(
+            "{}",
+            render_ablation(
+                "Ablation D (5.4): LLC victim policy under cache pressure",
+                &ablation_victim(scale, &cfg).expect("ablation D"),
+            )
+        );
+    }
+    if run("extensions") || what == "all" {
+        println!(
+            "{}",
+            render_ablation(
+                "Extension (8): unbounded read/write sets via memory-side overflow",
+                &ablation_unbounded(scale, &cfg).expect("extension unbounded"),
+            )
+        );
+        println!(
+            "{}",
+            render_scaling(&extension_scaling(scale, &cfg).expect("scaling"))
+        );
+        println!(
+            "{}",
+            render_latency(&latency_sensitivity(scale, &cfg).expect("latency sweep"))
+        );
+    }
+}

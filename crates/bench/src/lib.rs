@@ -1,0 +1,1119 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§6) from fresh simulations, plus the ablations
+//! called out in `DESIGN.md`.
+//!
+//! Each `fig*`/`table*` function runs the required simulations and returns
+//! structured rows; `render_*` helpers format them as the text tables the
+//! `experiments` binary prints (and `EXPERIMENTS.md` records).
+
+#![warn(missing_docs)]
+
+use hmtx_machine::Machine;
+use hmtx_power::{geomean, PowerModel};
+use hmtx_runtime::{run_loop, Paradigm, RunReport};
+use hmtx_smtx::{run_smtx, RwSetMode};
+use hmtx_types::{MachineConfig, SimError, VictimPolicy};
+use hmtx_workloads::{suite, Scale, Workload};
+
+pub mod fig1;
+
+/// Instruction budget for harness runs (generous; guards livelock only).
+pub const BUDGET: u64 = 20_000_000_000;
+
+/// The machine configuration used for all experiments: Table 2 exactly.
+pub fn experiment_config() -> MachineConfig {
+    MachineConfig::paper_default()
+}
+
+/// Runs one workload sequentially, returning the hot-loop cycle count.
+fn sequential_cycles(w: &dyn Workload, cfg: &MachineConfig) -> Result<(Machine, u64), SimError> {
+    let (machine, report) = run_loop(Paradigm::Sequential, w, cfg, BUDGET)?;
+    Ok((machine, report.cycles))
+}
+
+/// Runs one workload under its paper paradigm on HMTX.
+fn hmtx_run(w: &dyn Workload, cfg: &MachineConfig) -> Result<(Machine, RunReport), SimError> {
+    run_loop(w.meta().paradigm, w, cfg, BUDGET)
+}
+
+// ------------------------------------------------------------------ Figure 2
+
+/// One bar pair of Figure 2: SMTX whole-program speedup with minimal vs
+/// substantial read/write sets.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Whole-program speedup with the expert-minimized R/W set.
+    pub minimal: f64,
+    /// Whole-program speedup with validation on shared data accesses.
+    pub substantial: f64,
+}
+
+/// Whole-program speedup via Amdahl's law from the hot-loop speedup and the
+/// benchmark's hot-loop fraction (Table 1).
+pub fn whole_program_speedup(hot_fraction: f64, hot_speedup: f64) -> f64 {
+    1.0 / ((1.0 - hot_fraction) + hot_fraction / hot_speedup)
+}
+
+/// Regenerates Figure 2 over the SMTX-comparable benchmarks.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn fig2(scale: Scale, cfg: &MachineConfig) -> Result<Vec<Fig2Row>, SimError> {
+    let mut rows = Vec::new();
+    for w in suite(scale) {
+        if !w.meta().smtx_comparable {
+            continue;
+        }
+        let (_, seq) = sequential_cycles(w.as_ref(), cfg)?;
+        let (_, min) = run_smtx(w.as_ref(), cfg, RwSetMode::Minimal, BUDGET)?;
+        let (_, sub) = run_smtx(w.as_ref(), cfg, RwSetMode::Substantial, BUDGET)?;
+        let f = w.meta().paper.hot_loop_fraction;
+        rows.push(Fig2Row {
+            name: w.meta().name.to_string(),
+            minimal: whole_program_speedup(f, seq as f64 / min.cycles as f64),
+            substantial: whole_program_speedup(f, seq as f64 / sub.cycles as f64),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders Figure 2 as a text table.
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    let mut out = String::from(
+        "Figure 2: SMTX whole-program speedup over sequential (4 cores)\n\
+         benchmark        minimal R/W set   substantial R/W set\n",
+    );
+    let full = rows
+        .iter()
+        .map(|r| r.minimal.max(r.substantial))
+        .fold(1.0f64, f64::max);
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>15.2}x {:>19.2}x  |{}\n",
+            r.name,
+            r.minimal,
+            r.substantial,
+            bar(r.substantial, full)
+        ));
+    }
+    let g_min = geomean(&rows.iter().map(|r| r.minimal).collect::<Vec<_>>());
+    let g_sub = geomean(&rows.iter().map(|r| r.substantial).collect::<Vec<_>>());
+    out.push_str(&format!(
+        "{:<16} {g_min:>15.2}x {g_sub:>19.2}x\n",
+        "geomean"
+    ));
+    out
+}
+
+// ------------------------------------------------------------------ Figure 8
+
+/// One bar pair of Figure 8: hot-loop speedups over sequential.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Benchmark name.
+    pub name: String,
+    /// SMTX (minimal R/W set) hot-loop speedup, if the benchmark has an
+    /// SMTX port.
+    pub smtx: Option<f64>,
+    /// HMTX (maximal R/W set: every load and store validated) speedup.
+    pub hmtx: f64,
+}
+
+/// Summary of Figure 8's geomeans.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Summary {
+    /// HMTX geomean over all 8 benchmarks (paper: 1.99x).
+    pub hmtx_all: f64,
+    /// HMTX geomean over the 6 SMTX-comparable benchmarks (paper: 2.02x).
+    pub hmtx_comparable: f64,
+    /// SMTX geomean over the comparable benchmarks (paper: 1.44x).
+    pub smtx_comparable: f64,
+}
+
+/// Regenerates Figure 8.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn fig8(scale: Scale, cfg: &MachineConfig) -> Result<(Vec<Fig8Row>, Fig8Summary), SimError> {
+    let mut rows = Vec::new();
+    for w in suite(scale) {
+        let (_, seq) = sequential_cycles(w.as_ref(), cfg)?;
+        let (_, hmtx) = hmtx_run(w.as_ref(), cfg)?;
+        let smtx = if w.meta().smtx_comparable {
+            let (_, r) = run_smtx(w.as_ref(), cfg, RwSetMode::Minimal, BUDGET)?;
+            Some(seq as f64 / r.cycles as f64)
+        } else {
+            None
+        };
+        rows.push(Fig8Row {
+            name: w.meta().name.to_string(),
+            smtx,
+            hmtx: seq as f64 / hmtx.cycles as f64,
+        });
+    }
+    let hmtx_all: Vec<f64> = rows.iter().map(|r| r.hmtx).collect();
+    let hmtx_comp: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.smtx.is_some())
+        .map(|r| r.hmtx)
+        .collect();
+    let smtx_comp: Vec<f64> = rows.iter().filter_map(|r| r.smtx).collect();
+    let summary = Fig8Summary {
+        hmtx_all: geomean(&hmtx_all),
+        hmtx_comparable: geomean(&hmtx_comp),
+        smtx_comparable: geomean(&smtx_comp),
+    };
+    Ok((rows, summary))
+}
+
+/// A proportional ASCII bar (40 columns = `full`).
+fn bar(value: f64, full: f64) -> String {
+    let cols = ((value / full) * 40.0).round().max(0.0) as usize;
+    "#".repeat(cols.min(60))
+}
+
+/// Renders Figure 8 as a text table with proportional bars.
+pub fn render_fig8(rows: &[Fig8Row], s: &Fig8Summary) -> String {
+    let mut out = String::from(
+        "Figure 8: hot-loop speedup over sequential (4 cores)\n\
+         benchmark        SMTX (min R/W)    HMTX (max R/W)\n",
+    );
+    let full = rows.iter().map(|r| r.hmtx).fold(1.0f64, f64::max);
+    for r in rows {
+        let smtx = r
+            .smtx
+            .map_or("     --".to_string(), |v| format!("{v:>6.2}x"));
+        out.push_str(&format!(
+            "{:<16} {:>14} {:>16.2}x  |{}\n",
+            r.name,
+            smtx,
+            r.hmtx,
+            bar(r.hmtx, full)
+        ));
+    }
+    out.push_str(&format!(
+        "{:<16} {:>13.2}x {:>16.2}x\n",
+        "geomean (comp.)", s.smtx_comparable, s.hmtx_comparable
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>14} {:>16.2}x\n",
+        "geomean (all)", "--", s.hmtx_all
+    ));
+    out
+}
+
+// ------------------------------------------------------------------ Figure 9
+
+/// One bar triple of Figure 9: average per-transaction set sizes in kB.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Average read-set size (kB).
+    pub read_kb: f64,
+    /// Average write-set size (kB).
+    pub write_kb: f64,
+    /// Average combined-set size (kB).
+    pub combined_kb: f64,
+}
+
+/// Regenerates Figure 9 from the HMTX runs' per-VID distinct-line tracking.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn fig9(scale: Scale, cfg: &MachineConfig) -> Result<Vec<Fig9Row>, SimError> {
+    let mut rows = Vec::new();
+    for w in suite(scale) {
+        let (machine, _) = hmtx_run(w.as_ref(), cfg)?;
+        let t = machine.mem().stats().rw_totals();
+        rows.push(Fig9Row {
+            name: w.meta().name.to_string(),
+            read_kb: t.avg_read_kb(),
+            write_kb: t.avg_write_kb(),
+            combined_kb: t.avg_combined_kb(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders Figure 9 as a text table.
+pub fn render_fig9(rows: &[Fig9Row]) -> String {
+    let mut out = String::from(
+        "Figure 9: average read/write set size per transaction (kB)\n\
+         benchmark             read     write  combined\n",
+    );
+    let full = rows.iter().map(|r| r.combined_kb).fold(1.0f64, f64::max);
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>9.2} {:>9.2} {:>9.2}  |{}\n",
+            r.name,
+            r.read_kb,
+            r.write_kb,
+            r.combined_kb,
+            bar(r.combined_kb, full)
+        ));
+    }
+    let g = geomean(
+        &rows
+            .iter()
+            .map(|r| r.combined_kb.max(1e-3))
+            .collect::<Vec<_>>(),
+    );
+    out.push_str(&format!(
+        "{:<16} {:>9} {:>9} {:>9.2}\n",
+        "geomean", "", "", g
+    ));
+    out
+}
+
+// ------------------------------------------------------------------ Table 1
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Paradigm name.
+    pub paradigm: &'static str,
+    /// Average speculative accesses per transaction.
+    pub spec_accesses_per_tx: f64,
+    /// Aborts avoided via SLA per transaction.
+    pub sla_aborts_avoided_per_tx: f64,
+    /// Fraction of speculative loads needing an SLA.
+    pub loads_needing_sla: f64,
+    /// Fraction of instructions that are branches.
+    pub branch_fraction: f64,
+    /// Branch misprediction rate.
+    pub mispredict_rate: f64,
+}
+
+/// Regenerates Table 1's measured columns from the HMTX runs.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn table1(scale: Scale, cfg: &MachineConfig) -> Result<Vec<Table1Row>, SimError> {
+    let mut rows = Vec::new();
+    for w in suite(scale) {
+        let (machine, _) = hmtx_run(w.as_ref(), cfg)?;
+        let mem = machine.mem().stats();
+        let ms = machine.stats();
+        let txs = mem.commits.max(1) as f64;
+        rows.push(Table1Row {
+            name: w.meta().name.to_string(),
+            paradigm: w.meta().paradigm.name(),
+            spec_accesses_per_tx: (mem.spec_loads + mem.spec_stores) as f64 / txs,
+            sla_aborts_avoided_per_tx: mem.sla_aborts_avoided as f64 / txs,
+            loads_needing_sla: mem.slas_sent as f64 / (mem.spec_loads.max(1)) as f64,
+            branch_fraction: ms.branch_fraction(),
+            mispredict_rate: ms.mispredict_rate(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders Table 1 as text.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "Table 1: speculative execution statistics (measured)\n\
+         benchmark        paradigm    spec acc/TX  SLA-avoided/TX  %loads SLA  %branch  mispred%\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:<10} {:>12.1} {:>15.3} {:>10.2}% {:>7.1}% {:>8.2}%\n",
+            r.name,
+            r.paradigm,
+            r.spec_accesses_per_tx,
+            r.sla_aborts_avoided_per_tx,
+            r.loads_needing_sla * 100.0,
+            r.branch_fraction * 100.0,
+            r.mispredict_rate * 100.0
+        ));
+    }
+    out
+}
+
+// ------------------------------------------------------------------ Table 2
+
+/// Renders Table 2 (the architectural configuration).
+pub fn render_table2(cfg: &MachineConfig) -> String {
+    format!(
+        "Table 2: architectural configuration\n\
+         Cores                  {} (in-order, min-clock scheduled)\n\
+         Clock                  2.0 GHz\n\
+         L1 D-cache             {} KB, {}-way, {}-cycle\n\
+         Shared L2              {} MB, {}-way, {}-cycle\n\
+         Line size              64 B\n\
+         Base protocol          MOESI (snoopy)\n\
+         Memory latency         {} cycles\n\
+         VID width              {} bits (max VID {})\n\
+         Branch predictor       gshare(14) + loop predictor\n",
+        cfg.num_cores,
+        cfg.l1.size_bytes / 1024,
+        cfg.l1.ways,
+        cfg.l1.latency,
+        cfg.l2.size_bytes / 1024 / 1024,
+        cfg.l2.ways,
+        cfg.l2.latency,
+        cfg.mem_latency,
+        cfg.hmtx.vid_bits,
+        cfg.hmtx.max_vid().0,
+    )
+}
+
+// ------------------------------------------------------------------ Table 3
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Hardware platform description.
+    pub hardware: &'static str,
+    /// Execution model description.
+    pub exec_model: String,
+    /// Die area (mm²).
+    pub area_mm2: f64,
+    /// Leakage (W).
+    pub leakage_w: f64,
+    /// Geomean runtime dynamic power (W).
+    pub dynamic_w: f64,
+    /// Geomean energy (J).
+    pub energy_j: f64,
+}
+
+/// Regenerates Table 3: area/leakage and geomean dynamic power/energy for
+/// sequential, SMTX (minimal), and HMTX (maximal) execution on commodity
+/// and HMTX-extended hardware.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn table3(scale: Scale, cfg: &MachineConfig) -> Result<Vec<Table3Row>, SimError> {
+    let commodity = PowerModel::commodity(cfg);
+    let hmtx_hw = PowerModel::with_hmtx(cfg);
+
+    let mut seq_machines = Vec::new();
+    let mut smtx_machines = Vec::new();
+    let mut hmtx_machines = Vec::new();
+    let mut comparable = Vec::new();
+    for w in suite(scale) {
+        let (m, _) = run_loop(Paradigm::Sequential, w.as_ref(), cfg, BUDGET)?;
+        seq_machines.push(m);
+        if w.meta().smtx_comparable {
+            let (m, _) = run_smtx(w.as_ref(), cfg, RwSetMode::Minimal, BUDGET)?;
+            smtx_machines.push(m);
+        }
+        let (m, _) = hmtx_run(w.as_ref(), cfg)?;
+        hmtx_machines.push(m);
+        comparable.push(w.meta().smtx_comparable);
+    }
+
+    let eval = |model: &PowerModel, machines: &[Machine], mask: Option<&[bool]>| {
+        let reports: Vec<_> = machines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask.is_none_or(|m| m[*i]))
+            .map(|(_, m)| model.evaluate(m))
+            .collect();
+        let dyn_w = geomean(&reports.iter().map(|r| r.dynamic_w).collect::<Vec<_>>());
+        let energy = geomean(&reports.iter().map(|r| r.energy_j).collect::<Vec<_>>());
+        (dyn_w, energy)
+    };
+
+    let mut rows = Vec::new();
+    for (model, hw) in [(&commodity, "Commodity"), (&hmtx_hw, "Commodity+HMTX")] {
+        let mut push = |exec_model: String, d: f64, e: f64| {
+            rows.push(Table3Row {
+                hardware: hw,
+                exec_model,
+                area_mm2: model.area_mm2(),
+                leakage_w: model.leakage_w(),
+                dynamic_w: d,
+                energy_j: e,
+            });
+        };
+        let (d, e) = eval(model, &seq_machines, None);
+        push("Sequential (All)".into(), d, e);
+        let (d, e) = eval(model, &seq_machines, Some(&comparable));
+        push("Sequential (Comp.)".into(), d, e);
+        let (d, e) = eval(model, &smtx_machines, None);
+        push("SMTX, Min R/W".into(), d, e);
+        if model.is_hmtx() {
+            let (d, e) = eval(model, &hmtx_machines, None);
+            push("HMTX, Max R/W (All)".into(), d, e);
+            let (d, e) = eval(model, &hmtx_machines, Some(&comparable));
+            push("HMTX, Max R/W (Comp.)".into(), d, e);
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders Table 3 as text.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::from(
+        "Table 3: area, power, and energy (geomeans over benchmark runs)\n\
+         hardware         exec model              area(mm^2)  leak(W)  dyn(W)  energy(J)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:<22} {:>10.1} {:>8.3} {:>7.2} {:>10.4}\n",
+            r.hardware, r.exec_model, r.area_mm2, r.leakage_w, r.dynamic_w, r.energy_j
+        ));
+    }
+    out
+}
+
+// ------------------------------------------------------------------ Ablations
+
+/// Result of one ablation comparison.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// Hot-loop cycles.
+    pub cycles: u64,
+    /// Extra detail (aborts, resets, lines walked...).
+    pub detail: String,
+}
+
+/// Ablation A (§5.3): lazy vs eager commit processing on the two
+/// largest-set benchmarks.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn ablation_commit(scale: Scale, cfg: &MachineConfig) -> Result<Vec<AblationRow>, SimError> {
+    let mut rows = Vec::new();
+    for idx in [1usize, 5] {
+        // 130.li and 256.bzip2
+        for lazy in [true, false] {
+            let w = &suite(scale)[idx];
+            let mut c = cfg.clone();
+            c.hmtx.lazy_commit = lazy;
+            let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &c, BUDGET)?;
+            rows.push(AblationRow {
+                label: format!(
+                    "{} / {} commit",
+                    w.meta().name,
+                    if lazy { "lazy" } else { "eager" }
+                ),
+                cycles: report.cycles,
+                detail: format!(
+                    "lines walked at commit: {}",
+                    machine.mem().stats().eager_commit_lines_walked
+                ),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// A loop engineered so that wrong paths stray into *neighboring, still
+/// in-flight* transactions' write regions — the §5.1 hazard in distilled
+/// form. Each iteration's workspace is one cache line, laid out
+/// **descending** (like stack frames), and the stage-2 inner loop has a
+/// data-dependent trip count the predictor cannot learn; a mispredicted
+/// loop-cap exit makes the wrong path load one line past the workspace —
+/// the line the *previous* (lower-VID, concurrently running) transaction is
+/// still writing. With SLAs those squashed loads never mark the line; with
+/// SLAs disabled they do, and the earlier transaction's store becomes a
+/// false RAW violation.
+struct SlaStress {
+    iters: u64,
+}
+
+/// Top of the descending workspace stack.
+const SLA_STRESS_TOP: u64 = hmtx_runtime::env::WORKLOAD_REGION_BASE + 0x4_0000;
+
+impl hmtx_runtime::LoopBody for SlaStress {
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+    fn build_image(&self, _m: &mut Machine, _env: &hmtx_runtime::LoopEnv) {}
+    fn emit_stage1(&self, b: &mut hmtx_isa::ProgramBuilder, _env: &hmtx_runtime::LoopEnv) {
+        use hmtx_runtime::env::regs;
+        b.mov(regs::ITEM, regs::N);
+        b.li(regs::SPEC_LOADS, 1);
+        b.li(regs::SPEC_STORES, 1);
+    }
+    fn emit_stage2(&self, b: &mut hmtx_isa::ProgramBuilder, _env: &hmtx_runtime::LoopEnv) {
+        use hmtx_isa::{Cond, Reg};
+        use hmtx_runtime::env::regs;
+        // R1 = this iteration's one-line workspace (descending layout).
+        b.mul(Reg::R1, regs::N, 64);
+        b.li(Reg::R2, SLA_STRESS_TOP as i64);
+        b.sub(Reg::R1, Reg::R2, Reg::R1);
+        b.mul(Reg::R2, regs::ITEM, 0x9E37_79B9);
+        // 16 bursts of a data-dependent-length read-modify-write loop over
+        // the workspace words.
+        for _ in 0..16 {
+            let head = b.new_label();
+            let done = b.new_label();
+            b.li(Reg::R3, 0);
+            b.bind(head).unwrap();
+            b.shl(Reg::R4, Reg::R3, 3);
+            b.add(Reg::R4, Reg::R4, Reg::R1);
+            b.load(Reg::R5, Reg::R4, 0);
+            b.add(Reg::R5, Reg::R5, Reg::R2);
+            b.store(Reg::R5, Reg::R4, 0);
+            hmtx_workloads::emitlib::xorshift_step(b, Reg::R2, Reg::R6);
+            b.addi(Reg::R3, Reg::R3, 1);
+            // Cap: a data-dependent exit the predictor cannot learn; its
+            // wrong path re-enters the body with R3 == 8 and loads one line
+            // past the workspace — the previous iteration's line.
+            b.branch_imm(Cond::GeU, Reg::R3, 8, done);
+            b.and(Reg::R6, Reg::R2, 7);
+            b.branch_imm(Cond::Ne, Reg::R6, 0, head);
+            b.bind(done).unwrap();
+        }
+        b.li(regs::SPEC_LOADS, 40);
+        b.li(regs::SPEC_STORES, 40);
+    }
+}
+
+/// Ablation B (§5.1): SLAs on vs off. Run on the two most
+/// misprediction-heavy benchmarks plus the distilled `sla-stress` hazard
+/// loop (whose wrong paths actually alias concurrent transactions' lines).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn ablation_sla(scale: Scale, cfg: &MachineConfig) -> Result<Vec<AblationRow>, SimError> {
+    let mut rows = Vec::new();
+    for idx in [1usize, 3] {
+        // 130.li and 186.crafty
+        for sla in [true, false] {
+            let w = &suite(scale)[idx];
+            let mut c = cfg.clone();
+            c.hmtx.sla_enabled = sla;
+            let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &c, BUDGET)?;
+            rows.push(AblationRow {
+                label: format!("{} / SLA {}", w.meta().name, if sla { "on" } else { "off" }),
+                cycles: report.cycles,
+                detail: format!(
+                    "recoveries: {}, aborts avoided: {}",
+                    report.recoveries,
+                    machine.mem().stats().sla_aborts_avoided
+                ),
+            });
+        }
+    }
+    let body = SlaStress {
+        iters: if scale == Scale::Quick { 24 } else { 96 },
+    };
+    for sla in [true, false] {
+        let mut c = cfg.clone();
+        c.hmtx.sla_enabled = sla;
+        let (machine, report) = run_loop(Paradigm::PsDswp, &body, &c, BUDGET)?;
+        rows.push(AblationRow {
+            label: format!("sla-stress / SLA {}", if sla { "on" } else { "off" }),
+            cycles: report.cycles,
+            detail: format!(
+                "recoveries: {}, aborts avoided: {}",
+                report.recoveries,
+                machine.mem().stats().sla_aborts_avoided
+            ),
+        });
+    }
+    Ok(rows)
+}
+
+/// Ablation C (§4.6): VID width sweep — narrower VIDs mean more reset
+/// stalls.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn ablation_vid_width(scale: Scale, cfg: &MachineConfig) -> Result<Vec<AblationRow>, SimError> {
+    let mut rows = Vec::new();
+    for bits in [3u32, 4, 5, 6, 8] {
+        let w = &suite(scale)[4]; // 197.parser
+        let mut c = cfg.clone();
+        c.hmtx.vid_bits = bits;
+        c.pipeline_window = c.pipeline_window.min((1 << bits) - 1);
+        let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &c, BUDGET)?;
+        rows.push(AblationRow {
+            label: format!("197.parser / {bits}-bit VIDs"),
+            cycles: report.cycles,
+            detail: format!("VID resets: {}", machine.mem().stats().vid_resets),
+        });
+    }
+    Ok(rows)
+}
+
+/// Ablation D (§5.4): LLC victim policy — preferring overflow-safe
+/// `S-O(0,·)` lines vs plain LRU, on constrained caches.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn ablation_victim(scale: Scale, cfg: &MachineConfig) -> Result<Vec<AblationRow>, SimError> {
+    let mut rows = Vec::new();
+    for policy in [VictimPolicy::PreferSafeOverflow, VictimPolicy::PlainLru] {
+        let w = &suite(scale)[5]; // 256.bzip2: the largest footprint
+        let mut c = cfg.clone();
+        // Constrain the hierarchy so overflow decisions actually matter.
+        c.l1 = hmtx_types::CacheConfig {
+            size_bytes: 8 * 1024,
+            ways: 4,
+            latency: 2,
+        };
+        c.l2 = hmtx_types::CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 8,
+            latency: 40,
+        };
+        c.pipeline_window = 4;
+        c.hmtx.victim_policy = policy;
+        let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &c, BUDGET)?;
+        rows.push(AblationRow {
+            label: format!("256.bzip2 / {policy:?}"),
+            cycles: report.cycles,
+            detail: format!(
+                "recoveries: {}, safe overflows: {}, refills: {}",
+                report.recoveries,
+                machine.mem().stats().safe_overflow_writebacks,
+                machine.mem().stats().overflow_refills
+            ),
+        });
+    }
+    Ok(rows)
+}
+
+// ----------------------------------------- §8 extensions (future work)
+
+/// One point of the core-count scaling experiment.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Interconnect label.
+    pub interconnect: &'static str,
+    /// Core count.
+    pub cores: usize,
+    /// Hot-loop speedup over 1-core sequential.
+    pub speedup: f64,
+}
+
+/// A memory-streaming loop sized for many-core scaling studies: enough
+/// iterations to keep 31 workers busy for many waves, and a per-iteration
+/// footprint that misses the L1 (fabric traffic grows with core count).
+struct ScalingLoop {
+    iters: u64,
+}
+
+const SCALING_REGION: u64 = hmtx_runtime::env::WORKLOAD_REGION_BASE + 0x10_0000;
+const SCALING_LINES: u64 = 32;
+
+impl hmtx_runtime::LoopBody for ScalingLoop {
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+    fn build_image(&self, _m: &mut Machine, _env: &hmtx_runtime::LoopEnv) {}
+    fn emit_stage1(&self, b: &mut hmtx_isa::ProgramBuilder, _env: &hmtx_runtime::LoopEnv) {
+        use hmtx_runtime::env::regs;
+        b.mov(regs::ITEM, regs::N);
+        b.li(regs::SPEC_LOADS, 1);
+        b.li(regs::SPEC_STORES, 1);
+    }
+    fn emit_stage2(&self, b: &mut hmtx_isa::ProgramBuilder, _env: &hmtx_runtime::LoopEnv) {
+        use hmtx_isa::Reg;
+        use hmtx_runtime::env::regs;
+        // Stream this iteration's private block (SCALING_LINES lines).
+        b.mul(Reg::R1, regs::N, (SCALING_LINES * 64) as i64);
+        b.addi(Reg::R1, Reg::R1, SCALING_REGION as i64);
+        hmtx_workloads::emitlib::counted_loop(b, Reg::R0, SCALING_LINES, |b| {
+            b.shl(Reg::R2, Reg::R0, 6);
+            b.add(Reg::R2, Reg::R2, Reg::R1);
+            b.load(Reg::R3, Reg::R2, 0);
+            b.add(Reg::R3, Reg::R3, regs::N);
+            b.store(Reg::R3, Reg::R2, 0);
+        })
+        .unwrap();
+        b.compute(120);
+        b.li(regs::SPEC_LOADS, SCALING_LINES as i64);
+        b.li(regs::SPEC_STORES, SCALING_LINES as i64);
+    }
+}
+
+/// §8 extension: PS-DSWP scaling with core count under the snoopy bus vs
+/// the banked directory. The bus serializes every line transfer globally
+/// and saturates as cores grow; the banked directory keeps scaling.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn extension_scaling(scale: Scale, cfg: &MachineConfig) -> Result<Vec<ScalingRow>, SimError> {
+    let w = ScalingLoop {
+        iters: if scale == Scale::Quick { 96 } else { 512 },
+    };
+    let stress = |c: &mut MachineConfig| {
+        // Line-transfer-granularity bus occupancy (a 64 B line on a
+        // commodity bus) and small per-core L1s: miss traffic grows with
+        // core count and the fabric becomes the constraint.
+        c.bus_occupancy = 16;
+        c.l1 = hmtx_types::CacheConfig {
+            size_bytes: 8 * 1024,
+            ways: 4,
+            latency: 2,
+        };
+        // The in-flight window's produced-slot versions must fit the
+        // combined associativity (4 + 32 ways).
+        c.l2 = hmtx_types::CacheConfig {
+            size_bytes: 1024 * 1024,
+            ways: 32,
+            latency: 40,
+        };
+        c.pipeline_window = 32;
+    };
+    let mut seq_cfg = cfg.clone();
+    stress(&mut seq_cfg);
+    let (_, seq) = run_loop(Paradigm::Sequential, &w, &seq_cfg, BUDGET)?;
+    let mut rows = Vec::new();
+    for cores in [4usize, 8, 16, 32] {
+        for (label, interconnect) in [
+            ("snoopy bus", hmtx_types::Interconnect::SnoopyBus),
+            (
+                "directory",
+                hmtx_types::Interconnect::Directory {
+                    banks: 8,
+                    hop_latency: 6,
+                },
+            ),
+        ] {
+            let mut c = cfg.clone();
+            stress(&mut c);
+            c.num_cores = cores;
+            c.interconnect = interconnect;
+            let (_, r) = run_loop(Paradigm::PsDswp, &w, &c, BUDGET)?;
+            rows.push(ScalingRow {
+                interconnect: label,
+                cores,
+                speedup: seq.cycles as f64 / r.cycles as f64,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the scaling experiment.
+pub fn render_scaling(rows: &[ScalingRow]) -> String {
+    let mut out = String::from(
+        "Extension (8): PS-DSWP scaling, snoopy bus vs banked directory\n         cores      snoopy bus       directory\n",
+    );
+    for cores in [4usize, 8, 16, 32] {
+        let get = |label: &str| {
+            rows.iter()
+                .find(|r| r.cores == cores && r.interconnect == label)
+                .map(|r| r.speedup)
+                .unwrap_or(f64::NAN)
+        };
+        out.push_str(&format!(
+            "{cores:>5} {:>14.2}x {:>14.2}x\n",
+            get("snoopy bus"),
+            get("directory")
+        ));
+    }
+    out
+}
+
+/// §8 extension: unbounded read/write sets. The same run that aborts on
+/// speculative cache overflow completes (more slowly) when versions spill
+/// into the memory-side overflow table.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn ablation_unbounded(scale: Scale, cfg: &MachineConfig) -> Result<Vec<AblationRow>, SimError> {
+    let mut rows = Vec::new();
+    for unbounded in [false, true] {
+        let w = &suite(scale)[5]; // 256.bzip2
+        let mut c = cfg.clone();
+        c.l1 = hmtx_types::CacheConfig {
+            size_bytes: 8 * 1024,
+            ways: 4,
+            latency: 2,
+        };
+        c.l2 = hmtx_types::CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            latency: 40,
+        };
+        c.pipeline_window = 6;
+        c.unbounded_sets = unbounded;
+        let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &c, BUDGET)?;
+        rows.push(AblationRow {
+            label: format!(
+                "256.bzip2 / {} sets",
+                if unbounded { "unbounded" } else { "bounded" }
+            ),
+            cycles: report.cycles,
+            detail: format!(
+                "recoveries: {}, spills: {}, refills: {}",
+                report.recoveries,
+                machine.mem().stats().unbounded_spills,
+                machine.mem().stats().unbounded_fills
+            ),
+        });
+    }
+    Ok(rows)
+}
+
+/// One point of the inter-core latency sensitivity experiment (§2.1).
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// Hardware queue / cross-core latency in cycles.
+    pub latency: u64,
+    /// DOACROSS hot-loop speedup.
+    pub doacross: f64,
+    /// PS-DSWP hot-loop speedup.
+    pub psdswp: f64,
+}
+
+/// §2.1's motivating claim, measured: DOACROSS pays the inter-core latency
+/// on every iteration (its loop-carried value crosses cores each time),
+/// while pipeline parallelism pays it only at pipeline fill. Sweeping the
+/// cross-core communication latency should crush DOACROSS and barely touch
+/// PS-DSWP.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn latency_sensitivity(scale: Scale, cfg: &MachineConfig) -> Result<Vec<LatencyRow>, SimError> {
+    // ispell: tiny iterations, so per-iteration communication dominates —
+    // the regime where the paper's §2.1 argument bites hardest.
+    let w = &suite(scale)[7];
+    let (_, seq) = run_loop(Paradigm::Sequential, w.as_ref(), cfg, BUDGET)?;
+    let mut rows = Vec::new();
+    for latency in [10u64, 30, 100, 300] {
+        let mut c = cfg.clone();
+        c.queue_latency = latency;
+        let (_, da) = run_loop(Paradigm::Doacross, w.as_ref(), &c, BUDGET)?;
+        let (_, ps) = run_loop(Paradigm::PsDswp, w.as_ref(), &c, BUDGET)?;
+        rows.push(LatencyRow {
+            latency,
+            doacross: seq.cycles as f64 / da.cycles as f64,
+            psdswp: seq.cycles as f64 / ps.cycles as f64,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the latency sensitivity sweep.
+pub fn render_latency(rows: &[LatencyRow]) -> String {
+    let mut out = String::from(
+        "Latency sensitivity (2.1): DOACROSS vs PS-DSWP under rising\n         cross-core communication latency\n         latency(cycles)    DOACROSS     PS-DSWP\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>15} {:>10.2}x {:>10.2}x\n",
+            r.latency, r.doacross, r.psdswp
+        ));
+    }
+    out
+}
+
+/// Renders ablation rows.
+pub fn render_ablation(title: &str, rows: &[AblationRow]) -> String {
+    let mut out = format!("{title}\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<36} {:>12} cycles   {}\n",
+            r.label, r.cycles, r.detail
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_program_speedup_amdahl() {
+        assert!((whole_program_speedup(1.0, 2.0) - 2.0).abs() < 1e-12);
+        assert!((whole_program_speedup(0.5, 2.0) - 4.0 / 3.0).abs() < 1e-12);
+        assert!(whole_program_speedup(0.855, 2.0) < 2.0);
+    }
+
+    #[test]
+    fn fig2_minimal_beats_substantial() {
+        let rows = fig2(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(
+                r.minimal > r.substantial,
+                "{}: {} <= {}",
+                r.name,
+                r.minimal,
+                r.substantial
+            );
+        }
+        let text = render_fig2(&rows);
+        assert!(text.contains("geomean"));
+    }
+
+    #[test]
+    fn fig9_bzip2_dominates_ispell() {
+        let rows = fig9(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let bzip2 = rows.iter().find(|r| r.name == "256.bzip2").unwrap();
+        let ispell = rows.iter().find(|r| r.name == "ispell").unwrap();
+        assert!(bzip2.combined_kb > 5.0 * ispell.combined_kb);
+        assert!(!render_fig9(&rows).is_empty());
+    }
+
+    #[test]
+    fn table1_measures_plausible_shapes() {
+        let rows = table1(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        assert_eq!(rows.len(), 8);
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        // crafty must mispredict more than alvinn, like Table 1.
+        assert!(by_name("186.crafty").mispredict_rate > by_name("052.alvinn").mispredict_rate);
+        // li transactions must be much bigger than ispell's.
+        assert!(
+            by_name("130.li").spec_accesses_per_tx > 5.0 * by_name("ispell").spec_accesses_per_tx
+        );
+        assert!(!render_table1(&rows).is_empty());
+    }
+
+    #[test]
+    fn sla_ablation_shows_false_misspeculation_without_slas() {
+        let rows = ablation_sla(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let on = rows
+            .iter()
+            .find(|r| r.label == "sla-stress / SLA on")
+            .unwrap();
+        let off = rows
+            .iter()
+            .find(|r| r.label == "sla-stress / SLA off")
+            .unwrap();
+        assert!(
+            on.detail.contains("recoveries: 0"),
+            "SLAs must filter the squashed loads: {}",
+            on.detail
+        );
+        assert!(
+            !on.detail.contains("aborts avoided: 0"),
+            "the stress loop must generate avoided aborts: {}",
+            on.detail
+        );
+        assert!(
+            !off.detail.contains("recoveries: 0"),
+            "without SLAs the squashed loads must cause false misspeculation: {}",
+            off.detail
+        );
+        assert!(
+            off.cycles > on.cycles,
+            "false misspeculation must cost time"
+        );
+    }
+
+    #[test]
+    fn victim_ablation_shows_overflow_policy_matters() {
+        let rows = ablation_victim(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        assert_eq!(rows.len(), 2);
+        let safe = &rows[0];
+        let lru = &rows[1];
+        assert!(
+            safe.cycles <= lru.cycles,
+            "preferring S-O(0) victims must not be slower: {} vs {}",
+            safe.cycles,
+            lru.cycles
+        );
+    }
+
+    #[test]
+    fn vid_width_ablation_narrower_vids_reset_more() {
+        let rows = ablation_vid_width(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let resets = |label_bits: &str| {
+            rows.iter()
+                .find(|r| r.label.contains(label_bits))
+                .unwrap()
+                .detail
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        };
+        assert!(resets("3-bit") > resets("6-bit"));
+        assert_eq!(resets("8-bit"), 0);
+    }
+
+    #[test]
+    fn unbounded_sets_eliminate_overflow_recoveries() {
+        // Standard-scale bzip2: its footprint genuinely exceeds the
+        // ablation's constrained caches (the quick instance fits them).
+        let rows = ablation_unbounded(Scale::Standard, &MachineConfig::test_default()).unwrap();
+        let bounded = &rows[0];
+        let unbounded = &rows[1];
+        assert!(
+            unbounded.detail.contains("recoveries: 0"),
+            "{}",
+            unbounded.detail
+        );
+        assert!(
+            !unbounded.detail.contains("spills: 0"),
+            "{}",
+            unbounded.detail
+        );
+        // With any overflow recoveries at all, bounded must be slower.
+        if !bounded.detail.contains("recoveries: 0") {
+            assert!(bounded.cycles > unbounded.cycles);
+        }
+    }
+
+    #[test]
+    fn directory_scales_past_the_snoopy_bus() {
+        let rows = extension_scaling(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let get = |label: &str, cores: usize| {
+            rows.iter()
+                .find(|r| r.interconnect == label && r.cores == cores)
+                .unwrap()
+                .speedup
+        };
+        // Both fabrics must actually parallelize...
+        assert!(get("snoopy bus", 8) > 2.0);
+        assert!(get("directory", 8) > 2.0);
+        // ...and at 32 cores the directory must be ahead.
+        assert!(
+            get("directory", 32) > get("snoopy bus", 32),
+            "directory {} vs bus {}",
+            get("directory", 32),
+            get("snoopy bus", 32)
+        );
+        assert!(!render_scaling(&rows).is_empty());
+    }
+
+    #[test]
+    fn doacross_is_latency_sensitive_and_psdswp_is_not() {
+        let rows = latency_sensitivity(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        // DOACROSS degrades substantially across the sweep...
+        assert!(
+            last.doacross < first.doacross * 0.8,
+            "DOACROSS {} -> {}",
+            first.doacross,
+            last.doacross
+        );
+        // ...while PS-DSWP barely moves.
+        assert!(
+            last.psdswp > first.psdswp * 0.8,
+            "PS-DSWP {} -> {}",
+            first.psdswp,
+            last.psdswp
+        );
+        assert!(!render_latency(&rows).is_empty());
+    }
+
+    #[test]
+    fn table2_renders_configuration() {
+        let text = render_table2(&MachineConfig::paper_default());
+        assert!(text.contains("32 MB"));
+        assert!(text.contains("64 KB"));
+        assert!(text.contains("6 bits"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Whole-system protocol invariant checking.
+//!
+//! The §4.1 design argument rests on a handful of global invariants ("a
+//! request incoming to a cache knows if it should hit, miss, or trigger
+//! misspeculation solely by using the coherent state of each line"). This
+//! module makes them executable: [`MemorySystem::check_invariants`] scans
+//! every cache and returns every violation found. Property tests and
+//! integration tests call it after every phase of random executions.
+
+use std::collections::HashMap;
+
+use hmtx_mem::LineState;
+use hmtx_types::{LineAddr, Vid};
+
+use crate::protocol::MemorySystem;
+use crate::transitions::{apply_commit, Outcome};
+
+/// One violated invariant (all fields are pre-rendered for reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub rule: &'static str,
+    /// Human-readable details (line address, states involved).
+    pub detail: String,
+}
+
+impl MemorySystem {
+    /// Scans the entire hierarchy for protocol invariant violations:
+    ///
+    /// 1. `modVID <= highVID` on every version;
+    /// 2. speculative states that require `modVID == 0` (`S-E`) have it;
+    /// 3. for every address and every request VID, **at most one**
+    ///    snoop-responding version hits (the paper's "requests will only hit
+    ///    on one version of the line");
+    /// 4. at most one *writable* non-speculative copy (M/E) of an address
+    ///    exists anywhere;
+    /// 5. at most one live `S-M` version per address exists anywhere;
+    /// 6. a dirty non-speculative line (M/O) never coexists with another
+    ///    M/O copy of the same address.
+    ///
+    /// Returns all violations (empty = healthy). The scan judges each line
+    /// *as the protocol would serve it*: pending lazy commit processing
+    /// (§5.3) is applied to a snapshot first, since committed-but-
+    /// unprocessed versions are never served. This is a diagnostic scan with
+    /// no timing model; run it at quiescent points (between accesses).
+    pub fn check_invariants(&self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let mut per_addr: HashMap<LineAddr, Vec<(String, LineState, Vid, Vid)>> = HashMap::new();
+
+        for (name, cache) in self.caches_for_scan() {
+            for set_idx in 0..cache.config().num_sets() {
+                for stored in cache.set_lines(set_idx) {
+                    // Judge the line as the protocol would see it: apply any
+                    // pending lazy commit processing (§5.3) to a snapshot
+                    // first — committed-but-unprocessed versions are exactly
+                    // the paper's set-CB-bit state and are never served.
+                    let mut processed = stored.clone();
+                    if processed.commit_epoch < cache.commit_epoch()
+                        && apply_commit(&mut processed, cache.lc_vid()) == Outcome::Invalidate
+                    {
+                        continue;
+                    }
+                    let line = &processed;
+                    if line.mod_vid > line.high_vid {
+                        violations.push(Violation {
+                            rule: "modVID <= highVID",
+                            detail: format!("{name}: {} {}", line.addr, line.describe()),
+                        });
+                    }
+                    if line.state == LineState::SpecExclusive && line.mod_vid.is_speculative() {
+                        violations.push(Violation {
+                            rule: "S-E implies modVID == 0",
+                            detail: format!("{name}: {} {}", line.addr, line.describe()),
+                        });
+                    }
+                    per_addr.entry(line.addr).or_default().push((
+                        name.clone(),
+                        line.state,
+                        line.mod_vid,
+                        line.high_vid,
+                    ));
+                }
+            }
+        }
+
+        let max_vid = self.config().hmtx.max_vid().0;
+        for (addr, versions) in &per_addr {
+            // (3) hit uniqueness among responders, for every possible VID.
+            for a in 0..=max_vid {
+                let a = Vid(a);
+                let hitters: Vec<&(String, LineState, Vid, Vid)> = versions
+                    .iter()
+                    .filter(|(_, state, m, h)| {
+                        state.responds_to_snoops() && hits(*state, *m, *h, a)
+                    })
+                    .collect();
+                if hitters.len() > 1 {
+                    violations.push(Violation {
+                        rule: "at most one responding version hits per VID",
+                        detail: format!("{addr} vid {a}: {hitters:?}"),
+                    });
+                }
+            }
+            // (4) single writable non-speculative copy.
+            let writable = versions
+                .iter()
+                .filter(|(_, s, _, _)| s.is_writable())
+                .count();
+            if writable > 1 {
+                violations.push(Violation {
+                    rule: "at most one writable non-speculative copy",
+                    detail: format!("{addr}: {versions:?}"),
+                });
+            }
+            // (5) single live S-M.
+            let sm = versions
+                .iter()
+                .filter(|(_, s, _, _)| *s == LineState::SpecModified)
+                .count();
+            if sm > 1 {
+                violations.push(Violation {
+                    rule: "at most one S-M version per address",
+                    detail: format!("{addr}: {versions:?}"),
+                });
+            }
+            // (6) single dirty non-speculative owner.
+            let dirty_nonspec = versions
+                .iter()
+                .filter(|(_, s, _, _)| matches!(s, LineState::Modified | LineState::Owned))
+                .count();
+            if dirty_nonspec > 1 {
+                violations.push(Violation {
+                    rule: "at most one dirty non-speculative owner",
+                    detail: format!("{addr}: {versions:?}"),
+                });
+            }
+        }
+        violations
+    }
+}
+
+fn hits(state: LineState, m: Vid, h: Vid, a: Vid) -> bool {
+    match state {
+        LineState::Modified | LineState::Owned | LineState::Exclusive | LineState::Shared => true,
+        LineState::SpecModified | LineState::SpecExclusive => a >= m,
+        LineState::SpecOwned | LineState::SpecShared => m <= a && a < h,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::protocol::{AccessKind, AccessRequest, AccessResponse, MemorySystem};
+    use hmtx_types::{Addr, CoreId, MachineConfig, Vid};
+
+    fn drive(mem: &mut MemorySystem, t: u64, core: usize, addr: u64, vid: u16, w: Option<u64>) {
+        let req = AccessRequest {
+            core: CoreId(core),
+            addr: Addr(addr),
+            kind: match w {
+                Some(v) => AccessKind::Write(v),
+                None => AccessKind::Read,
+            },
+            vid: Vid(vid),
+            wrong_path: false,
+        };
+        match mem.access(t, &req).unwrap() {
+            AccessResponse::Done { .. } => {}
+            AccessResponse::Misspec { .. } => {
+                mem.abort_all(t);
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_after_figure5_sequence() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        drive(&mut mem, 0, 0, 0x40, 0, None);
+        drive(&mut mem, 1, 0, 0x40, 1, None);
+        drive(&mut mem, 2, 0, 0x40, 1, Some(111));
+        drive(&mut mem, 3, 0, 0x40, 2, None);
+        drive(&mut mem, 4, 0, 0x40, 2, Some(222));
+        drive(&mut mem, 5, 1, 0x40, 1, None);
+        assert_eq!(mem.check_invariants(), vec![]);
+        mem.commit(10, Vid(1)).unwrap();
+        assert_eq!(mem.check_invariants(), vec![]);
+        mem.commit(11, Vid(2)).unwrap();
+        assert_eq!(mem.check_invariants(), vec![]);
+    }
+
+    #[test]
+    fn healthy_across_sharing_and_migration() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        for core in 0..4 {
+            drive(&mut mem, core as u64 * 10, core, 0x200, 0, None);
+        }
+        assert_eq!(mem.check_invariants(), vec![]);
+        drive(&mut mem, 100, 2, 0x200, 0, Some(5));
+        assert_eq!(mem.check_invariants(), vec![]);
+        for core in 0..4 {
+            drive(&mut mem, 200 + core as u64 * 10, core, 0x200, 3, None);
+        }
+        assert_eq!(mem.check_invariants(), vec![]);
+    }
+
+    #[test]
+    fn healthy_after_abort() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        drive(&mut mem, 0, 0, 0x300, 1, Some(1));
+        drive(&mut mem, 1, 1, 0x300, 2, Some(2));
+        drive(&mut mem, 2, 2, 0x340, 3, Some(3));
+        mem.abort_all(10);
+        assert_eq!(mem.check_invariants(), vec![]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Memory-system statistics: hit/miss counters, SLA accounting, per-VID
+//! read/write set tracking (Figure 9, Table 1), and VID-comparator activity
+//! counts for the §4.5 energy model.
+
+use std::collections::{HashMap, HashSet};
+
+use hmtx_types::{LineAddr, Vid};
+
+/// Aggregate sizes of the read/write sets of completed transactions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RwSetTotals {
+    /// Number of committed transactions measured.
+    pub transactions: u64,
+    /// Sum over transactions of distinct lines speculatively read.
+    pub read_lines: u64,
+    /// Sum over transactions of distinct lines speculatively written.
+    pub write_lines: u64,
+    /// Sum over transactions of distinct lines speculatively accessed
+    /// (union of read and write sets).
+    pub combined_lines: u64,
+}
+
+impl RwSetTotals {
+    /// Average read-set size per transaction in kilobytes (64 B lines).
+    pub fn avg_read_kb(&self) -> f64 {
+        self.avg_kb(self.read_lines)
+    }
+
+    /// Average write-set size per transaction in kilobytes.
+    pub fn avg_write_kb(&self) -> f64 {
+        self.avg_kb(self.write_lines)
+    }
+
+    /// Average combined-set size per transaction in kilobytes.
+    pub fn avg_combined_kb(&self) -> f64 {
+        self.avg_kb(self.combined_lines)
+    }
+
+    fn avg_kb(&self, lines: u64) -> f64 {
+        if self.transactions == 0 {
+            0.0
+        } else {
+            (lines as f64) * 64.0 / 1024.0 / (self.transactions as f64)
+        }
+    }
+}
+
+/// Counters maintained by the [`MemorySystem`](crate::MemorySystem).
+#[derive(Debug, Clone, Default)]
+pub struct MemStats {
+    /// Total load requests (speculative and not, excluding wrong-path).
+    pub loads: u64,
+    /// Total store requests.
+    pub stores: u64,
+    /// Loads carrying a speculative VID.
+    pub spec_loads: u64,
+    /// Stores carrying a speculative VID.
+    pub spec_stores: u64,
+    /// Wrong-path (branch-speculative, later squashed) loads issued.
+    pub wrong_path_loads: u64,
+    /// Requests satisfied by the local L1.
+    pub l1_hits: u64,
+    /// Requests that missed the local L1.
+    pub l1_misses: u64,
+    /// Misses satisfied by a peer L1 (cache-to-cache transfer).
+    pub peer_transfers: u64,
+    /// Misses satisfied by the shared L2.
+    pub l2_hits: u64,
+    /// Misses satisfied by main memory.
+    pub mem_fills: u64,
+    /// Ownership upgrades (invalidations of peer copies).
+    pub upgrades: u64,
+    /// Speculative load acknowledgments sent to the cache system (§5.1).
+    pub slas_sent: u64,
+    /// Speculative loads that needed no SLA because the line already logged
+    /// their VID (§5.1).
+    pub slas_skipped: u64,
+    /// False misspeculations avoided by the SLA filter: stores that would
+    /// have aborted had wrong-path loads marked lines (Table 1).
+    pub sla_aborts_avoided: u64,
+    /// Group commits processed.
+    pub commits: u64,
+    /// Aborts processed (all causes).
+    pub aborts: u64,
+    /// VID resets processed (§4.6).
+    pub vid_resets: u64,
+    /// Overflow-safe `S-O(0,·)` lines written back past the LLC (§5.4).
+    pub safe_overflow_writebacks: u64,
+    /// Lines refetched from memory in `S-O(0,a+1)` after a safe overflow.
+    pub overflow_refills: u64,
+    /// VID comparisons resolved by the short low-3-bit comparator (§4.5).
+    pub short_vid_compares: u64,
+    /// VID comparisons needing the cascaded full comparison (§4.5).
+    pub cascaded_vid_compares: u64,
+    /// Lines walked by eager commit processing (ablation A).
+    pub eager_commit_lines_walked: u64,
+    /// Directory home-bank lookups (§8 directory interconnect).
+    pub directory_lookups: u64,
+    /// Speculative versions spilled to the §8 unbounded-sets overflow table.
+    pub unbounded_spills: u64,
+    /// Speculative versions retrieved from the overflow table.
+    pub unbounded_fills: u64,
+
+    rw_totals: RwSetTotals,
+    live_read_sets: HashMap<Vid, HashSet<LineAddr>>,
+    live_write_sets: HashMap<Vid, HashSet<LineAddr>>,
+}
+
+impl MemStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a speculative read of `line` by transaction `vid`.
+    pub fn record_spec_read(&mut self, vid: Vid, line: LineAddr) {
+        self.live_read_sets.entry(vid).or_default().insert(line);
+    }
+
+    /// Records a speculative write of `line` by transaction `vid`.
+    pub fn record_spec_write(&mut self, vid: Vid, line: LineAddr) {
+        self.live_write_sets.entry(vid).or_default().insert(line);
+    }
+
+    /// Finalizes the read/write sets of every transaction with VID `<= lc`
+    /// (called at group commit).
+    pub fn finalize_committed(&mut self, lc: Vid) {
+        let vids: Vec<Vid> = self
+            .live_read_sets
+            .keys()
+            .chain(self.live_write_sets.keys())
+            .copied()
+            .filter(|v| *v <= lc)
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        for vid in vids {
+            let reads = self.live_read_sets.remove(&vid).unwrap_or_default();
+            let writes = self.live_write_sets.remove(&vid).unwrap_or_default();
+            self.rw_totals.transactions += 1;
+            self.rw_totals.read_lines += reads.len() as u64;
+            self.rw_totals.write_lines += writes.len() as u64;
+            self.rw_totals.combined_lines += reads.union(&writes).count() as u64;
+        }
+    }
+
+    /// Discards the live sets of every uncommitted transaction (on abort).
+    pub fn discard_uncommitted(&mut self) {
+        self.live_read_sets.clear();
+        self.live_write_sets.clear();
+    }
+
+    /// Read/write set totals over committed transactions (Figure 9).
+    pub fn rw_totals(&self) -> RwSetTotals {
+        self.rw_totals
+    }
+
+    /// Speculative accesses (loads + stores) per committed transaction
+    /// (Table 1 column "Avg Number of Spec Mem Accesses Per TX" is computed
+    /// by the machine layer, which also counts accesses; this helper exposes
+    /// the committed-transaction count).
+    pub fn committed_transactions(&self) -> u64 {
+        self.rw_totals.transactions
+    }
+
+    /// Records one VID hit-check comparison (§4.5): `short` when the high
+    /// bits of both VIDs match (the common case), `cascaded` otherwise.
+    pub fn record_vid_compare(&mut self, a: Vid, b: Vid, vid_bits: u32) {
+        let low_bits = vid_bits / 2;
+        if (a.0 >> low_bits) == (b.0 >> low_bits) {
+            self.short_vid_compares += 1;
+        } else {
+            self.cascaded_vid_compares += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_sets_accumulate_distinct_lines() {
+        let mut s = MemStats::new();
+        s.record_spec_read(Vid(1), LineAddr(1));
+        s.record_spec_read(Vid(1), LineAddr(1));
+        s.record_spec_read(Vid(1), LineAddr(2));
+        s.record_spec_write(Vid(1), LineAddr(2));
+        s.record_spec_write(Vid(1), LineAddr(3));
+        s.finalize_committed(Vid(1));
+        let t = s.rw_totals();
+        assert_eq!(t.transactions, 1);
+        assert_eq!(t.read_lines, 2);
+        assert_eq!(t.write_lines, 2);
+        assert_eq!(t.combined_lines, 3, "union of {{1,2}} and {{2,3}}");
+    }
+
+    #[test]
+    fn finalize_only_commits_vids_up_to_lc() {
+        let mut s = MemStats::new();
+        s.record_spec_read(Vid(1), LineAddr(1));
+        s.record_spec_read(Vid(2), LineAddr(2));
+        s.finalize_committed(Vid(1));
+        assert_eq!(s.rw_totals().transactions, 1);
+        s.finalize_committed(Vid(2));
+        assert_eq!(s.rw_totals().transactions, 2);
+    }
+
+    #[test]
+    fn kb_averages() {
+        let mut s = MemStats::new();
+        for l in 0..16 {
+            s.record_spec_read(Vid(1), LineAddr(l));
+        }
+        s.finalize_committed(Vid(1));
+        let t = s.rw_totals();
+        assert!(
+            (t.avg_read_kb() - 1.0).abs() < 1e-9,
+            "16 lines * 64 B = 1 kB"
+        );
+        assert_eq!(t.avg_write_kb(), 0.0);
+        assert!((t.avg_combined_kb() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_totals_average_zero() {
+        let t = RwSetTotals::default();
+        assert_eq!(t.avg_read_kb(), 0.0);
+        assert_eq!(t.avg_combined_kb(), 0.0);
+    }
+
+    #[test]
+    fn discard_uncommitted_drops_live_sets() {
+        let mut s = MemStats::new();
+        s.record_spec_read(Vid(3), LineAddr(1));
+        s.discard_uncommitted();
+        s.finalize_committed(Vid(10));
+        assert_eq!(s.rw_totals().transactions, 0);
+    }
+
+    #[test]
+    fn vid_compare_classification() {
+        let mut s = MemStats::new();
+        // 6-bit VIDs: low 3 bits short-compare, high 3 bits checked for
+        // equality. 5 (000_101) vs 7 (000_111): same high bits -> short.
+        s.record_vid_compare(Vid(5), Vid(7), 6);
+        assert_eq!(s.short_vid_compares, 1);
+        // 5 (000_101) vs 60 (111_100): different high bits -> cascaded.
+        s.record_vid_compare(Vid(5), Vid(60), 6);
+        assert_eq!(s.cascaded_vid_compares, 1);
+    }
+}

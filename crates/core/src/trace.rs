@@ -1,0 +1,236 @@
+//! Protocol event tracing: an optional, bounded log of what the memory
+//! system did — which level served each access, version splits, commits,
+//! aborts, resets, and overflow traffic. Intended for debugging parallelized
+//! programs and for teaching the protocol (the Figure 5 walkthrough uses
+//! it).
+
+use std::fmt;
+
+use hmtx_types::{Addr, CoreId, Cycle, Vid};
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// Local L1 hit.
+    L1,
+    /// Cache-to-cache transfer from a peer L1.
+    Peer,
+    /// Shared L2.
+    L2,
+    /// Main memory.
+    Memory,
+    /// The §8 unbounded-sets overflow table.
+    OverflowTable,
+}
+
+impl fmt::Display for ServedFrom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ServedFrom::L1 => "L1",
+            ServedFrom::Peer => "peer",
+            ServedFrom::L2 => "L2",
+            ServedFrom::Memory => "memory",
+            ServedFrom::OverflowTable => "overflow",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A load or store completed.
+    Access {
+        /// Issue cycle.
+        cycle: Cycle,
+        /// Issuing core.
+        core: CoreId,
+        /// Byte address.
+        addr: Addr,
+        /// Request VID.
+        vid: Vid,
+        /// `true` for stores.
+        write: bool,
+        /// Where the version came from.
+        served: ServedFrom,
+        /// Total latency charged.
+        latency: u64,
+    },
+    /// A speculative write split a version (`S-O(m,y)` retained,
+    /// `S-M(y,y)` created).
+    Split {
+        /// Cycle of the split.
+        cycle: Cycle,
+        /// Line base address.
+        addr: Addr,
+        /// The retained unmodified copy, e.g. `S-O(1,2)`.
+        retained: String,
+        /// The new version, e.g. `S-M(2,2)`.
+        created: String,
+    },
+    /// Misspeculation was detected.
+    Misspec {
+        /// Cycle of detection.
+        cycle: Cycle,
+        /// Rendered cause.
+        cause: String,
+    },
+    /// Group commit of a VID.
+    Commit {
+        /// Cycle of the broadcast.
+        cycle: Cycle,
+        /// Committed VID.
+        vid: Vid,
+    },
+    /// All uncommitted state flushed.
+    Abort {
+        /// Cycle of the flush.
+        cycle: Cycle,
+    },
+    /// VID reset broadcast (§4.6).
+    VidReset {
+        /// Cycle of the reset.
+        cycle: Cycle,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Access {
+                cycle,
+                core,
+                addr,
+                vid,
+                write,
+                served,
+                latency,
+            } => write!(
+                f,
+                "[{cycle:>8}] {core} {} {addr} {vid} <- {served} ({latency} cyc)",
+                if *write { "st" } else { "ld" }
+            ),
+            TraceEvent::Split {
+                cycle,
+                addr,
+                retained,
+                created,
+            } => {
+                write!(
+                    f,
+                    "[{cycle:>8}] split {addr}: keep {retained}, new {created}"
+                )
+            }
+            TraceEvent::Misspec { cycle, cause } => write!(f, "[{cycle:>8}] MISSPEC {cause}"),
+            TraceEvent::Commit { cycle, vid } => write!(f, "[{cycle:>8}] commit {vid}"),
+            TraceEvent::Abort { cycle } => write!(f, "[{cycle:>8}] abort-all"),
+            TraceEvent::VidReset { cycle } => write!(f, "[{cycle:>8}] vid-reset"),
+        }
+    }
+}
+
+/// A bounded trace buffer (oldest events dropped past the capacity).
+#[derive(Debug, Default)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Whether tracing is on.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Enables tracing with the given capacity (0 disables).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(event);
+    }
+
+    /// Takes the buffered events, leaving the tracer enabled and empty.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Renders a trace as one event per line.
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!("{e}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_buffer_drops_oldest() {
+        let mut t = Tracer::default();
+        assert!(!t.enabled());
+        t.set_capacity(2);
+        for i in 0..4 {
+            t.record(TraceEvent::Commit {
+                cycle: i,
+                vid: Vid(i as u16 + 1),
+            });
+        }
+        let events = t.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0],
+            TraceEvent::Commit {
+                cycle: 2,
+                vid: Vid(3)
+            }
+        );
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::default();
+        t.record(TraceEvent::Abort { cycle: 1 });
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn events_render_readably() {
+        let e = TraceEvent::Access {
+            cycle: 42,
+            core: CoreId(1),
+            addr: Addr(0x100),
+            vid: Vid(3),
+            write: true,
+            served: ServedFrom::Peer,
+            latency: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("core1"));
+        assert!(s.contains("st"));
+        assert!(s.contains("peer"));
+        assert!(render_trace(&[e]).ends_with('\n'));
+    }
+}

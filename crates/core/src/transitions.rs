@@ -1,0 +1,345 @@
+//! Pure state-transition rules of the HMTX protocol: the hit predicate of
+//! §4.1 and the commit (Figure 6), abort (Figure 7), and VID-reset (§4.6)
+//! state machines.
+//!
+//! These functions are deliberately free of cache plumbing so that each
+//! transition of the paper's figures can be unit-tested as a truth table.
+
+use hmtx_mem::{CacheLine, LineState};
+use hmtx_types::Vid;
+
+/// Evaluates the hit predicate of §4.1 for a request with VID `a` against a
+/// line version (non-speculative requests must pass the cache's LC VID as
+/// `a`, per §5.3).
+///
+/// * `S-M`/`S-E (m,h)` hit iff `a >= m`;
+/// * `S-O`/`S-S (m,h)` hit iff `m <= a < h`;
+/// * non-speculative states hit on plain tag match.
+///
+/// The address tag is assumed to have matched already.
+pub fn version_hits(line: &CacheLine, a: Vid) -> bool {
+    match line.state {
+        LineState::Modified | LineState::Owned | LineState::Exclusive | LineState::Shared => true,
+        LineState::SpecModified | LineState::SpecExclusive => a >= line.mod_vid,
+        LineState::SpecOwned | LineState::SpecShared => line.mod_vid <= a && a < line.high_vid,
+    }
+}
+
+/// What happens to a line during commit/abort/reset processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The line survives (its fields may have been rewritten).
+    Keep,
+    /// The line is invalidated.
+    Invalidate,
+}
+
+/// Applies the commit state machine (Figure 6) for a committed VID `lc` to a
+/// line, in place. Because commits occur in consecutive VID order (§4.7),
+/// applying the rules once with the *latest* committed VID is equivalent to
+/// applying each intermediate commit in sequence — which is what makes the
+/// lazy scheme of §5.3 sound.
+///
+/// Rules:
+/// * `highVID <= lc`: the whole version is finished — `S-M → M`,
+///   `S-E → E`, `S-O`/`S-S` are superseded and die; VIDs reset to `(0,0)`.
+/// * otherwise if `modVID <= lc`: the modification that created this version
+///   is now committed — `modVID` becomes 0, state unchanged.
+pub fn apply_commit(line: &mut CacheLine, lc: Vid) -> Outcome {
+    // Wrong-path phantom marks from committed VIDs can no longer cause
+    // (or be blamed for) anything; drop them (simulator bookkeeping).
+    if line.phantom_high <= lc {
+        line.phantom_high = Vid::NON_SPECULATIVE;
+    }
+    if !line.state.is_speculative() {
+        return Outcome::Keep;
+    }
+    if line.high_vid <= lc {
+        let outcome = match line.state {
+            LineState::SpecModified => {
+                line.state = LineState::Modified;
+                Outcome::Keep
+            }
+            LineState::SpecExclusive => {
+                line.state = LineState::Exclusive;
+                Outcome::Keep
+            }
+            LineState::SpecOwned | LineState::SpecShared => Outcome::Invalidate,
+            _ => unreachable!(),
+        };
+        line.mod_vid = Vid::NON_SPECULATIVE;
+        line.high_vid = Vid::NON_SPECULATIVE;
+        outcome
+    } else {
+        if line.mod_vid.is_speculative() && line.mod_vid <= lc {
+            line.mod_vid = Vid::NON_SPECULATIVE;
+        }
+        Outcome::Keep
+    }
+}
+
+/// Applies the abort state machine (Figure 7) to a line, in place.
+///
+/// Lines whose version was *created* by an uncommitted speculative write
+/// (`modVID > 0`) are invalidated; versions holding non-speculative data
+/// (`modVID == 0`) revert to the corresponding non-speculative state with
+/// `highVID` cleared.
+///
+/// The caller must apply any pending commit processing *first*
+/// ([`apply_commit`]): committed-but-lazily-unprocessed lines must not be
+/// destroyed by a later abort.
+pub fn apply_abort(line: &mut CacheLine) -> Outcome {
+    line.phantom_high = Vid::NON_SPECULATIVE;
+    if !line.state.is_speculative() {
+        return Outcome::Keep;
+    }
+    if line.mod_vid.is_speculative() {
+        return Outcome::Invalidate;
+    }
+    line.high_vid = Vid::NON_SPECULATIVE;
+    line.state = match line.state {
+        LineState::SpecModified => LineState::Modified,
+        LineState::SpecExclusive => LineState::Exclusive,
+        // The unmodified backup copy holds valid (possibly dirty)
+        // non-speculative data; keep it in a dirty shared-ownership state.
+        LineState::SpecOwned => LineState::Owned,
+        LineState::SpecShared => LineState::Shared,
+        _ => unreachable!(),
+    };
+    Outcome::Keep
+}
+
+/// Applies a VID reset (§4.6) to a line, in place. The caller guarantees
+/// that every outstanding transaction has committed and that pending commit
+/// processing has been applied; at that point no speculative version can
+/// remain, so the reset only has to clear stale phantom marks.
+///
+/// Returns [`Outcome::Invalidate`] if — contrary to the protocol invariant —
+/// a speculative line is still present (callers treat this as a bug).
+pub fn apply_vid_reset(line: &mut CacheLine) -> Outcome {
+    line.phantom_high = Vid::NON_SPECULATIVE;
+    debug_assert!(
+        !line.state.is_speculative(),
+        "VID reset reached a live speculative line {}",
+        line.describe()
+    );
+    if line.state.is_speculative() {
+        return Outcome::Invalidate;
+    }
+    line.mod_vid = Vid::NON_SPECULATIVE;
+    line.high_vid = Vid::NON_SPECULATIVE;
+    Outcome::Keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_mem::CacheLine;
+    use hmtx_types::LineAddr;
+
+    fn spec_line(state: LineState, m: u16, h: u16) -> CacheLine {
+        let mut l = CacheLine::non_speculative(LineAddr(1), LineState::Exclusive);
+        l.state = state;
+        l.mod_vid = Vid(m);
+        l.high_vid = Vid(h);
+        l
+    }
+
+    // ---- hit predicate truth table (§4.1) ----
+
+    #[test]
+    fn hit_rules_sm_se() {
+        let sm = spec_line(LineState::SpecModified, 2, 3);
+        assert!(!version_hits(&sm, Vid(1)));
+        assert!(version_hits(&sm, Vid(2)));
+        assert!(version_hits(&sm, Vid(3)));
+        assert!(version_hits(&sm, Vid(60)));
+
+        let se = spec_line(LineState::SpecExclusive, 0, 1);
+        assert!(version_hits(&se, Vid(0)));
+        assert!(version_hits(&se, Vid(1)));
+        assert!(version_hits(&se, Vid(5)));
+    }
+
+    #[test]
+    fn hit_rules_so_ss() {
+        let so = spec_line(LineState::SpecOwned, 1, 2);
+        assert!(!version_hits(&so, Vid(0)));
+        assert!(version_hits(&so, Vid(1)));
+        assert!(!version_hits(&so, Vid(2)));
+
+        let ss = spec_line(LineState::SpecShared, 0, 2);
+        assert!(version_hits(&ss, Vid(0)));
+        assert!(version_hits(&ss, Vid(1)));
+        assert!(!version_hits(&ss, Vid(2)));
+    }
+
+    #[test]
+    fn hit_rules_nonspec_states_plain_tag_match() {
+        for st in [
+            LineState::Modified,
+            LineState::Owned,
+            LineState::Exclusive,
+            LineState::Shared,
+        ] {
+            let l = CacheLine::non_speculative(LineAddr(1), st);
+            assert!(version_hits(&l, Vid(0)));
+            assert!(version_hits(&l, Vid(9)));
+        }
+    }
+
+    #[test]
+    fn reset_so_00_can_never_hit() {
+        // §4.6: after a reset, S-O(0,0) copies can never hit (a < 0 is
+        // impossible), so they die on eviction.
+        let so = spec_line(LineState::SpecOwned, 0, 0);
+        for a in 0..10 {
+            assert!(!version_hits(&so, Vid(a)));
+        }
+    }
+
+    // ---- commit state machine (Figure 6) ----
+
+    #[test]
+    fn commit_finishes_sm_to_m() {
+        let mut l = spec_line(LineState::SpecModified, 2, 2);
+        assert_eq!(apply_commit(&mut l, Vid(2)), Outcome::Keep);
+        assert_eq!(l.state, LineState::Modified);
+        assert_eq!(l.vids(), (Vid(0), Vid(0)));
+    }
+
+    #[test]
+    fn commit_finishes_se_to_e() {
+        let mut l = spec_line(LineState::SpecExclusive, 0, 1);
+        assert_eq!(apply_commit(&mut l, Vid(1)), Outcome::Keep);
+        assert_eq!(l.state, LineState::Exclusive);
+        assert_eq!(l.vids(), (Vid(0), Vid(0)));
+    }
+
+    #[test]
+    fn commit_kills_superseded_so_and_ss() {
+        let mut so = spec_line(LineState::SpecOwned, 1, 2);
+        assert_eq!(apply_commit(&mut so, Vid(2)), Outcome::Invalidate);
+        let mut ss = spec_line(LineState::SpecShared, 0, 2);
+        assert_eq!(apply_commit(&mut ss, Vid(2)), Outcome::Invalidate);
+    }
+
+    #[test]
+    fn commit_below_high_vid_only_clears_mod_vid() {
+        // CommitVID < h and CommitVID >= m: modification is committed but
+        // later transactions still reference the line.
+        let mut l = spec_line(LineState::SpecModified, 2, 5);
+        assert_eq!(apply_commit(&mut l, Vid(3)), Outcome::Keep);
+        assert_eq!(l.state, LineState::SpecModified);
+        assert_eq!(l.vids(), (Vid(0), Vid(5)));
+
+        let mut so = spec_line(LineState::SpecOwned, 1, 5);
+        assert_eq!(apply_commit(&mut so, Vid(1)), Outcome::Keep);
+        assert_eq!(so.vids(), (Vid(0), Vid(5)));
+        assert_eq!(so.state, LineState::SpecOwned);
+    }
+
+    #[test]
+    fn commit_before_mod_vid_changes_nothing() {
+        let mut l = spec_line(LineState::SpecModified, 4, 5);
+        assert_eq!(apply_commit(&mut l, Vid(3)), Outcome::Keep);
+        assert_eq!(l.vids(), (Vid(4), Vid(5)));
+    }
+
+    #[test]
+    fn batched_lazy_commit_equals_sequential_commits() {
+        // Applying commits 1,2,3 one by one must equal applying commit 3 once.
+        for (state, m, h) in [
+            (LineState::SpecModified, 2u16, 5u16),
+            (LineState::SpecModified, 2, 3),
+            (LineState::SpecOwned, 1, 3),
+            (LineState::SpecOwned, 0, 5),
+            (LineState::SpecExclusive, 0, 2),
+            (LineState::SpecShared, 1, 2),
+        ] {
+            let mut seq = spec_line(state, m, h);
+            let mut seq_alive = true;
+            for c in 1..=3u16 {
+                if seq_alive && apply_commit(&mut seq, Vid(c)) == Outcome::Invalidate {
+                    seq_alive = false;
+                }
+            }
+            let mut batched = spec_line(state, m, h);
+            let batched_alive = apply_commit(&mut batched, Vid(3)) == Outcome::Keep;
+            assert_eq!(seq_alive, batched_alive, "liveness for {state:?}({m},{h})");
+            if seq_alive {
+                assert_eq!(seq, batched, "fields for {state:?}({m},{h})");
+            }
+        }
+    }
+
+    #[test]
+    fn commit_ignores_nonspec_lines() {
+        let mut l = CacheLine::non_speculative(LineAddr(1), LineState::Modified);
+        assert_eq!(apply_commit(&mut l, Vid(9)), Outcome::Keep);
+        assert_eq!(l.state, LineState::Modified);
+    }
+
+    #[test]
+    fn commit_clears_stale_phantom_marks() {
+        let mut l = spec_line(LineState::SpecModified, 1, 5);
+        l.phantom_high = Vid(3);
+        apply_commit(&mut l, Vid(3));
+        assert_eq!(l.phantom_high, Vid(0));
+        let mut l2 = spec_line(LineState::SpecModified, 1, 5);
+        l2.phantom_high = Vid(4);
+        apply_commit(&mut l2, Vid(3));
+        assert_eq!(l2.phantom_high, Vid(4), "future phantom marks survive");
+    }
+
+    // ---- abort state machine (Figure 7) ----
+
+    #[test]
+    fn abort_invalidates_speculatively_modified_versions() {
+        let mut l = spec_line(LineState::SpecModified, 2, 2);
+        assert_eq!(apply_abort(&mut l), Outcome::Invalidate);
+        let mut so = spec_line(LineState::SpecOwned, 1, 2);
+        assert_eq!(apply_abort(&mut so), Outcome::Invalidate);
+        let mut ss = spec_line(LineState::SpecShared, 3, 4);
+        assert_eq!(apply_abort(&mut ss), Outcome::Invalidate);
+    }
+
+    #[test]
+    fn abort_restores_nonspec_data_versions() {
+        // S-M(0,h): dirty pre-speculative data read speculatively.
+        let mut sm = spec_line(LineState::SpecModified, 0, 3);
+        assert_eq!(apply_abort(&mut sm), Outcome::Keep);
+        assert_eq!(sm.state, LineState::Modified);
+        assert_eq!(sm.vids(), (Vid(0), Vid(0)));
+
+        let mut se = spec_line(LineState::SpecExclusive, 0, 3);
+        assert_eq!(apply_abort(&mut se), Outcome::Keep);
+        assert_eq!(se.state, LineState::Exclusive);
+
+        let mut so = spec_line(LineState::SpecOwned, 0, 3);
+        assert_eq!(apply_abort(&mut so), Outcome::Keep);
+        assert_eq!(so.state, LineState::Owned);
+
+        let mut ss = spec_line(LineState::SpecShared, 0, 3);
+        assert_eq!(apply_abort(&mut ss), Outcome::Keep);
+        assert_eq!(ss.state, LineState::Shared);
+    }
+
+    #[test]
+    fn abort_keeps_nonspec_lines_untouched() {
+        let mut l = CacheLine::non_speculative(LineAddr(1), LineState::Owned);
+        assert_eq!(apply_abort(&mut l), Outcome::Keep);
+        assert_eq!(l.state, LineState::Owned);
+    }
+
+    // ---- VID reset (§4.6) ----
+
+    #[test]
+    fn vid_reset_clears_phantoms_on_nonspec_lines() {
+        let mut l = CacheLine::non_speculative(LineAddr(1), LineState::Modified);
+        l.phantom_high = Vid(9);
+        assert_eq!(apply_vid_reset(&mut l), Outcome::Keep);
+        assert_eq!(l.phantom_high, Vid(0));
+        assert_eq!(l.vids(), (Vid(0), Vid(0)));
+    }
+}

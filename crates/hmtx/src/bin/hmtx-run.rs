@@ -1,0 +1,40 @@
+//! `hmtx-run`: assemble and run guest programs on the simulated HMTX
+//! machine. One assembly file per hardware thread.
+//!
+//! ```text
+//! hmtx-run [--cores N] [--trace N] [--budget N] [--quick]
+//!          [--mem addr=value]... [--dump addr]...
+//!          thread0.asm [thread1.asm ...]
+//! ```
+
+use hmtx::cli::{parse_args, run};
+
+fn main() {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match run(&opts) {
+        Ok(report) => {
+            println!("outcome: {}", report.outcome);
+            println!("cycles:  {}", report.cycles);
+            if !report.outputs.is_empty() {
+                println!("output:  {:?}", report.outputs);
+            }
+            for (addr, value) in &report.dumps {
+                println!("mem[0x{addr:x}] = {value}");
+            }
+            println!("\n{}", report.stats);
+            if !report.trace.is_empty() {
+                println!("\ntrace:\n{}", report.trace);
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

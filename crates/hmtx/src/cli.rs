@@ -1,0 +1,328 @@
+//! Implementation of the `hmtx-run` command-line tool: assemble one guest
+//! program per hardware thread and run them on the simulated HMTX machine.
+
+use std::sync::Arc;
+
+use hmtx_isa::assemble;
+use hmtx_machine::{Machine, RunEvent, ThreadContext};
+use hmtx_types::{Addr, MachineConfig, SimError, ThreadId, Vid};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Assembly source text, one entry per thread (thread `i` on core `i`).
+    pub programs: Vec<String>,
+    /// Core count (defaults to the number of programs, minimum 2).
+    pub cores: Option<usize>,
+    /// Initial memory words, `(addr, value)`.
+    pub init: Vec<(u64, u64)>,
+    /// Words to dump (committed view) after the run.
+    pub dump: Vec<u64>,
+    /// Protocol trace capacity (0 = off).
+    pub trace: usize,
+    /// Instruction budget.
+    pub budget: u64,
+    /// Use the small test configuration instead of Table 2's.
+    pub quick: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            programs: Vec::new(),
+            cores: None,
+            init: Vec::new(),
+            dump: Vec::new(),
+            trace: 0,
+            budget: 100_000_000,
+            quick: false,
+        }
+    }
+}
+
+/// Result of a CLI run, pre-rendered for printing.
+#[derive(Debug)]
+pub struct CliReport {
+    /// How the run ended.
+    pub outcome: String,
+    /// Completion cycle.
+    pub cycles: u64,
+    /// Committed program output (`out` instructions).
+    pub outputs: Vec<u64>,
+    /// `(addr, committed value)` for each requested dump.
+    pub dumps: Vec<(u64, u64)>,
+    /// Rendered statistics block.
+    pub stats: String,
+    /// Rendered protocol trace (empty if tracing off).
+    pub trace: String,
+}
+
+/// Parses CLI arguments (everything after the program name).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadProgram`] on malformed flags.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, SimError> {
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    let bad = |msg: String| SimError::BadProgram(msg);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cores" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| bad("--cores needs a value".into()))?;
+                opts.cores = Some(
+                    v.parse()
+                        .map_err(|_| bad(format!("bad core count `{v}`")))?,
+                );
+            }
+            "--trace" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| bad("--trace needs a value".into()))?;
+                opts.trace = v
+                    .parse()
+                    .map_err(|_| bad(format!("bad trace capacity `{v}`")))?;
+            }
+            "--budget" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| bad("--budget needs a value".into()))?;
+                opts.budget = v.parse().map_err(|_| bad(format!("bad budget `{v}`")))?;
+            }
+            "--mem" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| bad("--mem needs addr=value".into()))?;
+                let (a, val) = v
+                    .split_once('=')
+                    .ok_or_else(|| bad(format!("--mem wants addr=value, got `{v}`")))?;
+                opts.init.push((parse_u64(a)?, parse_u64(val)?));
+            }
+            "--dump" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| bad("--dump needs an address".into()))?;
+                opts.dump.push(parse_u64(&v)?);
+            }
+            "--quick" => opts.quick = true,
+            path => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| bad(format!("cannot read `{path}`: {e}")))?;
+                opts.programs.push(text);
+            }
+        }
+    }
+    if opts.programs.is_empty() {
+        return Err(bad(
+            "usage: hmtx-run [--cores N] [--trace N] [--budget N] [--quick] \
+             [--mem addr=value]... [--dump addr]... thread0.asm [thread1.asm ...]"
+                .into(),
+        ));
+    }
+    Ok(opts)
+}
+
+fn parse_u64(s: &str) -> Result<u64, SimError> {
+    let s = s.trim();
+    let v = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    v.map_err(|_| SimError::BadProgram(format!("bad number `{s}`")))
+}
+
+/// Assembles and runs the configured programs.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on assembly failures or guest-program bugs.
+pub fn run(opts: &Options) -> Result<CliReport, SimError> {
+    let mut cfg = if opts.quick {
+        MachineConfig::test_default()
+    } else {
+        MachineConfig::paper_default()
+    };
+    cfg.num_cores = opts.cores.unwrap_or_else(|| opts.programs.len().max(2));
+    if cfg.num_cores < opts.programs.len() {
+        return Err(SimError::BadProgram(format!(
+            "{} programs need at least that many cores (got --cores {})",
+            opts.programs.len(),
+            cfg.num_cores
+        )));
+    }
+
+    let mut machine = Machine::new(cfg);
+    if opts.trace > 0 {
+        machine.mem_mut().set_trace_capacity(opts.trace);
+    }
+    for (addr, value) in &opts.init {
+        machine
+            .mem_mut()
+            .memory_mut()
+            .write_word(Addr(*addr), *value);
+    }
+    for (i, text) in opts.programs.iter().enumerate() {
+        let program = Arc::new(assemble(text)?);
+        machine.load_thread(i, ThreadContext::new(ThreadId(i), program));
+    }
+
+    let outcome = match machine.run(opts.budget)? {
+        RunEvent::AllHalted => "all threads halted".to_string(),
+        RunEvent::Misspeculation { cause, cycle } => {
+            format!("misspeculation at cycle {cycle}: {cause:?}")
+        }
+        RunEvent::BudgetExhausted => format!("instruction budget ({}) exhausted", opts.budget),
+    };
+
+    let mem_stats = machine.mem().stats();
+    let stats = format!(
+        "instructions: {}\nbranches: {} ({:.2}% mispredicted)\n\
+         loads/stores: {}/{} (speculative {}/{})\n\
+         L1 hits/misses: {}/{}\ncommits: {}  aborts: {}  vid resets: {}\nSLAs sent: {}",
+        machine.stats().instructions,
+        machine.stats().branches,
+        machine.stats().mispredict_rate() * 100.0,
+        mem_stats.loads,
+        mem_stats.stores,
+        mem_stats.spec_loads,
+        mem_stats.spec_stores,
+        mem_stats.l1_hits,
+        mem_stats.l1_misses,
+        mem_stats.commits,
+        mem_stats.aborts,
+        mem_stats.vid_resets,
+        mem_stats.slas_sent,
+    );
+    let trace = if opts.trace > 0 {
+        hmtx_core::render_trace(&machine.mem_mut().take_trace())
+    } else {
+        String::new()
+    };
+    let dumps = opts
+        .dump
+        .iter()
+        .map(|a| (*a, machine.mem().peek_word(Addr(*a), Vid(0))))
+        .collect();
+
+    Ok(CliReport {
+        outcome,
+        cycles: machine.cycles(),
+        outputs: machine.committed_output().to_vec(),
+        dumps,
+        stats,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts_with(src: &str) -> Options {
+        Options {
+            programs: vec![src.to_string()],
+            quick: true,
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn runs_a_single_threaded_program() {
+        let report = run(&opts_with(
+            r"
+                li r1, 6
+                li r2, 7
+                mul r3, r1, r2
+                out r3
+                halt
+            ",
+        ))
+        .unwrap();
+        assert_eq!(report.outputs, vec![42]);
+        assert!(report.outcome.contains("halted"));
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn mem_init_and_dump_round_trip() {
+        let mut opts = opts_with(
+            r"
+                li r1, 0x100000
+                ld r2, (r1)
+                add r2, r2, 5
+                st r2, 8(r1)
+                halt
+            ",
+        );
+        opts.init.push((0x100000, 37));
+        opts.dump.push(0x100008);
+        let report = run(&opts).unwrap();
+        assert_eq!(report.dumps, vec![(0x100008, 42)]);
+    }
+
+    #[test]
+    fn transactional_program_with_trace() {
+        let mut opts = opts_with(
+            r"
+                li r10, 1
+                beginMTX r10
+                li r1, 0x100000
+                li r2, 9
+                st r2, (r1)
+                commitMTX r10
+                halt
+            ",
+        );
+        opts.trace = 32;
+        opts.dump.push(0x100000);
+        let report = run(&opts).unwrap();
+        assert_eq!(report.dumps, vec![(0x100000, 9)]);
+        assert!(report.trace.contains("commit v1"), "{}", report.trace);
+        assert!(report.stats.contains("commits: 1"));
+    }
+
+    #[test]
+    fn two_thread_pipeline() {
+        let producer = r"
+                li r1, 11
+                produce q0, r1
+                halt
+        ";
+        let consumer = r"
+                consume r2, q0
+                out r2
+                halt
+        ";
+        let opts = Options {
+            programs: vec![producer.to_string(), consumer.to_string()],
+            quick: true,
+            ..Options::default()
+        };
+        let report = run(&opts).unwrap();
+        assert_eq!(report.outputs, vec![11]);
+    }
+
+    #[test]
+    fn parse_args_handles_flags_and_errors() {
+        let err = parse_args(Vec::<String>::new()).unwrap_err();
+        assert!(err.to_string().contains("usage"));
+        let err = parse_args(vec!["--cores".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("--cores"));
+        let err = parse_args(vec!["--mem".to_string(), "nope".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("addr=value"));
+    }
+
+    #[test]
+    fn too_few_cores_is_an_error() {
+        let opts = Options {
+            programs: vec!["halt".into(), "halt".into(), "halt".into()],
+            cores: Some(2),
+            quick: true,
+            ..Options::default()
+        };
+        assert!(run(&opts).is_err());
+    }
+}

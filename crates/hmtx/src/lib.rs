@@ -1,0 +1,55 @@
+//! Facade crate for the HMTX (Hardware Multithreaded Transactions,
+//! ASPLOS 2018) reproduction: re-exports the full public API of the
+//! workspace so downstream users can depend on a single crate.
+//!
+//! # Examples
+//!
+//! Run a workload PS-DSWP on the simulated 4-core HMTX machine:
+//!
+//! ```
+//! use hmtx::runtime::{run_loop, Paradigm};
+//! use hmtx::types::MachineConfig;
+//! use hmtx::workloads::{suite, Scale};
+//!
+//! let ispell = &suite(Scale::Quick)[7];
+//! let (machine, report) = run_loop(
+//!     Paradigm::PsDswp,
+//!     ispell.as_ref(),
+//!     &MachineConfig::test_default(),
+//!     50_000_000,
+//! )?;
+//! assert!(report.cycles > 0);
+//! assert!(machine.mem().stats().commits > 0);
+//! # Ok::<(), hmtx::types::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+/// Shared vocabulary types and configuration ([`hmtx_types`]).
+pub use hmtx_types as types;
+
+/// The mini-ISA and program builder ([`hmtx_isa`]).
+pub use hmtx_isa as isa;
+
+/// Versioned caches, bus, memory ([`hmtx_mem`]).
+pub use hmtx_mem as mem;
+
+/// The HMTX coherence protocol — the paper's contribution ([`hmtx_core`]).
+pub use hmtx_core as core;
+
+/// The multicore machine simulator ([`hmtx_machine`]).
+pub use hmtx_machine as machine;
+
+/// Parallelization paradigms and the run harness ([`hmtx_runtime`]).
+pub use hmtx_runtime as runtime;
+
+/// The SMTX software baseline ([`hmtx_smtx`]).
+pub use hmtx_smtx as smtx;
+
+/// The 8-benchmark workload suite ([`hmtx_workloads`]).
+pub use hmtx_workloads as workloads;
+
+/// The McPAT-lite area/power/energy model ([`hmtx_power`]).
+pub use hmtx_power as power;

@@ -1,0 +1,548 @@
+//! A text assembler for the mini-ISA.
+//!
+//! Accepts exactly the syntax [`Program::disassemble`] produces (absolute
+//! `@index` targets), plus named labels for hand-written code:
+//!
+//! ```
+//! use hmtx_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     r"
+//!     ; sum 1..=10 into r2
+//!         li   r1, 0
+//!         li   r2, 0
+//!     loop:
+//!         add  r2, r2, r1
+//!         add  r1, r1, 1
+//!         bltu r1, 11, loop
+//!         out  r2
+//!         halt
+//!     ",
+//! )?;
+//! assert_eq!(program.len(), 7);
+//! # Ok::<(), hmtx_types::SimError>(())
+//! ```
+//!
+//! The grammar, one instruction per line (`;` or `#` start comments):
+//!
+//! ```text
+//! li rd, imm           mov rd, rs
+//! add|sub|mul|div|rem|and|or|xor|shl|shr|sltu|slt|seq rd, rs, (rt|imm)
+//! ld rd, disp(base)    st rs, disp(base)
+//! beq|bne|blt|bge|bltu|bgeu rs, (rt|imm), target
+//! j target             halt
+//! compute (n|reg)      out rs            marker #id
+//! beginMTX rvid        commitMTX rvid    abortMTX rvid
+//! initMTX target       vidreset
+//! produce qN, rs       consume rd, qN
+//! ```
+//!
+//! where `target` is `@index`, a bare label name, or a leading-numeric line
+//! index, and labels are declared as `name:` on their own line or before an
+//! instruction.
+
+use std::collections::HashMap;
+
+use hmtx_types::{QueueId, SimError};
+
+use crate::instr::{AluOp, Cond, Instr, Operand, Reg};
+use crate::program::Program;
+
+/// Assembles mini-ISA text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`SimError::BadProgram`] with the offending line on any syntax
+/// error, unknown mnemonic/register, or unresolved label.
+pub fn assemble(text: &str) -> Result<Program, SimError> {
+    let mut instrs: Vec<(usize, PendingInstr)> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let mut line = raw;
+        if let Some(i) = line.find([';', '#']) {
+            // `marker #id` is the one place '#' is not a comment.
+            if !line.trim_start().starts_with("marker") {
+                line = &line[..i];
+            }
+        }
+        let mut line = line.trim();
+        // Leading labels (possibly several) on this line.
+        while let Some(colon) = line.find(':') {
+            let (name, rest) = line.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            if labels.insert(name.to_string(), instrs.len()).is_some() {
+                return Err(err(lineno, raw, &format!("label `{name}` defined twice")));
+            }
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        instrs.push((lineno, parse_instr(line).map_err(|m| err(lineno, raw, &m))?));
+    }
+
+    let mut b = crate::program::ProgramBuilder::new();
+    let resolve = |t: &Target, lineno: usize| -> Result<usize, SimError> {
+        match t {
+            Target::Index(i) => Ok(*i),
+            Target::Label(name) => labels.get(name).copied().ok_or_else(|| {
+                SimError::BadProgram(format!("line {}: unknown label `{name}`", lineno + 1))
+            }),
+        }
+    };
+    for (lineno, p) in instrs {
+        match p {
+            PendingInstr::Ready(i) => {
+                b.raw(i);
+            }
+            PendingInstr::Branch {
+                cond,
+                rs,
+                rhs,
+                target,
+            } => {
+                let target = resolve(&target, lineno)?;
+                b.raw(Instr::Branch {
+                    cond,
+                    rs,
+                    rhs,
+                    target,
+                });
+            }
+            PendingInstr::Jump(target) => {
+                let target = resolve(&target, lineno)?;
+                b.raw(Instr::Jump { target });
+            }
+            PendingInstr::InitMtx(target) => {
+                let target = resolve(&target, lineno)?;
+                b.raw(Instr::InitMtx { handler: target });
+            }
+        }
+    }
+    b.build()
+}
+
+fn err(lineno: usize, raw: &str, msg: &str) -> SimError {
+    SimError::BadProgram(format!("line {}: {msg}: `{}`", lineno + 1, raw.trim()))
+}
+
+#[derive(Debug, Clone)]
+enum Target {
+    Index(usize),
+    Label(String),
+}
+
+#[derive(Debug, Clone)]
+enum PendingInstr {
+    Ready(Instr),
+    Branch {
+        cond: Cond,
+        rs: Reg,
+        rhs: Operand,
+        target: Target,
+    },
+    Jump(Target),
+    InitMtx(Target),
+}
+
+fn parse_reg(tok: &str) -> Result<Reg, String> {
+    let tok = tok.trim();
+    let idx: usize = tok
+        .strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| format!("expected register, got `{tok}`"))?;
+    if idx >= Reg::COUNT {
+        return Err(format!("register index out of range: `{tok}`"));
+    }
+    Ok(Reg::from_index(idx))
+}
+
+fn parse_imm(tok: &str) -> Result<i64, String> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| format!("bad immediate `{tok}`"))?
+    } else {
+        body.parse::<i64>()
+            .map_err(|_| format!("bad immediate `{tok}`"))?
+    };
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_operand(tok: &str) -> Result<Operand, String> {
+    let tok = tok.trim();
+    if tok.starts_with('r') && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+        Ok(Operand::Reg(parse_reg(tok)?))
+    } else {
+        Ok(Operand::Imm(parse_imm(tok)?))
+    }
+}
+
+fn parse_target(tok: &str) -> Result<Target, String> {
+    let tok = tok.trim();
+    if let Some(idx) = tok.strip_prefix('@') {
+        return idx
+            .parse()
+            .map(Target::Index)
+            .map_err(|_| format!("bad target `{tok}`"));
+    }
+    if tok.chars().all(|c| c.is_ascii_digit()) && !tok.is_empty() {
+        return Ok(Target::Index(tok.parse().unwrap()));
+    }
+    if tok.is_empty() || !tok.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(format!("bad target `{tok}`"));
+    }
+    Ok(Target::Label(tok.to_string()))
+}
+
+fn parse_queue(tok: &str) -> Result<QueueId, String> {
+    tok.trim()
+        .strip_prefix('q')
+        .and_then(|n| n.parse().ok())
+        .map(QueueId)
+        .ok_or_else(|| format!("expected queue, got `{tok}`"))
+}
+
+/// Parses `disp(base)` memory operands.
+fn parse_mem(tok: &str) -> Result<(Reg, i64), String> {
+    let tok = tok.trim();
+    let open = tok
+        .find('(')
+        .ok_or_else(|| format!("expected disp(base), got `{tok}`"))?;
+    let close = tok
+        .rfind(')')
+        .ok_or_else(|| format!("expected disp(base), got `{tok}`"))?;
+    let disp = if open == 0 {
+        0
+    } else {
+        parse_imm(&tok[..open])?
+    };
+    let base = parse_reg(&tok[open + 1..close])?;
+    Ok((base, disp))
+}
+
+fn parse_instr(line: &str) -> Result<PendingInstr, String> {
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let nargs = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "`{mnemonic}` takes {n} operands, got {}",
+                args.len()
+            ))
+        }
+    };
+
+    let alu = |op: AluOp, args: &[&str]| -> Result<PendingInstr, String> {
+        if args.len() != 3 {
+            return Err(format!("ALU ops take 3 operands, got {}", args.len()));
+        }
+        Ok(PendingInstr::Ready(Instr::Alu {
+            op,
+            rd: parse_reg(args[0])?,
+            rs: parse_reg(args[1])?,
+            rhs: parse_operand(args[2])?,
+        }))
+    };
+    let branch = |cond: Cond, args: &[&str]| -> Result<PendingInstr, String> {
+        if args.len() != 3 {
+            return Err(format!("branches take 3 operands, got {}", args.len()));
+        }
+        Ok(PendingInstr::Branch {
+            cond,
+            rs: parse_reg(args[0])?,
+            rhs: parse_operand(args[1])?,
+            target: parse_target(args[2])?,
+        })
+    };
+
+    match mnemonic {
+        "li" => {
+            nargs(2)?;
+            Ok(PendingInstr::Ready(Instr::Li {
+                rd: parse_reg(args[0])?,
+                imm: parse_imm(args[1])?,
+            }))
+        }
+        "mov" => {
+            nargs(2)?;
+            Ok(PendingInstr::Ready(Instr::Mov {
+                rd: parse_reg(args[0])?,
+                rs: parse_reg(args[1])?,
+            }))
+        }
+        "add" => alu(AluOp::Add, &args),
+        "sub" => alu(AluOp::Sub, &args),
+        "mul" => alu(AluOp::Mul, &args),
+        "div" => alu(AluOp::Div, &args),
+        "rem" => alu(AluOp::Rem, &args),
+        "and" => alu(AluOp::And, &args),
+        "or" => alu(AluOp::Or, &args),
+        "xor" => alu(AluOp::Xor, &args),
+        "shl" => alu(AluOp::Shl, &args),
+        "shr" => alu(AluOp::Shr, &args),
+        "sltu" => alu(AluOp::SltU, &args),
+        "slt" => alu(AluOp::Slt, &args),
+        "seq" => alu(AluOp::Seq, &args),
+        "ld" => {
+            nargs(2)?;
+            let (base, disp) = parse_mem(args[1])?;
+            Ok(PendingInstr::Ready(Instr::Load {
+                rd: parse_reg(args[0])?,
+                base,
+                disp,
+            }))
+        }
+        "st" => {
+            nargs(2)?;
+            let (base, disp) = parse_mem(args[1])?;
+            Ok(PendingInstr::Ready(Instr::Store {
+                rs: parse_reg(args[0])?,
+                base,
+                disp,
+            }))
+        }
+        "beq" => branch(Cond::Eq, &args),
+        "bne" => branch(Cond::Ne, &args),
+        "blt" => branch(Cond::Lt, &args),
+        "bge" => branch(Cond::Ge, &args),
+        "bltu" => branch(Cond::LtU, &args),
+        "bgeu" => branch(Cond::GeU, &args),
+        "j" => {
+            nargs(1)?;
+            Ok(PendingInstr::Jump(parse_target(args[0])?))
+        }
+        "halt" => {
+            nargs(0)?;
+            Ok(PendingInstr::Ready(Instr::Halt))
+        }
+        "compute" => {
+            nargs(1)?;
+            Ok(PendingInstr::Ready(Instr::Compute {
+                amount: parse_operand(args[0])?,
+            }))
+        }
+        "beginMTX" => {
+            nargs(1)?;
+            Ok(PendingInstr::Ready(Instr::BeginMtx {
+                rvid: parse_reg(args[0])?,
+            }))
+        }
+        "commitMTX" => {
+            nargs(1)?;
+            Ok(PendingInstr::Ready(Instr::CommitMtx {
+                rvid: parse_reg(args[0])?,
+            }))
+        }
+        "abortMTX" => {
+            nargs(1)?;
+            Ok(PendingInstr::Ready(Instr::AbortMtx {
+                rvid: parse_reg(args[0])?,
+            }))
+        }
+        "initMTX" => {
+            nargs(1)?;
+            Ok(PendingInstr::InitMtx(parse_target(args[0])?))
+        }
+        "vidreset" => {
+            nargs(0)?;
+            Ok(PendingInstr::Ready(Instr::VidReset))
+        }
+        "produce" => {
+            nargs(2)?;
+            Ok(PendingInstr::Ready(Instr::Produce {
+                q: parse_queue(args[0])?,
+                rs: parse_reg(args[1])?,
+            }))
+        }
+        "consume" => {
+            nargs(2)?;
+            Ok(PendingInstr::Ready(Instr::Consume {
+                rd: parse_reg(args[0])?,
+                q: parse_queue(args[1])?,
+            }))
+        }
+        "out" => {
+            nargs(1)?;
+            Ok(PendingInstr::Ready(Instr::Out {
+                rs: parse_reg(args[0])?,
+            }))
+        }
+        "marker" => {
+            nargs(1)?;
+            let id = args[0]
+                .strip_prefix('#')
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| format!("expected #id, got `{}`", args[0]))?;
+            Ok(PendingInstr::Ready(Instr::Marker { id }))
+        }
+        other => Err(format!("unknown mnemonic `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn assembles_named_labels() {
+        let p = assemble(
+            r"
+            start:
+                li r1, 5
+            loop: add r1, r1, -1
+                bne r1, 0, loop
+                j start
+            ",
+        )
+        .unwrap();
+        assert_eq!(
+            p.get(2),
+            Some(&Instr::Branch {
+                cond: Cond::Ne,
+                rs: Reg::R1,
+                rhs: Operand::Imm(0),
+                target: 1,
+            })
+        );
+        assert_eq!(p.get(3), Some(&Instr::Jump { target: 0 }));
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let p = assemble("ld r1, 8(r2)\nst r3, -16(r4)\nld r5, (r6)").unwrap();
+        assert_eq!(
+            p.get(0),
+            Some(&Instr::Load {
+                rd: Reg::R1,
+                base: Reg::R2,
+                disp: 8
+            })
+        );
+        assert_eq!(
+            p.get(1),
+            Some(&Instr::Store {
+                rs: Reg::R3,
+                base: Reg::R4,
+                disp: -16
+            })
+        );
+        assert_eq!(
+            p.get(2),
+            Some(&Instr::Load {
+                rd: Reg::R5,
+                base: Reg::R6,
+                disp: 0
+            })
+        );
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("li r1, 0x10\nli r2, -0x10\nli r3, -7").unwrap();
+        assert_eq!(
+            p.get(0),
+            Some(&Instr::Li {
+                rd: Reg::R1,
+                imm: 16
+            })
+        );
+        assert_eq!(
+            p.get(1),
+            Some(&Instr::Li {
+                rd: Reg::R2,
+                imm: -16
+            })
+        );
+        assert_eq!(
+            p.get(2),
+            Some(&Instr::Li {
+                rd: Reg::R3,
+                imm: -7
+            })
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let p = assemble("; header\n\n  li r1, 1 ; trailing\n# another\nhalt").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn mtx_and_queue_instructions() {
+        let p = assemble(
+            "beginMTX r4\nproduce q3, r1\nconsume r2, q3\ncommitMTX r4\nvidreset\nmarker #7\nhalt",
+        )
+        .unwrap();
+        assert_eq!(p.get(0), Some(&Instr::BeginMtx { rvid: Reg::R4 }));
+        assert_eq!(
+            p.get(1),
+            Some(&Instr::Produce {
+                q: hmtx_types::QueueId(3),
+                rs: Reg::R1
+            })
+        );
+        assert_eq!(p.get(4), Some(&Instr::VidReset));
+        assert_eq!(p.get(5), Some(&Instr::Marker { id: 7 }));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("li r1, 1\nfrobnicate r2").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let e = assemble("bne r1, 0, nowhere").unwrap_err();
+        assert!(e.to_string().contains("nowhere"), "{e}");
+        let e = assemble("x: li r1, 1\nx: halt").unwrap_err();
+        assert!(e.to_string().contains("twice"), "{e}");
+    }
+
+    #[test]
+    fn round_trips_builder_programs() {
+        let mut b = ProgramBuilder::new();
+        let head = b.new_label();
+        b.li(Reg::R1, 0);
+        b.bind(head).unwrap();
+        b.load(Reg::R2, Reg::R1, 24);
+        b.alu(AluOp::SltU, Reg::R3, Reg::R2, Reg::R1);
+        b.store(Reg::R3, Reg::R1, -8);
+        b.branch_imm(Cond::LtU, Reg::R1, 100, head);
+        b.compute(55);
+        b.compute_reg(Reg::R9);
+        b.out(Reg::R3);
+        b.begin_mtx(Reg::R10);
+        b.commit_mtx(Reg::R10);
+        b.abort_mtx(Reg::R10);
+        b.vid_reset();
+        b.produce(hmtx_types::QueueId(2), Reg::R1);
+        b.consume(Reg::R2, hmtx_types::QueueId(2));
+        b.marker(3);
+        b.halt();
+        let p = b.build().unwrap();
+        let text = p.disassemble();
+        // Strip the "index:" prefixes the disassembler adds.
+        let source: String = text
+            .lines()
+            .map(|l| l.split_once(':').unwrap().1.trim().to_string() + "\n")
+            .collect();
+        let reparsed = assemble(&source).unwrap();
+        assert_eq!(p, reparsed);
+    }
+}

@@ -1,0 +1,479 @@
+//! Instruction definitions for the mini-ISA.
+
+use std::fmt;
+
+use hmtx_types::QueueId;
+
+/// A general-purpose 64-bit register. The ISA provides 32 of them.
+///
+/// `R0` is an ordinary register (it is *not* hard-wired to zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    R16,
+    R17,
+    R18,
+    R19,
+    R20,
+    R21,
+    R22,
+    R23,
+    R24,
+    R25,
+    R26,
+    R27,
+    R28,
+    R29,
+    R30,
+    R31,
+}
+
+impl Reg {
+    /// Total number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// The register's index, `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The register with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn from_index(index: usize) -> Reg {
+        const ALL: [Reg; Reg::COUNT] = [
+            Reg::R0,
+            Reg::R1,
+            Reg::R2,
+            Reg::R3,
+            Reg::R4,
+            Reg::R5,
+            Reg::R6,
+            Reg::R7,
+            Reg::R8,
+            Reg::R9,
+            Reg::R10,
+            Reg::R11,
+            Reg::R12,
+            Reg::R13,
+            Reg::R14,
+            Reg::R15,
+            Reg::R16,
+            Reg::R17,
+            Reg::R18,
+            Reg::R19,
+            Reg::R20,
+            Reg::R21,
+            Reg::R22,
+            Reg::R23,
+            Reg::R24,
+            Reg::R25,
+            Reg::R26,
+            Reg::R27,
+            Reg::R28,
+            Reg::R29,
+            Reg::R30,
+            Reg::R31,
+        ];
+        ALL[index]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// Second ALU/branch operand: a register or a sign-extended immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(i64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(i: i64) -> Self {
+        Operand::Imm(i)
+    }
+}
+
+/// Arithmetic/logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (division by zero yields zero, like a trap handler
+    /// would return).
+    Div,
+    /// Unsigned remainder (modulo zero yields the dividend).
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical left shift (shift amount taken modulo 64).
+    Shl,
+    /// Logical right shift (shift amount taken modulo 64).
+    Shr,
+    /// Set `rd` to 1 if `rs < rhs` (unsigned), else 0.
+    SltU,
+    /// Set `rd` to 1 if `rs < rhs` (signed), else 0.
+    Slt,
+    /// Set `rd` to 1 if `rs == rhs`, else 0.
+    Seq,
+}
+
+impl AluOp {
+    /// Applies the operation to two 64-bit values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hmtx_isa::AluOp;
+    /// assert_eq!(AluOp::Add.apply(2, 3), 5);
+    /// assert_eq!(AluOp::SltU.apply(2, 3), 1);
+    /// assert_eq!(AluOp::Div.apply(7, 0), 0);
+    /// ```
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => a.checked_div(b).unwrap_or(0),
+            AluOp::Rem => a.checked_rem(b).unwrap_or(a),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a << (b & 63),
+            AluOp::Shr => a >> (b & 63),
+            AluOp::SltU => u64::from(a < b),
+            AluOp::Slt => u64::from((a as i64) < (b as i64)),
+            AluOp::Seq => u64::from(a == b),
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::SltU => "sltu",
+            AluOp::Slt => "slt",
+            AluOp::Seq => "seq",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch conditions comparing a register with an [`Operand`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    LtU,
+    /// Unsigned greater-or-equal.
+    GeU,
+}
+
+impl Cond {
+    /// Evaluates the condition on two 64-bit values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hmtx_isa::Cond;
+    /// assert!(Cond::Ne.eval(1, 0));
+    /// assert!(Cond::Lt.eval(u64::MAX, 0)); // -1 < 0 signed
+    /// assert!(!Cond::LtU.eval(u64::MAX, 0));
+    /// ```
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i64) < (b as i64),
+            Cond::Ge => (a as i64) >= (b as i64),
+            Cond::LtU => a < b,
+            Cond::GeU => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::LtU => "ltu",
+            Cond::GeU => "geu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One mini-ISA instruction.
+///
+/// Memory operands compute the effective address as `regs[base] + disp`.
+/// Loads and stores move aligned 8-byte words. Branch targets are absolute
+/// instruction indices (resolved from labels by
+/// [`ProgramBuilder`](crate::ProgramBuilder)).
+///
+/// Field names follow assembly conventions: `rd` destination, `rs` source,
+/// `base`/`disp` memory operands, `rvid` the VID operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Instr {
+    /// `rd <- imm`.
+    Li { rd: Reg, imm: i64 },
+    /// `rd <- rs`.
+    Mov { rd: Reg, rs: Reg },
+    /// `rd <- op(rs, rhs)`.
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs: Reg,
+        rhs: Operand,
+    },
+    /// `rd <- mem[regs[base] + disp]` (8 bytes).
+    Load { rd: Reg, base: Reg, disp: i64 },
+    /// `mem[regs[base] + disp] <- rs` (8 bytes).
+    Store { rs: Reg, base: Reg, disp: i64 },
+    /// Conditional branch to `target` if `cond(rs, rhs)` holds.
+    Branch {
+        cond: Cond,
+        rs: Reg,
+        rhs: Operand,
+        target: usize,
+    },
+    /// Unconditional jump to `target`.
+    Jump { target: usize },
+    /// Stop this thread.
+    Halt,
+    /// Busy the core for `cycles(rhs)` cycles (models pure computation whose
+    /// memory traffic is not interesting to the cache hierarchy).
+    Compute { amount: Operand },
+    /// `beginMTX(regs[rvid])` — enter the MTX with that VID, or return to
+    /// non-speculative execution when the VID is zero (§3.1).
+    BeginMtx { rvid: Reg },
+    /// `commitMTX(regs[rvid])` — atomically group-commit the MTX (§3.1).
+    CommitMtx { rvid: Reg },
+    /// `abortMTX(regs[rvid])` — software-triggered misspeculation (§3.1).
+    AbortMtx { rvid: Reg },
+    /// `initMTX(handler)` — register the recovery entry point (§3.1).
+    InitMtx { handler: usize },
+    /// VID reset broadcast (§4.6). Software must have drained every
+    /// outstanding commit first; the memory system clears all line VIDs and
+    /// LC VID registers so numbering can restart at 1.
+    VidReset,
+    /// Push `regs[rs]` onto hardware queue `q`; blocks while full.
+    Produce { q: QueueId, rs: Reg },
+    /// Pop from hardware queue `q` into `rd`; blocks while empty.
+    Consume { rd: Reg, q: QueueId },
+    /// Append `regs[rs]` to the transaction-buffered program output (§4.7).
+    Out { rs: Reg },
+    /// Host-visible marker (e.g. iteration boundaries for statistics).
+    Marker { id: u32 },
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::Mov { rd, rs } => write!(f, "mov {rd}, {rs}"),
+            Instr::Alu { op, rd, rs, rhs } => write!(f, "{op} {rd}, {rs}, {rhs}"),
+            Instr::Load { rd, base, disp } => write!(f, "ld {rd}, {disp}({base})"),
+            Instr::Store { rs, base, disp } => write!(f, "st {rs}, {disp}({base})"),
+            Instr::Branch {
+                cond,
+                rs,
+                rhs,
+                target,
+            } => {
+                write!(f, "b{cond} {rs}, {rhs}, @{target}")
+            }
+            Instr::Jump { target } => write!(f, "j @{target}"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Compute { amount } => write!(f, "compute {amount}"),
+            Instr::BeginMtx { rvid } => write!(f, "beginMTX {rvid}"),
+            Instr::CommitMtx { rvid } => write!(f, "commitMTX {rvid}"),
+            Instr::AbortMtx { rvid } => write!(f, "abortMTX {rvid}"),
+            Instr::InitMtx { handler } => write!(f, "initMTX @{handler}"),
+            Instr::VidReset => write!(f, "vidreset"),
+            Instr::Produce { q, rs } => write!(f, "produce {q}, {rs}"),
+            Instr::Consume { rd, q } => write!(f, "consume {rd}, {q}"),
+            Instr::Out { rs } => write!(f, "out {rs}"),
+            Instr::Marker { id } => write!(f, "marker #{id}"),
+        }
+    }
+}
+
+impl Instr {
+    /// Returns `true` for instructions that access guest memory (and hence
+    /// are labeled with the active VID by the HMTX hardware).
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+
+    /// Returns `true` for control-flow instructions.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::Jump { .. } | Instr::Halt
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_round_trip() {
+        for i in 0..Reg::COUNT {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+        assert_eq!(Reg::R17.to_string(), "r17");
+    }
+
+    #[test]
+    #[should_panic]
+    fn reg_from_index_out_of_range_panics() {
+        let _ = Reg::from_index(32);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(3, 5), 15);
+        assert_eq!(AluOp::Div.apply(7, 2), 3);
+        assert_eq!(AluOp::Div.apply(7, 0), 0);
+        assert_eq!(AluOp::Rem.apply(7, 0), 7);
+        assert_eq!(AluOp::Rem.apply(7, 4), 3);
+        assert_eq!(AluOp::Shl.apply(1, 65), 2, "shift amounts wrap mod 64");
+        assert_eq!(AluOp::Shr.apply(8, 3), 1);
+        assert_eq!(AluOp::Slt.apply(u64::MAX, 0), 1);
+        assert_eq!(AluOp::SltU.apply(u64::MAX, 0), 0);
+        assert_eq!(AluOp::Seq.apply(4, 4), 1);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Ge.eval(0, u64::MAX), "signed: 0 >= -1");
+        assert!(Cond::GeU.eval(u64::MAX, 0));
+        assert!(!Cond::Lt.eval(3, 3));
+        assert!(Cond::LtU.eval(3, 4));
+    }
+
+    #[test]
+    fn instr_classification() {
+        assert!(Instr::Load {
+            rd: Reg::R1,
+            base: Reg::R0,
+            disp: 0
+        }
+        .is_memory());
+        assert!(Instr::Store {
+            rs: Reg::R1,
+            base: Reg::R0,
+            disp: 0
+        }
+        .is_memory());
+        assert!(!Instr::Halt.is_memory());
+        assert!(Instr::Halt.is_control());
+        assert!(Instr::Jump { target: 3 }.is_control());
+        assert!(!Instr::Out { rs: Reg::R1 }.is_control());
+    }
+
+    #[test]
+    fn disassembly_is_readable() {
+        let i = Instr::Branch {
+            cond: Cond::Ne,
+            rs: Reg::R2,
+            rhs: Operand::Imm(0),
+            target: 7,
+        };
+        assert_eq!(i.to_string(), "bne r2, 0, @7");
+        assert_eq!(
+            Instr::Load {
+                rd: Reg::R1,
+                base: Reg::R3,
+                disp: 8
+            }
+            .to_string(),
+            "ld r1, 8(r3)"
+        );
+        assert_eq!(Instr::BeginMtx { rvid: Reg::R4 }.to_string(), "beginMTX r4");
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg::R5), Operand::Reg(Reg::R5));
+        assert_eq!(Operand::from(-3i64), Operand::Imm(-3));
+    }
+}

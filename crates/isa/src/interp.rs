@@ -1,0 +1,201 @@
+//! A reference interpreter for the mini-ISA: flat word-addressed memory, no
+//! timing, no caches, no speculation. It defines the architectural
+//! semantics that the full machine simulator must agree with on
+//! single-threaded, non-transactional programs — the differential tests in
+//! `hmtx-machine` hold the two implementations to that.
+
+use std::collections::HashMap;
+
+use hmtx_types::SimError;
+
+use crate::instr::{Instr, Operand, Reg};
+use crate::program::Program;
+
+/// Final architectural state of a reference run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefState {
+    /// Register file.
+    pub regs: [u64; Reg::COUNT],
+    /// Written memory words (aligned byte address -> value).
+    pub memory: HashMap<u64, u64>,
+    /// Values emitted by `out`, in order.
+    pub output: Vec<u64>,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+/// Runs `program` on the reference interpreter.
+///
+/// Timing instructions (`compute`, `marker`) are no-ops; transactional and
+/// queue instructions are **not supported** (they have no single-threaded
+/// flat-memory meaning) and return an error.
+///
+/// # Errors
+///
+/// Returns [`SimError::InstructionBudgetExceeded`] if `max_steps` is hit,
+/// [`SimError::UnalignedAccess`] on a misaligned word access, and
+/// [`SimError::BadProgram`] on unsupported instructions.
+pub fn run_reference(program: &Program, max_steps: u64) -> Result<RefState, SimError> {
+    run_reference_with(program, max_steps, &HashMap::new())
+}
+
+/// Like [`run_reference`], starting from the given memory image.
+///
+/// # Errors
+///
+/// See [`run_reference`].
+pub fn run_reference_with(
+    program: &Program,
+    max_steps: u64,
+    initial_memory: &HashMap<u64, u64>,
+) -> Result<RefState, SimError> {
+    let mut st = RefState {
+        regs: [0; Reg::COUNT],
+        memory: initial_memory.clone(),
+        output: Vec::new(),
+        steps: 0,
+    };
+    let mut pc = 0usize;
+    while let Some(instr) = program.get(pc) {
+        if st.steps >= max_steps {
+            return Err(SimError::InstructionBudgetExceeded { budget: max_steps });
+        }
+        st.steps += 1;
+        let operand = |st: &RefState, op: Operand| match op {
+            Operand::Reg(r) => st.regs[r.index()],
+            Operand::Imm(i) => i as u64,
+        };
+        match *instr {
+            Instr::Li { rd, imm } => st.regs[rd.index()] = imm as u64,
+            Instr::Mov { rd, rs } => st.regs[rd.index()] = st.regs[rs.index()],
+            Instr::Alu { op, rd, rs, rhs } => {
+                let b = operand(&st, rhs);
+                st.regs[rd.index()] = op.apply(st.regs[rs.index()], b);
+            }
+            Instr::Load { rd, base, disp } => {
+                let addr = st.regs[base.index()].wrapping_add(disp as u64);
+                check_aligned(addr)?;
+                st.regs[rd.index()] = *st.memory.get(&addr).unwrap_or(&0);
+            }
+            Instr::Store { rs, base, disp } => {
+                let addr = st.regs[base.index()].wrapping_add(disp as u64);
+                check_aligned(addr)?;
+                st.memory.insert(addr, st.regs[rs.index()]);
+            }
+            Instr::Branch {
+                cond,
+                rs,
+                rhs,
+                target,
+            } => {
+                let b = operand(&st, rhs);
+                if cond.eval(st.regs[rs.index()], b) {
+                    pc = target;
+                    continue;
+                }
+            }
+            Instr::Jump { target } => {
+                pc = target;
+                continue;
+            }
+            Instr::Halt => break,
+            Instr::Compute { .. } | Instr::Marker { .. } => {}
+            Instr::Out { rs } => st.output.push(st.regs[rs.index()]),
+            Instr::BeginMtx { .. }
+            | Instr::CommitMtx { .. }
+            | Instr::AbortMtx { .. }
+            | Instr::InitMtx { .. }
+            | Instr::VidReset
+            | Instr::Produce { .. }
+            | Instr::Consume { .. } => {
+                return Err(SimError::BadProgram(format!(
+                    "reference interpreter does not support `{instr}`"
+                )));
+            }
+        }
+        pc += 1;
+    }
+    Ok(st)
+}
+
+fn check_aligned(addr: u64) -> Result<(), SimError> {
+    // Same constraint as the machine: an 8-byte word must not cross a
+    // 64-byte line; alignment to 8 guarantees that.
+    if !addr.is_multiple_of(8) {
+        return Err(SimError::UnalignedAccess { addr });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn reference_runs_a_loop() {
+        let p = assemble(
+            r"
+                li r1, 0
+                li r2, 0
+            loop:
+                add r2, r2, r1
+                add r1, r1, 1
+                bltu r1, 10, loop
+                out r2
+                halt
+            ",
+        )
+        .unwrap();
+        let st = run_reference(&p, 1_000).unwrap();
+        assert_eq!(st.output, vec![45]);
+        assert_eq!(st.regs[1], 10);
+    }
+
+    #[test]
+    fn reference_memory_round_trips() {
+        let p = assemble(
+            r"
+                li r1, 0x1000
+                li r2, 99
+                st r2, 8(r1)
+                ld r3, 8(r1)
+                out r3
+                halt
+            ",
+        )
+        .unwrap();
+        let st = run_reference(&p, 100).unwrap();
+        assert_eq!(st.output, vec![99]);
+        assert_eq!(st.memory.get(&0x1008), Some(&99));
+    }
+
+    #[test]
+    fn reference_rejects_transactional_programs() {
+        let p = assemble("beginMTX r1\nhalt").unwrap();
+        assert!(run_reference(&p, 10).is_err());
+    }
+
+    #[test]
+    fn reference_detects_misalignment_and_budget() {
+        let p = assemble("li r1, 3\nld r2, (r1)\nhalt").unwrap();
+        assert!(matches!(
+            run_reference(&p, 10),
+            Err(SimError::UnalignedAccess { .. })
+        ));
+        let p = assemble("loop: j loop").unwrap();
+        assert!(matches!(
+            run_reference(&p, 10),
+            Err(SimError::InstructionBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn initial_memory_is_respected() {
+        let mut init = HashMap::new();
+        init.insert(0x2000u64, 7u64);
+        let p = assemble("li r1, 0x2000\nld r2, (r1)\nout r2\nhalt").unwrap();
+        let st = run_reference_with(&p, 100, &init).unwrap();
+        assert_eq!(st.output, vec![7]);
+    }
+}

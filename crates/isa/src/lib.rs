@@ -1,0 +1,39 @@
+//! The mini-ISA interpreted by the HMTX reproduction's multicore simulator.
+//!
+//! The paper evaluates HMTX inside gem5 running Alpha binaries. What the
+//! HMTX memory system actually observes, however, is only a stream of
+//! labeled loads, stores, and branches. This crate defines a small RISC-like
+//! instruction set that produces exactly such streams, together with the new
+//! HMTX instructions from §3.1 of the paper (`beginMTX`, `commitMTX`,
+//! `abortMTX`, `initMTX`) and hardware produce/consume queue operations used
+//! by DSWP-style pipelines.
+//!
+//! Guest programs are built with [`ProgramBuilder`], which supports labels
+//! and forward references:
+//!
+//! ```
+//! use hmtx_isa::{ProgramBuilder, Reg, Cond};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let head = b.new_label();
+//! b.li(Reg::R1, 0);
+//! b.bind(head)?;
+//! b.addi(Reg::R1, Reg::R1, 1);
+//! b.branch_imm(Cond::Lt, Reg::R1, 10, head);
+//! b.halt();
+//! let prog = b.build()?;
+//! assert_eq!(prog.len(), 4);
+//! # Ok::<(), hmtx_types::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod instr;
+pub mod interp;
+pub mod program;
+
+pub use asm::assemble;
+pub use instr::{AluOp, Cond, Instr, Operand, Reg};
+pub use interp::{run_reference, run_reference_with, RefState};
+pub use program::{Label, Program, ProgramBuilder};

@@ -1,0 +1,439 @@
+//! Guest programs and the label-resolving [`ProgramBuilder`].
+
+use std::fmt;
+
+use hmtx_types::{QueueId, SimError};
+
+use crate::instr::{AluOp, Cond, Instr, Operand, Reg};
+
+/// A control-flow label handed out by [`ProgramBuilder::new_label`] and later
+/// bound to an instruction position with [`ProgramBuilder::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// A fully built, label-resolved guest program.
+///
+/// # Examples
+///
+/// ```
+/// use hmtx_isa::{ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::R1, 42);
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 2);
+/// assert!(p.disassemble().contains("li r1, 42"));
+/// # Ok::<(), hmtx_types::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// The instructions of the program.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The instruction at `pc`, if in range.
+    pub fn get(&self, pc: usize) -> Option<&Instr> {
+        self.instrs.get(pc)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// A human-readable listing of the whole program.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (pc, i) in self.instrs.iter().enumerate() {
+            out.push_str(&format!("{pc:>5}: {i}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+/// Pending label reference inside an emitted instruction.
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    instr_index: usize,
+    label: Label,
+}
+
+/// Incremental builder for [`Program`]s with labels and forward references.
+///
+/// Every emit method appends one instruction and returns `&mut self` so
+/// simple sequences can be chained. Branch/jump emitters take [`Label`]s;
+/// targets are resolved at [`build`](Self::build) time.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<Fixup>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instruction position (where the next emit lands).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadProgram`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), SimError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(SimError::BadProgram(format!(
+                "label {} bound twice",
+                label.0
+            )));
+        }
+        *slot = Some(self.instrs.len());
+        Ok(())
+    }
+
+    /// Emits a raw instruction (used by higher-level helpers and tests).
+    pub fn raw(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// `rd <- imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.raw(Instr::Li { rd, imm })
+    }
+
+    /// `rd <- rs`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.raw(Instr::Mov { rd, rs })
+    }
+
+    /// Generic ALU operation with register or immediate right-hand side.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.raw(Instr::Alu {
+            op,
+            rd,
+            rs,
+            rhs: rhs.into(),
+        })
+    }
+
+    /// `rd <- rs + rt`.
+    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs, rt)
+    }
+
+    /// `rd <- rs + imm`.
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs, imm)
+    }
+
+    /// `rd <- rs - rhs`.
+    pub fn sub(&mut self, rd: Reg, rs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Sub, rd, rs, rhs)
+    }
+
+    /// `rd <- rs * rhs`.
+    pub fn mul(&mut self, rd: Reg, rs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Mul, rd, rs, rhs)
+    }
+
+    /// `rd <- rs ^ rhs`.
+    pub fn xor(&mut self, rd: Reg, rs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Xor, rd, rs, rhs)
+    }
+
+    /// `rd <- rs & rhs`.
+    pub fn and(&mut self, rd: Reg, rs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::And, rd, rs, rhs)
+    }
+
+    /// `rd <- rs | rhs`.
+    pub fn or(&mut self, rd: Reg, rs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Or, rd, rs, rhs)
+    }
+
+    /// `rd <- rs << rhs`.
+    pub fn shl(&mut self, rd: Reg, rs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Shl, rd, rs, rhs)
+    }
+
+    /// `rd <- rs >> rhs`.
+    pub fn shr(&mut self, rd: Reg, rs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Shr, rd, rs, rhs)
+    }
+
+    /// `rd <- rs % rhs` (unsigned).
+    pub fn rem(&mut self, rd: Reg, rs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.alu(AluOp::Rem, rd, rs, rhs)
+    }
+
+    /// `rd <- mem[base + disp]`.
+    pub fn load(&mut self, rd: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.raw(Instr::Load { rd, base, disp })
+    }
+
+    /// `mem[base + disp] <- rs`.
+    pub fn store(&mut self, rs: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.raw(Instr::Store { rs, base, disp })
+    }
+
+    /// Conditional branch `cond(rs, rt)` to `label`.
+    pub fn branch(&mut self, cond: Cond, rs: Reg, rt: Reg, label: Label) -> &mut Self {
+        self.fixups.push(Fixup {
+            instr_index: self.instrs.len(),
+            label,
+        });
+        self.raw(Instr::Branch {
+            cond,
+            rs,
+            rhs: Operand::Reg(rt),
+            target: usize::MAX,
+        })
+    }
+
+    /// Conditional branch `cond(rs, imm)` to `label`.
+    pub fn branch_imm(&mut self, cond: Cond, rs: Reg, imm: i64, label: Label) -> &mut Self {
+        self.fixups.push(Fixup {
+            instr_index: self.instrs.len(),
+            label,
+        });
+        self.raw(Instr::Branch {
+            cond,
+            rs,
+            rhs: Operand::Imm(imm),
+            target: usize::MAX,
+        })
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.fixups.push(Fixup {
+            instr_index: self.instrs.len(),
+            label,
+        });
+        self.raw(Instr::Jump { target: usize::MAX })
+    }
+
+    /// Stop the thread.
+    pub fn halt(&mut self) -> &mut Self {
+        self.raw(Instr::Halt)
+    }
+
+    /// Busy the core for a constant number of cycles.
+    pub fn compute(&mut self, cycles: u64) -> &mut Self {
+        self.raw(Instr::Compute {
+            amount: Operand::Imm(cycles as i64),
+        })
+    }
+
+    /// Busy the core for `regs[rs]` cycles (data-dependent work).
+    pub fn compute_reg(&mut self, rs: Reg) -> &mut Self {
+        self.raw(Instr::Compute {
+            amount: Operand::Reg(rs),
+        })
+    }
+
+    /// `beginMTX(regs[rvid])`.
+    pub fn begin_mtx(&mut self, rvid: Reg) -> &mut Self {
+        self.raw(Instr::BeginMtx { rvid })
+    }
+
+    /// `commitMTX(regs[rvid])`.
+    pub fn commit_mtx(&mut self, rvid: Reg) -> &mut Self {
+        self.raw(Instr::CommitMtx { rvid })
+    }
+
+    /// `abortMTX(regs[rvid])`.
+    pub fn abort_mtx(&mut self, rvid: Reg) -> &mut Self {
+        self.raw(Instr::AbortMtx { rvid })
+    }
+
+    /// `initMTX(label)` — recovery entry point.
+    pub fn init_mtx(&mut self, label: Label) -> &mut Self {
+        self.fixups.push(Fixup {
+            instr_index: self.instrs.len(),
+            label,
+        });
+        self.raw(Instr::InitMtx {
+            handler: usize::MAX,
+        })
+    }
+
+    /// VID reset broadcast (§4.6).
+    pub fn vid_reset(&mut self) -> &mut Self {
+        self.raw(Instr::VidReset)
+    }
+
+    /// Push `regs[rs]` onto hardware queue `q`.
+    pub fn produce(&mut self, q: QueueId, rs: Reg) -> &mut Self {
+        self.raw(Instr::Produce { q, rs })
+    }
+
+    /// Pop hardware queue `q` into `rd`.
+    pub fn consume(&mut self, rd: Reg, q: QueueId) -> &mut Self {
+        self.raw(Instr::Consume { rd, q })
+    }
+
+    /// Append `regs[rs]` to the transaction-buffered output stream.
+    pub fn out(&mut self, rs: Reg) -> &mut Self {
+        self.raw(Instr::Out { rs })
+    }
+
+    /// Host-visible marker.
+    pub fn marker(&mut self, id: u32) -> &mut Self {
+        self.raw(Instr::Marker { id })
+    }
+
+    /// Resolves all labels and returns the finished [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadProgram`] if any referenced label was never
+    /// bound.
+    pub fn build(mut self) -> Result<Program, SimError> {
+        for fixup in &self.fixups {
+            let target = self.labels[fixup.label.0].ok_or_else(|| {
+                SimError::BadProgram(format!(
+                    "label {} referenced at @{} but never bound",
+                    fixup.label.0, fixup.instr_index
+                ))
+            })?;
+            match &mut self.instrs[fixup.instr_index] {
+                Instr::Branch { target: t, .. }
+                | Instr::Jump { target: t }
+                | Instr::InitMtx { handler: t } => *t = target,
+                other => {
+                    return Err(SimError::BadProgram(format!(
+                        "fixup points at non-control instruction {other}"
+                    )))
+                }
+            }
+        }
+        Ok(Program {
+            instrs: self.instrs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_resolves_forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        let head = b.new_label();
+        let done = b.new_label();
+        b.li(Reg::R1, 0);
+        b.bind(head).unwrap();
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::GeU, Reg::R1, 10, done); // forward
+        b.jump(head); // backward
+        b.bind(done).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 5);
+        match p.get(2).unwrap() {
+            Instr::Branch { target, .. } => assert_eq!(*target, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.get(3).unwrap() {
+            Instr::Jump { target } => assert_eq!(*target, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.jump(l);
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("never bound"));
+    }
+
+    #[test]
+    fn double_bind_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l).unwrap();
+        assert!(b.bind(l).is_err());
+    }
+
+    #[test]
+    fn init_mtx_resolves_handler() {
+        let mut b = ProgramBuilder::new();
+        let rec = b.new_label();
+        b.init_mtx(rec);
+        b.halt();
+        b.bind(rec).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.get(0), Some(&Instr::InitMtx { handler: 2 }));
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R2, 7).compute(100).out(Reg::R2).halt();
+        let p = b.build().unwrap();
+        let text = p.disassemble();
+        assert!(text.contains("li r2, 7"));
+        assert!(text.contains("compute 100"));
+        assert!(text.contains("out r2"));
+        assert!(text.contains("halt"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = ProgramBuilder::new().build().unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.get(0), None);
+    }
+
+    #[test]
+    fn helper_emitters_cover_alu_ops() {
+        let mut b = ProgramBuilder::new();
+        b.add(Reg::R1, Reg::R2, Reg::R3)
+            .sub(Reg::R1, Reg::R1, 1)
+            .mul(Reg::R1, Reg::R1, 2)
+            .xor(Reg::R1, Reg::R1, Reg::R2)
+            .and(Reg::R1, Reg::R1, 0xff)
+            .or(Reg::R1, Reg::R1, 1)
+            .shl(Reg::R1, Reg::R1, 3)
+            .shr(Reg::R1, Reg::R1, 3)
+            .rem(Reg::R1, Reg::R1, 10);
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 9);
+    }
+}

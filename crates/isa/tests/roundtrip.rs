@@ -1,0 +1,143 @@
+//! Property test: the assembler parses everything the disassembler prints,
+//! reproducing the exact program.
+
+use hmtx_isa::{assemble, AluOp, Cond, Instr, Operand, Program, ProgramBuilder, Reg};
+use hmtx_types::QueueId;
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0usize..32).prop_map(Reg::from_index)
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        (-1000i64..1000).prop_map(Operand::Imm)
+    ]
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::SltU),
+        Just(AluOp::Slt),
+        Just(AluOp::Seq),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+        Just(Cond::LtU),
+        Just(Cond::GeU),
+    ]
+}
+
+/// One instruction with any branch/jump target within `len`.
+fn arb_instr(len: usize) -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_reg(), -10_000i64..10_000).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_operand())
+            .prop_map(|(op, rd, rs, rhs)| Instr::Alu { op, rd, rs, rhs }),
+        (arb_reg(), arb_reg(), -64i64..64).prop_map(|(rd, base, disp)| Instr::Load {
+            rd,
+            base,
+            disp: disp * 8
+        }),
+        (arb_reg(), arb_reg(), -64i64..64).prop_map(|(rs, base, disp)| Instr::Store {
+            rs,
+            base,
+            disp: disp * 8
+        }),
+        (arb_cond(), arb_reg(), arb_operand(), 0..len).prop_map(|(cond, rs, rhs, target)| {
+            Instr::Branch {
+                cond,
+                rs,
+                rhs,
+                target,
+            }
+        }),
+        (0..len).prop_map(|target| Instr::Jump { target }),
+        Just(Instr::Halt),
+        arb_operand().prop_map(|amount| Instr::Compute { amount }),
+        arb_reg().prop_map(|rvid| Instr::BeginMtx { rvid }),
+        arb_reg().prop_map(|rvid| Instr::CommitMtx { rvid }),
+        arb_reg().prop_map(|rvid| Instr::AbortMtx { rvid }),
+        (0..len).prop_map(|handler| Instr::InitMtx { handler }),
+        Just(Instr::VidReset),
+        (0usize..16, arb_reg()).prop_map(|(q, rs)| Instr::Produce { q: QueueId(q), rs }),
+        (arb_reg(), 0usize..16).prop_map(|(rd, q)| Instr::Consume { rd, q: QueueId(q) }),
+        arb_reg().prop_map(|rs| Instr::Out { rs }),
+        (0u32..1000).prop_map(|id| Instr::Marker { id }),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (1usize..40)
+        .prop_flat_map(|len| prop::collection::vec(arb_instr(len), len))
+        .prop_map(|instrs| {
+            let mut b = ProgramBuilder::new();
+            for i in instrs {
+                b.raw(i);
+            }
+            b.build().expect("raw programs always build")
+        })
+}
+
+/// Strips the `index:` prefix from each disassembly line.
+fn strip_indices(disasm: &str) -> String {
+    disasm
+        .lines()
+        .map(|l| {
+            l.split_once(':')
+                .expect("disasm line format")
+                .1
+                .trim()
+                .to_string()
+                + "\n"
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn assemble_inverts_disassemble(p in arb_program()) {
+        let text = strip_indices(&p.disassemble());
+        let reparsed = assemble(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(p, reparsed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// The assembler must never panic on arbitrary input — it either parses
+    /// or returns a line-numbered error.
+    #[test]
+    fn assembler_never_panics_on_garbage(input in "\\PC{0,200}") {
+        let _ = assemble(&input);
+    }
+
+    /// Arbitrary label-ish structures with random mnemonics don't panic.
+    #[test]
+    fn assembler_never_panics_on_structured_garbage(
+        lines in prop::collection::vec("[a-z]{1,8}( [r@a-z0-9,()#x-]{0,20})?", 0..20)
+    ) {
+        let _ = assemble(&lines.join("\n"));
+    }
+}

@@ -1,0 +1,728 @@
+//! The multicore machine: in-order cores interpreting the mini-ISA over the
+//! HMTX memory system, with deterministic min-clock scheduling, branch
+//! prediction with wrong-path execution, hardware queues, transaction-
+//! buffered output, and timer interrupts.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hmtx_core::{AccessKind, AccessRequest, AccessResponse, MemorySystem, MisspecCause};
+use hmtx_isa::{Instr, Operand, Program, Reg};
+use hmtx_types::{Addr, CoreId, Cycle, MachineConfig, SimError, ThreadId, Vid};
+
+use crate::predictor::BranchPredictor;
+use crate::queue::{ConsumeOutcome, ProduceOutcome, QueueSet};
+
+/// Cycles a core waits before retrying a blocked queue operation.
+const RETRY_QUANTUM: u64 = 4;
+
+/// Cycles charged for migrating a thread context between cores.
+const MIGRATION_COST: u64 = 100;
+
+/// Base of the per-core kernel scratch region touched by the interrupt
+/// handler (disjoint from any guest data by construction).
+const KERNEL_REGION_BASE: u64 = 0xFFFF_0000_0000;
+
+/// Maximum retained marker events (markers are a diagnostic facility; the
+/// log is bounded so marker-heavy runs don't grow without bound).
+const MARKER_LOG_CAP: usize = 200_000;
+
+/// An architectural thread context, bound to at most one core at a time.
+///
+/// Threads can migrate between cores mid-transaction (§5.2): their
+/// speculative data is found in other caches through the VID.
+#[derive(Debug, Clone)]
+pub struct ThreadContext {
+    /// Software thread ID.
+    pub tid: ThreadId,
+    /// The 32 general-purpose registers.
+    pub regs: [u64; Reg::COUNT],
+    /// Program counter (instruction index).
+    pub pc: usize,
+    /// The program this thread executes.
+    pub program: Arc<Program>,
+    /// The per-thread VID register set by `beginMTX` (§3.1).
+    pub vid: Vid,
+    /// Recovery entry point registered by `initMTX`.
+    pub recovery_pc: Option<usize>,
+    /// Set once the thread executes `halt` (or runs off the program end).
+    pub halted: bool,
+}
+
+impl ThreadContext {
+    /// Creates a thread at `pc` 0 with zeroed registers.
+    pub fn new(tid: ThreadId, program: Arc<Program>) -> Self {
+        ThreadContext {
+            tid,
+            regs: [0; Reg::COUNT],
+            pc: 0,
+            program,
+            vid: Vid::NON_SPECULATIVE,
+            recovery_pc: None,
+            halted: false,
+        }
+    }
+
+    /// Sets a register (builder-style initial state).
+    pub fn with_reg(mut self, reg: Reg, value: u64) -> Self {
+        self.regs[reg.index()] = value;
+        self
+    }
+}
+
+/// A marker event recorded by the `marker` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkerEvent {
+    /// Cycle at which the marker executed.
+    pub cycle: Cycle,
+    /// Core that executed it.
+    pub core: CoreId,
+    /// Thread that executed it.
+    pub tid: ThreadId,
+    /// Marker payload.
+    pub id: u32,
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEvent {
+    /// Every loaded thread halted.
+    AllHalted,
+    /// Misspeculation was detected (or `abortMTX` executed); all speculative
+    /// state has been flushed and queues drained. The runtime must
+    /// re-dispatch from the last committed point.
+    Misspeculation {
+        /// The detected cause.
+        cause: MisspecCause,
+        /// Cycle of detection.
+        cycle: Cycle,
+    },
+    /// The instruction budget was exhausted (likely livelock or an
+    /// underestimated budget).
+    BudgetExhausted,
+}
+
+/// Aggregate machine statistics (memory statistics live in
+/// [`MemorySystem::stats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MachineStats {
+    /// Instructions retired (correct path only).
+    pub instructions: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredictions: u64,
+    /// Wrong-path instructions interpreted after mispredictions.
+    pub wrong_path_instructions: u64,
+    /// Timer interrupts serviced.
+    pub interrupts: u64,
+    /// Explicit `abortMTX` executions.
+    pub explicit_aborts: u64,
+}
+
+impl MachineStats {
+    /// Branch misprediction rate in `[0, 1]`.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+
+    /// Fraction of retired instructions that are branches.
+    pub fn branch_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.branches as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// Per-core activity counters (pipeline balance analysis).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreStats {
+    /// Instructions retired on this core.
+    pub instructions: u64,
+    /// Cycles spent stalled on queue operations (full/empty retries).
+    pub queue_stall_cycles: u64,
+    /// The core's local clock at the end of the run.
+    pub ready_at: Cycle,
+}
+
+enum StepOutcome {
+    Continue,
+    Misspec(MisspecCause),
+}
+
+/// The simulated multicore machine.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use hmtx_isa::{ProgramBuilder, Reg};
+/// use hmtx_machine::{Machine, RunEvent, ThreadContext};
+/// use hmtx_types::{MachineConfig, ThreadId};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::R1, 123).out(Reg::R1).halt();
+/// let program = Arc::new(b.build()?);
+///
+/// let mut m = Machine::new(MachineConfig::test_default());
+/// m.load_thread(0, ThreadContext::new(ThreadId(0), program));
+/// assert_eq!(m.run(1_000)?, RunEvent::AllHalted);
+/// assert_eq!(m.committed_output(), &[123]);
+/// # Ok::<(), hmtx_types::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    mem: MemorySystem,
+    threads: Vec<Option<ThreadContext>>,
+    ready_at: Vec<Cycle>,
+    next_interrupt: Vec<Cycle>,
+    predictors: Vec<BranchPredictor>,
+    queues: QueueSet,
+    pending_outputs: BTreeMap<u16, Vec<u64>>,
+    committed_output: Vec<u64>,
+    marker_log: Vec<MarkerEvent>,
+    stats: MachineStats,
+    core_stats: Vec<CoreStats>,
+    high_water: Cycle,
+}
+
+impl Machine {
+    /// Builds a machine with `cfg.num_cores` cores and 64 hardware queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let n = cfg.num_cores;
+        let first_interrupt = if cfg.interrupt_period > 0 {
+            cfg.interrupt_period
+        } else {
+            u64::MAX
+        };
+        Machine {
+            mem: MemorySystem::new(cfg.clone()),
+            threads: (0..n).map(|_| None).collect(),
+            ready_at: vec![0; n],
+            next_interrupt: vec![first_interrupt; n],
+            predictors: (0..n).map(|_| BranchPredictor::new()).collect(),
+            queues: QueueSet::new(64, cfg.queue_capacity, cfg.queue_latency),
+            pending_outputs: BTreeMap::new(),
+            committed_output: Vec::new(),
+            marker_log: Vec::new(),
+            stats: MachineStats::default(),
+            core_stats: vec![CoreStats::default(); n],
+            high_water: 0,
+            cfg,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The memory system.
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Mutable access to the memory system (initial image construction).
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Machine-level statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Per-core activity counters (for pipeline-balance analysis).
+    pub fn core_stats(&self) -> &[CoreStats] {
+        &self.core_stats
+    }
+
+    /// The hardware queues.
+    pub fn queues(&self) -> &QueueSet {
+        &self.queues
+    }
+
+    /// Output values committed so far (§4.7 transaction-buffered output).
+    pub fn committed_output(&self) -> &[u64] {
+        &self.committed_output
+    }
+
+    /// Marker events recorded so far.
+    pub fn marker_log(&self) -> &[MarkerEvent] {
+        &self.marker_log
+    }
+
+    /// The completion time: the largest cycle any core has reached.
+    pub fn cycles(&self) -> Cycle {
+        self.high_water
+    }
+
+    /// Places a thread on a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core already has a thread or is out of range.
+    pub fn load_thread(&mut self, core: usize, thread: ThreadContext) {
+        assert!(self.threads[core].is_none(), "core {core} already occupied");
+        self.threads[core] = Some(thread);
+    }
+
+    /// Removes the thread from a core (if any).
+    pub fn unload_thread(&mut self, core: usize) -> Option<ThreadContext> {
+        self.threads[core].take()
+    }
+
+    /// The thread currently on `core`.
+    pub fn thread(&self, core: usize) -> Option<&ThreadContext> {
+        self.threads[core].as_ref()
+    }
+
+    /// Mutable access to the thread on `core`.
+    pub fn thread_mut(&mut self, core: usize) -> Option<&mut ThreadContext> {
+        self.threads[core].as_mut()
+    }
+
+    /// Migrates the thread on `from` to the (empty) core `to`, charging a
+    /// context-switch cost. Speculative state needs no special handling: the
+    /// thread's data is found in other caches through its VID (§5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` has no thread or `to` is occupied.
+    pub fn migrate_thread(&mut self, from: usize, to: usize) {
+        assert!(self.threads[to].is_none(), "target core occupied");
+        let t = self.threads[from].take().expect("no thread to migrate");
+        self.threads[to] = Some(t);
+        self.ready_at[to] = self.ready_at[to].max(self.ready_at[from]) + MIGRATION_COST;
+    }
+
+    /// Runs until every thread halts, misspeculation aborts the machine, or
+    /// `budget` instructions have retired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for guest-program bugs (unaligned access,
+    /// malformed VIDs, out-of-order commits).
+    pub fn run(&mut self, budget: u64) -> Result<RunEvent, SimError> {
+        let start_instructions = self.stats.instructions;
+        loop {
+            let Some(core) = self.pick_core() else {
+                return Ok(RunEvent::AllHalted);
+            };
+            if self.stats.instructions - start_instructions >= budget {
+                return Ok(RunEvent::BudgetExhausted);
+            }
+            if self.ready_at[core] >= self.next_interrupt[core] {
+                self.service_interrupt(core)?;
+                continue;
+            }
+            match self.step(core)? {
+                StepOutcome::Continue => {}
+                StepOutcome::Misspec(cause) => {
+                    let cycle = self.ready_at[core];
+                    self.machine_abort(cycle);
+                    return Ok(RunEvent::Misspeculation { cause, cycle });
+                }
+            }
+        }
+    }
+
+    /// Flushes all speculative state: memory system, queues, buffered
+    /// speculative output. Threads are left as-is for the runtime to
+    /// re-dispatch (the paper's recovery-code jump).
+    pub fn machine_abort(&mut self, cycle: Cycle) {
+        let latency = self.mem.abort_all(cycle);
+        for r in &mut self.ready_at {
+            *r = (*r).max(cycle + latency);
+        }
+        self.queues.flush();
+        self.pending_outputs.clear();
+    }
+
+    /// Performs a VID reset (§4.6) at the current completion time,
+    /// stalling every core for the reset latency. The runtime must have
+    /// committed every outstanding transaction first.
+    pub fn vid_reset(&mut self) {
+        let now = self.high_water;
+        let latency = self.mem.vid_reset(now);
+        for r in &mut self.ready_at {
+            *r = (*r).max(now + latency);
+        }
+    }
+
+    fn pick_core(&self) -> Option<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.as_ref().is_some_and(|t| !t.halted))
+            .min_by_key(|(i, _)| (self.ready_at[*i], *i))
+            .map(|(i, _)| i)
+    }
+
+    fn bump(&mut self, core: usize, cycles: u64) {
+        self.ready_at[core] += cycles;
+        self.core_stats[core].ready_at = self.ready_at[core];
+        if self.ready_at[core] > self.high_water {
+            self.high_water = self.ready_at[core];
+        }
+    }
+
+    fn service_interrupt(&mut self, core: usize) -> Result<(), SimError> {
+        self.stats.interrupts += 1;
+        let now = self.ready_at[core];
+        // The OS handler's PC lies outside the program text segment, so its
+        // accesses carry VID 0 regardless of the thread's VID register
+        // (§5.2) and must not disturb speculative state.
+        let base = KERNEL_REGION_BASE + (core as u64) * 4096;
+        for k in 0..8u64 {
+            let addr = Addr(base + k * 64);
+            let kind = if k % 2 == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write(now ^ k)
+            };
+            let req = AccessRequest {
+                core: CoreId(core),
+                addr,
+                kind,
+                vid: Vid::NON_SPECULATIVE,
+                wrong_path: false,
+            };
+            match self.mem.access(now, &req)? {
+                AccessResponse::Done { .. } => {}
+                AccessResponse::Misspec { cause, .. } => {
+                    unreachable!("kernel region is disjoint from guest data: {cause:?}")
+                }
+            }
+        }
+        self.bump(core, self.cfg.interrupt_handler_instrs);
+        self.next_interrupt[core] = self.ready_at[core] + self.cfg.interrupt_period;
+        Ok(())
+    }
+
+    fn reg(&self, core: usize, r: Reg) -> u64 {
+        self.threads[core].as_ref().unwrap().regs[r.index()]
+    }
+
+    fn set_reg(&mut self, core: usize, r: Reg, v: u64) {
+        self.threads[core].as_mut().unwrap().regs[r.index()] = v;
+    }
+
+    fn operand(&self, core: usize, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.reg(core, r),
+            Operand::Imm(i) => i as u64,
+        }
+    }
+
+    fn step(&mut self, core: usize) -> Result<StepOutcome, SimError> {
+        let now = self.ready_at[core];
+        let (pc, instr, vid, tid) = {
+            let t = self.threads[core].as_ref().unwrap();
+            match t.program.get(t.pc) {
+                Some(i) => (t.pc, *i, t.vid, t.tid),
+                None => {
+                    self.threads[core].as_mut().unwrap().halted = true;
+                    return Ok(StepOutcome::Continue);
+                }
+            }
+        };
+        self.stats.instructions += 1;
+        self.core_stats[core].instructions += 1;
+        let mut next_pc = pc + 1;
+
+        match instr {
+            Instr::Li { rd, imm } => {
+                self.set_reg(core, rd, imm as u64);
+                self.bump(core, 1);
+            }
+            Instr::Mov { rd, rs } => {
+                let v = self.reg(core, rs);
+                self.set_reg(core, rd, v);
+                self.bump(core, 1);
+            }
+            Instr::Alu { op, rd, rs, rhs } => {
+                let a = self.reg(core, rs);
+                let b = self.operand(core, rhs);
+                self.set_reg(core, rd, op.apply(a, b));
+                self.bump(core, 1);
+            }
+            Instr::Load { rd, base, disp } => {
+                let addr = Addr(self.reg(core, base).wrapping_add(disp as u64));
+                let req = AccessRequest {
+                    core: CoreId(core),
+                    addr,
+                    kind: AccessKind::Read,
+                    vid,
+                    wrong_path: false,
+                };
+                match self.mem.access(now, &req)? {
+                    AccessResponse::Done { value, latency, .. } => {
+                        self.set_reg(core, rd, value);
+                        self.bump(core, latency);
+                    }
+                    AccessResponse::Misspec { cause, latency } => {
+                        self.bump(core, latency);
+                        return Ok(StepOutcome::Misspec(cause));
+                    }
+                }
+            }
+            Instr::Store { rs, base, disp } => {
+                let addr = Addr(self.reg(core, base).wrapping_add(disp as u64));
+                let value = self.reg(core, rs);
+                let req = AccessRequest {
+                    core: CoreId(core),
+                    addr,
+                    kind: AccessKind::Write(value),
+                    vid,
+                    wrong_path: false,
+                };
+                match self.mem.access(now, &req)? {
+                    AccessResponse::Done { latency, .. } => self.bump(core, latency),
+                    AccessResponse::Misspec { cause, latency } => {
+                        self.bump(core, latency);
+                        return Ok(StepOutcome::Misspec(cause));
+                    }
+                }
+            }
+            Instr::Branch {
+                cond,
+                rs,
+                rhs,
+                target,
+            } => {
+                let a = self.reg(core, rs);
+                let b = self.operand(core, rhs);
+                let taken = cond.eval(a, b);
+                let predicted = self.predictors[core].predict_and_update(pc as u64, taken);
+                self.stats.branches += 1;
+                self.bump(core, 1);
+                if taken {
+                    next_pc = target;
+                }
+                if predicted != taken {
+                    self.stats.mispredictions += 1;
+                    self.bump(core, self.cfg.mispredict_penalty);
+                    let wrong_pc = if taken { pc + 1 } else { target };
+                    if let Some(cause) = self.run_wrong_path(core, wrong_pc, vid, now)? {
+                        return Ok(StepOutcome::Misspec(cause));
+                    }
+                }
+            }
+            Instr::Jump { target } => {
+                next_pc = target;
+                self.bump(core, 1);
+            }
+            Instr::Halt => {
+                self.threads[core].as_mut().unwrap().halted = true;
+                self.bump(core, 1);
+            }
+            Instr::Compute { amount } => {
+                let cycles = self.operand(core, amount);
+                self.bump(core, cycles.max(1));
+            }
+            Instr::BeginMtx { rvid } => {
+                let raw = self.reg(core, rvid);
+                let max = self.cfg.hmtx.max_vid().0 as u64;
+                if raw > max {
+                    return Err(SimError::BadProgram(format!(
+                        "beginMTX with VID {raw} exceeds the {}-bit limit",
+                        self.cfg.hmtx.vid_bits
+                    )));
+                }
+                self.threads[core].as_mut().unwrap().vid = Vid(raw as u16);
+                self.bump(core, 1);
+            }
+            Instr::CommitMtx { rvid } => {
+                let raw = self.reg(core, rvid);
+                let commit_vid = Vid(raw as u16);
+                let latency = self.mem.commit(now, commit_vid)?;
+                self.bump(core, latency);
+                self.threads[core].as_mut().unwrap().vid = Vid::NON_SPECULATIVE;
+                self.flush_outputs(commit_vid);
+            }
+            Instr::AbortMtx { rvid } => {
+                let raw = self.reg(core, rvid);
+                self.stats.explicit_aborts += 1;
+                self.bump(core, 1);
+                return Ok(StepOutcome::Misspec(MisspecCause::ExplicitAbort {
+                    vid: Vid(raw as u16),
+                }));
+            }
+            Instr::InitMtx { handler } => {
+                self.threads[core].as_mut().unwrap().recovery_pc = Some(handler);
+                self.bump(core, 1);
+            }
+            Instr::VidReset => {
+                let latency = self.mem.vid_reset(now);
+                // The reset broadcast stalls every core (the §4.6 pipeline
+                // stall), not just the issuer.
+                for r in &mut self.ready_at {
+                    *r = (*r).max(now + latency);
+                }
+                self.bump(core, 1);
+            }
+            Instr::Produce { q, rs } => {
+                let value = self.reg(core, rs);
+                match self.queues.produce(now, q, value) {
+                    ProduceOutcome::Accepted => self.bump(core, 1),
+                    ProduceOutcome::Full => {
+                        next_pc = pc; // retry the same instruction
+                        self.stats.instructions -= 1;
+                        self.core_stats[core].instructions -= 1;
+                        self.core_stats[core].queue_stall_cycles += RETRY_QUANTUM;
+                        self.bump(core, RETRY_QUANTUM);
+                    }
+                }
+            }
+            Instr::Consume { rd, q } => match self.queues.consume(now, q) {
+                ConsumeOutcome::Ready(v) => {
+                    self.set_reg(core, rd, v);
+                    self.bump(core, 1);
+                }
+                ConsumeOutcome::NotYet(at) => {
+                    next_pc = pc;
+                    self.stats.instructions -= 1;
+                    self.core_stats[core].instructions -= 1;
+                    self.core_stats[core].queue_stall_cycles +=
+                        at.saturating_sub(self.ready_at[core]);
+                    self.ready_at[core] = at;
+                    self.high_water = self.high_water.max(at);
+                }
+                ConsumeOutcome::Empty => {
+                    next_pc = pc;
+                    self.stats.instructions -= 1;
+                    self.core_stats[core].instructions -= 1;
+                    self.core_stats[core].queue_stall_cycles += RETRY_QUANTUM;
+                    self.bump(core, RETRY_QUANTUM);
+                }
+            },
+            Instr::Out { rs } => {
+                let value = self.reg(core, rs);
+                if vid.is_non_speculative() {
+                    self.committed_output.push(value);
+                } else {
+                    self.pending_outputs.entry(vid.0).or_default().push(value);
+                }
+                self.bump(core, 1);
+            }
+            Instr::Marker { id } => {
+                if self.marker_log.len() < MARKER_LOG_CAP {
+                    self.marker_log.push(MarkerEvent {
+                        cycle: now,
+                        core: CoreId(core),
+                        tid,
+                        id,
+                    });
+                }
+                self.bump(core, 1);
+            }
+        }
+        self.threads[core].as_mut().unwrap().pc = next_pc;
+        Ok(StepOutcome::Continue)
+    }
+
+    /// Interprets up to `wrong_path_depth` instructions down the mispredicted
+    /// path: register writes go to a shadow file, loads are issued as
+    /// branch-speculative (§5.1), and any store, control-flow, queue, or MTX
+    /// instruction ends the wrong path.
+    fn run_wrong_path(
+        &mut self,
+        core: usize,
+        start_pc: usize,
+        vid: Vid,
+        now: Cycle,
+    ) -> Result<Option<MisspecCause>, SimError> {
+        let mut shadow = self.threads[core].as_ref().unwrap().regs;
+        let program = Arc::clone(&self.threads[core].as_ref().unwrap().program);
+        let mut pc = start_pc;
+        for _ in 0..self.cfg.wrong_path_depth {
+            let Some(instr) = program.get(pc) else { break };
+            self.stats.wrong_path_instructions += 1;
+            match *instr {
+                Instr::Li { rd, imm } => shadow[rd.index()] = imm as u64,
+                Instr::Mov { rd, rs } => shadow[rd.index()] = shadow[rs.index()],
+                Instr::Alu { op, rd, rs, rhs } => {
+                    let b = match rhs {
+                        Operand::Reg(r) => shadow[r.index()],
+                        Operand::Imm(i) => i as u64,
+                    };
+                    shadow[rd.index()] = op.apply(shadow[rs.index()], b);
+                }
+                Instr::Load { rd, base, disp } => {
+                    let addr = Addr(shadow[base.index()].wrapping_add(disp as u64));
+                    if !addr.word_in_line() {
+                        // A wrong-path address can be garbage; real hardware
+                        // would squash the fault. Stop following the path.
+                        break;
+                    }
+                    let req = AccessRequest {
+                        core: CoreId(core),
+                        addr,
+                        kind: AccessKind::Read,
+                        vid,
+                        wrong_path: true,
+                    };
+                    match self.mem.access(now, &req)? {
+                        AccessResponse::Done { value, .. } => shadow[rd.index()] = value,
+                        AccessResponse::Misspec { cause, .. } => return Ok(Some(cause)),
+                    }
+                }
+                Instr::Marker { .. } | Instr::Out { .. } | Instr::Compute { .. } => {}
+                Instr::Jump { target } => {
+                    pc = target;
+                    continue;
+                }
+                Instr::Branch {
+                    cond,
+                    rs,
+                    rhs,
+                    target,
+                } => {
+                    // The wrong path keeps fetching under (shadow) branch
+                    // resolution: resolve against shadow registers, which is
+                    // what an OoO core's in-flight state would provide.
+                    let a = shadow[rs.index()];
+                    let bval = match rhs {
+                        Operand::Reg(r) => shadow[r.index()],
+                        Operand::Imm(i) => i as u64,
+                    };
+                    if cond.eval(a, bval) {
+                        pc = target;
+                        continue;
+                    }
+                }
+                // Stores retire at commit, so squashed stores never reach the
+                // cache; MTX/queue/halt instructions end the modeled window.
+                _ => break,
+            }
+            pc += 1;
+        }
+        Ok(None)
+    }
+
+    /// Moves buffered output of every VID `<= vid` to the committed stream.
+    fn flush_outputs(&mut self, vid: Vid) {
+        let keys: Vec<u16> = self
+            .pending_outputs
+            .keys()
+            .copied()
+            .take_while(|k| *k <= vid.0)
+            .collect();
+        for k in keys {
+            let mut vals = self.pending_outputs.remove(&k).unwrap();
+            self.committed_output.append(&mut vals);
+        }
+    }
+}

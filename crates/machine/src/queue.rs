@@ -1,0 +1,218 @@
+//! Hardware produce/consume queues connecting pipeline stages.
+//!
+//! DSWP-style pipelines communicate loop-carried values and VIDs through
+//! synthesized hardware queues (the paper's `produceVID`/`consumeVID`,
+//! §3.2). Queues have finite capacity and a fixed producer-to-consumer
+//! latency modeling inter-core transfer.
+
+use std::collections::VecDeque;
+
+use hmtx_types::{Cycle, QueueId};
+
+/// Outcome of a produce attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProduceOutcome {
+    /// Value enqueued.
+    Accepted,
+    /// Queue full; retry later.
+    Full,
+}
+
+/// Outcome of a consume attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsumeOutcome {
+    /// A value is ready.
+    Ready(u64),
+    /// The queue has data, but it is still in flight until the given cycle.
+    NotYet(Cycle),
+    /// The queue is empty.
+    Empty,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: u64,
+    available_at: Cycle,
+}
+
+/// A set of hardware queues with uniform capacity and latency.
+///
+/// # Examples
+///
+/// ```
+/// use hmtx_machine::queue::{ConsumeOutcome, ProduceOutcome, QueueSet};
+/// use hmtx_types::QueueId;
+///
+/// let mut qs = QueueSet::new(2, 4, 10);
+/// assert_eq!(qs.produce(0, QueueId(0), 42), ProduceOutcome::Accepted);
+/// assert_eq!(qs.consume(5, QueueId(0)), ConsumeOutcome::NotYet(10));
+/// assert_eq!(qs.consume(10, QueueId(0)), ConsumeOutcome::Ready(42));
+/// assert_eq!(qs.consume(11, QueueId(0)), ConsumeOutcome::Empty);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueueSet {
+    queues: Vec<VecDeque<Entry>>,
+    capacity: usize,
+    latency: u64,
+    produces: u64,
+    consumes: u64,
+    full_stalls: u64,
+    empty_stalls: u64,
+}
+
+impl QueueSet {
+    /// Creates `count` queues with the given per-queue capacity and
+    /// producer-to-consumer latency.
+    pub fn new(count: usize, capacity: usize, latency: u64) -> Self {
+        QueueSet {
+            queues: vec![VecDeque::new(); count],
+            capacity,
+            latency,
+            produces: 0,
+            consumes: 0,
+            full_stalls: 0,
+            empty_stalls: 0,
+        }
+    }
+
+    /// Number of queues.
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Returns `true` if the set has no queues.
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// Attempts to enqueue `value` at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn produce(&mut self, now: Cycle, q: QueueId, value: u64) -> ProduceOutcome {
+        let queue = &mut self.queues[q.0];
+        if queue.len() >= self.capacity {
+            self.full_stalls += 1;
+            return ProduceOutcome::Full;
+        }
+        queue.push_back(Entry {
+            value,
+            available_at: now + self.latency,
+        });
+        self.produces += 1;
+        ProduceOutcome::Accepted
+    }
+
+    /// Attempts to dequeue at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn consume(&mut self, now: Cycle, q: QueueId) -> ConsumeOutcome {
+        let queue = &mut self.queues[q.0];
+        match queue.front() {
+            None => {
+                self.empty_stalls += 1;
+                ConsumeOutcome::Empty
+            }
+            Some(e) if e.available_at > now => {
+                self.empty_stalls += 1;
+                ConsumeOutcome::NotYet(e.available_at)
+            }
+            Some(_) => {
+                let e = queue.pop_front().unwrap();
+                self.consumes += 1;
+                ConsumeOutcome::Ready(e.value)
+            }
+        }
+    }
+
+    /// Current occupancy of queue `q`.
+    pub fn occupancy(&self, q: QueueId) -> usize {
+        self.queues[q.0].len()
+    }
+
+    /// `(produces, consumes, full_stalls, empty_stalls)` counters.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.produces,
+            self.consumes,
+            self.full_stalls,
+            self.empty_stalls,
+        )
+    }
+
+    /// Drops all queued values (used on abort recovery: in-flight VIDs and
+    /// forwarded values from squashed iterations are stale).
+    pub fn flush(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut qs = QueueSet::new(1, 8, 0);
+        for v in 0..5 {
+            assert_eq!(qs.produce(0, QueueId(0), v), ProduceOutcome::Accepted);
+        }
+        for v in 0..5 {
+            assert_eq!(qs.consume(0, QueueId(0)), ConsumeOutcome::Ready(v));
+        }
+    }
+
+    #[test]
+    fn capacity_limits_producers() {
+        let mut qs = QueueSet::new(1, 2, 0);
+        assert_eq!(qs.produce(0, QueueId(0), 1), ProduceOutcome::Accepted);
+        assert_eq!(qs.produce(0, QueueId(0), 2), ProduceOutcome::Accepted);
+        assert_eq!(qs.produce(0, QueueId(0), 3), ProduceOutcome::Full);
+        assert_eq!(qs.consume(100, QueueId(0)), ConsumeOutcome::Ready(1));
+        assert_eq!(qs.produce(100, QueueId(0), 3), ProduceOutcome::Accepted);
+    }
+
+    #[test]
+    fn latency_delays_availability() {
+        let mut qs = QueueSet::new(1, 2, 30);
+        qs.produce(100, QueueId(0), 7);
+        assert_eq!(qs.consume(100, QueueId(0)), ConsumeOutcome::NotYet(130));
+        assert_eq!(qs.consume(129, QueueId(0)), ConsumeOutcome::NotYet(130));
+        assert_eq!(qs.consume(130, QueueId(0)), ConsumeOutcome::Ready(7));
+    }
+
+    #[test]
+    fn independent_queues() {
+        let mut qs = QueueSet::new(3, 2, 0);
+        qs.produce(0, QueueId(0), 1);
+        qs.produce(0, QueueId(2), 3);
+        assert_eq!(qs.consume(0, QueueId(1)), ConsumeOutcome::Empty);
+        assert_eq!(qs.consume(0, QueueId(2)), ConsumeOutcome::Ready(3));
+        assert_eq!(qs.consume(0, QueueId(0)), ConsumeOutcome::Ready(1));
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut qs = QueueSet::new(2, 4, 0);
+        qs.produce(0, QueueId(0), 1);
+        qs.produce(0, QueueId(1), 2);
+        qs.flush();
+        assert_eq!(qs.consume(10, QueueId(0)), ConsumeOutcome::Empty);
+        assert_eq!(qs.consume(10, QueueId(1)), ConsumeOutcome::Empty);
+    }
+
+    #[test]
+    fn stats_count_stalls() {
+        let mut qs = QueueSet::new(1, 1, 0);
+        qs.consume(0, QueueId(0));
+        qs.produce(0, QueueId(0), 1);
+        qs.produce(0, QueueId(0), 2);
+        let (p, c, fs, es) = qs.stats();
+        assert_eq!((p, c, fs, es), (1, 0, 1, 1));
+    }
+}

@@ -1,0 +1,226 @@
+//! Differential testing: the full machine simulator and the flat reference
+//! interpreter must agree on the architectural semantics of every
+//! single-threaded, non-transactional program.
+
+use std::sync::Arc;
+
+use hmtx_isa::interp::run_reference;
+use hmtx_isa::{AluOp, Instr, Operand, Program, ProgramBuilder, Reg};
+use hmtx_machine::{Machine, RunEvent, ThreadContext};
+use hmtx_types::{Addr, MachineConfig, ThreadId, Vid};
+use proptest::prelude::*;
+
+/// Runs a program on the machine and extracts `(regs, output, mem words)`.
+fn run_machine(p: &Program, addrs: &[u64]) -> ([u64; 32], Vec<u64>, Vec<u64>) {
+    let mut m = Machine::new(MachineConfig::test_default());
+    m.load_thread(0, ThreadContext::new(ThreadId(0), Arc::new(p.clone())));
+    assert_eq!(m.run(200_000).unwrap(), RunEvent::AllHalted);
+    let regs = m.thread(0).unwrap().regs;
+    let output = m.committed_output().to_vec();
+    m.mem_mut().drain_committed().unwrap();
+    let words = addrs
+        .iter()
+        .map(|a| m.mem().memory().read_word(Addr(*a)))
+        .collect();
+    (regs, output, words)
+}
+
+/// Scratch region the generated programs address.
+const BASE: u64 = 0x1_0000;
+const WORDS: u64 = 64;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    // r31 is the reserved base pointer of the generated programs.
+    (0usize..31).prop_map(Reg::from_index)
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::SltU),
+        Just(AluOp::Slt),
+        Just(AluOp::Seq),
+    ]
+}
+
+fn arb_straightline_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_reg(), any::<i64>()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
+        (arb_alu(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs, rt)| Instr::Alu {
+            op,
+            rd,
+            rs,
+            rhs: Operand::Reg(rt)
+        }),
+        (arb_alu(), arb_reg(), arb_reg(), -99i64..99).prop_map(|(op, rd, rs, i)| Instr::Alu {
+            op,
+            rd,
+            rs,
+            rhs: Operand::Imm(i)
+        }),
+        (arb_reg(), 0i64..WORDS as i64).prop_map(|(rd, k)| Instr::Load {
+            rd,
+            base: Reg::R31,
+            disp: k * 8
+        }),
+        (arb_reg(), 0i64..WORDS as i64).prop_map(|(rs, k)| Instr::Store {
+            rs,
+            base: Reg::R31,
+            disp: k * 8
+        }),
+        arb_reg().prop_map(|rs| Instr::Out { rs }),
+        (1i64..100).prop_map(|n| Instr::Compute {
+            amount: Operand::Imm(n)
+        }),
+    ]
+}
+
+fn build_program(instrs: Vec<Instr>) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R31, BASE as i64);
+    for i in instrs {
+        b.raw(i);
+    }
+    b.halt();
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn machine_agrees_with_reference_on_straightline_programs(
+        instrs in prop::collection::vec(arb_straightline_instr(), 1..60)
+    ) {
+        let p = build_program(instrs);
+        let addrs: Vec<u64> = (0..WORDS).map(|k| BASE + k * 8).collect();
+        let (regs, output, words) = run_machine(&p, &addrs);
+        let r = run_reference(&p, 200_000).unwrap();
+        prop_assert_eq!(regs, r.regs);
+        prop_assert_eq!(output, r.output);
+        for (k, addr) in addrs.iter().enumerate() {
+            prop_assert_eq!(words[k], *r.memory.get(addr).unwrap_or(&0), "word {}", k);
+        }
+    }
+}
+
+#[test]
+fn machine_agrees_with_reference_on_branchy_kernels() {
+    // Hand-written kernels with loops and data-dependent branches (the
+    // random generator is straight-line so branch targets stay valid).
+    let sources = [
+        r"
+            li r1, 0
+            li r2, 1
+        loop:
+            mul r2, r2, 3
+            rem r2, r2, 1000003
+            add r1, r1, 1
+            bltu r1, 500, loop
+            out r2
+            halt
+        ",
+        r"
+            li r31, 0x10000
+            li r1, 0
+        fill:
+            shl r3, r1, 3
+            add r3, r3, r31
+            mul r4, r1, r1
+            st r4, (r3)
+            add r1, r1, 1
+            bltu r1, 50, fill
+            li r1, 0
+            li r5, 0
+        sum:
+            shl r3, r1, 3
+            add r3, r3, r31
+            ld r4, (r3)
+            add r5, r5, r4
+            add r1, r1, 2
+            bltu r1, 50, sum
+            out r5
+            halt
+        ",
+        r"
+            li r1, 0x9E3779B9
+            li r2, 0
+        mix:
+            shl r3, r1, 13
+            xor r1, r1, r3
+            shr r3, r1, 7
+            xor r1, r1, r3
+            and r4, r1, 1
+            beq r4, 0, even
+            add r2, r2, 1
+        even:
+            add r5, r2, 0
+            bltu r2, 64, mix
+            out r1
+            out r2
+            halt
+        ",
+    ];
+    for (i, src) in sources.iter().enumerate() {
+        let p = hmtx_isa::assemble(src).unwrap();
+        let (regs, output, _) = run_machine(&p, &[]);
+        let r = run_reference(&p, 1_000_000).unwrap();
+        assert_eq!(regs, r.regs, "kernel {i} registers");
+        assert_eq!(output, r.output, "kernel {i} output");
+    }
+}
+
+#[test]
+fn machine_memory_view_matches_reference_after_transactions() {
+    // A transactional program and its non-transactional twin must leave the
+    // same committed memory (transactions are invisible when they commit).
+    let tx = hmtx_isa::assemble(
+        r"
+            li r31, 0x10000
+            li r10, 1
+            beginMTX r10
+            li r1, 7
+            st r1, (r31)
+            st r1, 64(r31)
+            commitMTX r10
+            li r10, 2
+            beginMTX r10
+            ld r2, (r31)
+            add r2, r2, 1
+            st r2, 128(r31)
+            commitMTX r10
+            halt
+        ",
+    )
+    .unwrap();
+    let plain = hmtx_isa::assemble(
+        r"
+            li r31, 0x10000
+            li r1, 7
+            st r1, (r31)
+            st r1, 64(r31)
+            ld r2, (r31)
+            add r2, r2, 1
+            st r2, 128(r31)
+            halt
+        ",
+    )
+    .unwrap();
+    let addrs = [0x10000u64, 0x10040, 0x10080];
+    let (_, _, tx_words) = run_machine(&tx, &addrs);
+    let r = run_reference(&plain, 1_000).unwrap();
+    for (k, addr) in addrs.iter().enumerate() {
+        assert_eq!(tx_words[k], *r.memory.get(addr).unwrap_or(&0), "word {k}");
+    }
+    let _ = Vid(0);
+}

@@ -1,0 +1,382 @@
+//! Set-associative caches that hold multiple versions of the same address.
+
+use hmtx_types::{CacheConfig, LineAddr, VictimPolicy, Vid};
+
+use crate::line::{CacheLine, LineState};
+
+/// Result of inserting a line version into a cache.
+#[derive(Debug)]
+pub struct InsertOutcome {
+    /// The victim that had to be evicted to make room, if the set was full.
+    /// The protocol layer decides what to do with it (write back to the next
+    /// level, spill to memory, or abort, per §5.4).
+    pub evicted: Option<CacheLine>,
+    /// Set index the line landed in (useful for tests and traces).
+    pub set: usize,
+}
+
+/// A set-associative, versioned cache.
+///
+/// Unlike a conventional cache, one set may contain several lines with the
+/// *same address* but different `(modVID, highVID)` version ranges (paper
+/// §4.1). Lookups therefore take a caller-supplied predicate that encodes
+/// the HMTX hit rules.
+///
+/// The cache also carries the per-cache lazy-commit registers from §5.3:
+/// [`lc_vid`](Self::lc_vid) (latest committed VID) and a commit epoch that
+/// stands in for the paper's flash-set Committed Bits.
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<CacheLine>>,
+    lc_vid: Vid,
+    commit_epoch: u64,
+    lru_clock: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::validate`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate().expect("invalid cache geometry");
+        let sets = (0..cfg.num_sets())
+            .map(|_| Vec::with_capacity(cfg.ways))
+            .collect();
+        Cache {
+            cfg,
+            sets,
+            lc_vid: Vid::NON_SPECULATIVE,
+            commit_epoch: 0,
+            lru_clock: 0,
+        }
+    }
+
+    /// The cache geometry and latency.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Access latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.cfg.latency
+    }
+
+    /// The latest committed VID register (LC VID, §5.3).
+    pub fn lc_vid(&self) -> Vid {
+        self.lc_vid
+    }
+
+    /// Updates the LC VID register (called by the protocol on commit
+    /// broadcast or VID reset).
+    pub fn set_lc_vid(&mut self, vid: Vid) {
+        self.lc_vid = vid;
+    }
+
+    /// The current commit epoch. A line whose `commit_epoch` is older has
+    /// commit processing pending (the lazy-commit stand-in for the paper's
+    /// flash-set CB bits).
+    pub fn commit_epoch(&self) -> u64 {
+        self.commit_epoch
+    }
+
+    /// Advances the commit epoch (O(1) commit broadcast, §5.3).
+    pub fn bump_commit_epoch(&mut self) {
+        self.commit_epoch += 1;
+    }
+
+    /// The set index for an address.
+    pub fn set_index(&self, addr: LineAddr) -> usize {
+        addr.set_index(self.cfg.num_sets())
+    }
+
+    /// The versions currently stored in `set`.
+    pub fn set_lines(&self, set: usize) -> &[CacheLine] {
+        &self.sets[set]
+    }
+
+    /// Mutable access to the versions in `set`.
+    pub fn set_lines_mut(&mut self, set: usize) -> &mut Vec<CacheLine> {
+        &mut self.sets[set]
+    }
+
+    /// Finds the way index of the unique version of `addr` in its set
+    /// satisfying `pred` (the protocol's hit rule). Updates no LRU state.
+    pub fn find_way(&self, addr: LineAddr, pred: impl Fn(&CacheLine) -> bool) -> Option<usize> {
+        let set = self.set_index(addr);
+        self.sets[set]
+            .iter()
+            .position(|l| l.addr == addr && pred(l))
+    }
+
+    /// All way indices holding versions of `addr`.
+    pub fn ways_of(&self, addr: LineAddr) -> Vec<usize> {
+        let set = self.set_index(addr);
+        self.sets[set]
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.addr == addr)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Marks a way as most recently used.
+    pub fn touch(&mut self, set: usize, way: usize) {
+        self.lru_clock += 1;
+        self.sets[set][way].last_used = self.lru_clock;
+    }
+
+    /// Removes and returns the version at `(set, way)`.
+    pub fn take(&mut self, set: usize, way: usize) -> CacheLine {
+        self.sets[set].swap_remove(way)
+    }
+
+    /// Inserts a line version, evicting a victim chosen by `policy` if the
+    /// set is full. The inserted line becomes most recently used.
+    pub fn insert(&mut self, mut line: CacheLine, policy: VictimPolicy) -> InsertOutcome {
+        let set = self.set_index(line.addr);
+        self.lru_clock += 1;
+        line.last_used = self.lru_clock;
+        let evicted = if self.sets[set].len() >= self.cfg.ways {
+            let victim = choose_victim(&self.sets[set], policy);
+            Some(self.sets[set].swap_remove(victim))
+        } else {
+            None
+        };
+        self.sets[set].push(line);
+        InsertOutcome { evicted, set }
+    }
+
+    /// Iterates over every stored line version mutably (used by the eager
+    /// commit ablation, abort flush, and VID reset walks).
+    pub fn for_each_line_mut(&mut self, mut f: impl FnMut(&mut CacheLine) -> LineFate) {
+        for set in &mut self.sets {
+            set.retain_mut(|line| match f(line) {
+                LineFate::Keep => true,
+                LineFate::Invalidate => false,
+            });
+        }
+    }
+
+    /// Total number of line versions currently stored.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of ways in the cache.
+    pub fn capacity(&self) -> usize {
+        self.cfg.num_lines()
+    }
+}
+
+/// Whether a walked line survives (see [`Cache::for_each_line_mut`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineFate {
+    /// Keep the (possibly modified) line.
+    Keep,
+    /// Drop the line (transition to Invalid).
+    Invalidate,
+}
+
+/// Chooses an eviction victim among the (full) set per §5.4.
+///
+/// Preference order for [`VictimPolicy::PreferSafeOverflow`]:
+/// 1. non-speculative clean lines (free to drop),
+/// 2. non-speculative dirty lines (normal writeback),
+/// 3. overflow-safe `S-O(0,·)` lines,
+/// 4. anything else (evicting these past the LLC forces an abort),
+///
+/// breaking ties by LRU. [`VictimPolicy::PlainLru`] ignores state.
+fn choose_victim(set: &[CacheLine], policy: VictimPolicy) -> usize {
+    assert!(!set.is_empty());
+    match policy {
+        VictimPolicy::PlainLru => lru_index(set, |_| true),
+        VictimPolicy::PreferSafeOverflow => {
+            let class = |l: &CacheLine| -> u8 {
+                if !l.state.is_speculative() {
+                    if l.state.is_dirty() {
+                        1
+                    } else {
+                        0
+                    }
+                } else if l.state == LineState::SpecOwned && l.mod_vid.is_non_speculative() {
+                    2
+                } else {
+                    3
+                }
+            };
+            let best_class = set.iter().map(&class).min().unwrap();
+            lru_index(set, |l| class(l) == best_class)
+        }
+    }
+}
+
+fn lru_index(set: &[CacheLine], pred: impl Fn(&CacheLine) -> bool) -> usize {
+    set.iter()
+        .enumerate()
+        .filter(|(_, l)| pred(l))
+        .min_by_key(|(_, l)| l.last_used)
+        .map(|(i, _)| i)
+        .expect("predicate matched no line")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_types::CacheConfig;
+
+    fn small_cache() -> Cache {
+        // 2 sets x 2 ways.
+        Cache::new(CacheConfig {
+            size_bytes: 2 * 2 * 64,
+            ways: 2,
+            latency: 1,
+        })
+    }
+
+    fn line(addr: u64, state: LineState) -> CacheLine {
+        CacheLine::non_speculative(LineAddr(addr), state)
+    }
+
+    #[test]
+    fn insert_and_find() {
+        let mut c = small_cache();
+        c.insert(
+            line(0, LineState::Exclusive),
+            VictimPolicy::PreferSafeOverflow,
+        );
+        c.insert(line(1, LineState::Shared), VictimPolicy::PreferSafeOverflow);
+        assert!(c.find_way(LineAddr(0), |_| true).is_some());
+        assert!(c.find_way(LineAddr(1), |_| true).is_some());
+        assert!(c.find_way(LineAddr(2), |_| true).is_none());
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn same_address_multiple_versions_coexist() {
+        let mut c = small_cache();
+        let mut v0 = line(0, LineState::Exclusive);
+        v0.state = LineState::SpecOwned;
+        v0.high_vid = Vid(1);
+        let mut v1 = line(0, LineState::Exclusive);
+        v1.state = LineState::SpecModified;
+        v1.mod_vid = Vid(1);
+        v1.high_vid = Vid(1);
+        c.insert(v0, VictimPolicy::PreferSafeOverflow);
+        c.insert(v1, VictimPolicy::PreferSafeOverflow);
+        assert_eq!(c.ways_of(LineAddr(0)).len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_in_plain_mode() {
+        let mut c = small_cache();
+        // Set 0 holds even line addresses (2 sets).
+        c.insert(line(0, LineState::Exclusive), VictimPolicy::PlainLru);
+        c.insert(line(2, LineState::Exclusive), VictimPolicy::PlainLru);
+        // Touch line 0 so line 2 is LRU.
+        let way = c.find_way(LineAddr(0), |_| true).unwrap();
+        c.touch(0, way);
+        let out = c.insert(line(4, LineState::Exclusive), VictimPolicy::PlainLru);
+        let evicted = out.evicted.expect("set was full");
+        assert_eq!(evicted.addr, LineAddr(2));
+    }
+
+    #[test]
+    fn victim_policy_prefers_clean_then_dirty_then_safe_spec() {
+        let mut c = small_cache();
+        let mut spec = line(0, LineState::Exclusive);
+        spec.state = LineState::SpecModified;
+        spec.mod_vid = Vid(1);
+        spec.high_vid = Vid(1);
+        c.insert(spec, VictimPolicy::PreferSafeOverflow);
+        c.insert(
+            line(2, LineState::Modified),
+            VictimPolicy::PreferSafeOverflow,
+        );
+        // Dirty non-spec line is preferred over the S-M line even though the
+        // S-M line is older.
+        let out = c.insert(
+            line(4, LineState::Exclusive),
+            VictimPolicy::PreferSafeOverflow,
+        );
+        assert_eq!(out.evicted.unwrap().addr, LineAddr(2));
+    }
+
+    #[test]
+    fn victim_policy_prefers_safe_overflow_over_unsafe_spec() {
+        let mut c = small_cache();
+        let mut sm = line(0, LineState::Exclusive);
+        sm.state = LineState::SpecModified;
+        sm.mod_vid = Vid(2);
+        sm.high_vid = Vid(2);
+        let mut so = line(2, LineState::Exclusive);
+        so.state = LineState::SpecOwned;
+        so.high_vid = Vid(2); // modVID 0: overflow-safe
+        c.insert(sm, VictimPolicy::PreferSafeOverflow);
+        c.insert(so, VictimPolicy::PreferSafeOverflow);
+        let out = c.insert(
+            line(4, LineState::Exclusive),
+            VictimPolicy::PreferSafeOverflow,
+        );
+        assert_eq!(
+            out.evicted.unwrap().addr,
+            LineAddr(2),
+            "S-O(0,2) preferred victim"
+        );
+    }
+
+    #[test]
+    fn take_removes_version() {
+        let mut c = small_cache();
+        c.insert(
+            line(0, LineState::Exclusive),
+            VictimPolicy::PreferSafeOverflow,
+        );
+        let way = c.find_way(LineAddr(0), |_| true).unwrap();
+        let l = c.take(0, way);
+        assert_eq!(l.addr, LineAddr(0));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn for_each_line_mut_can_invalidate() {
+        let mut c = small_cache();
+        c.insert(
+            line(0, LineState::Exclusive),
+            VictimPolicy::PreferSafeOverflow,
+        );
+        c.insert(
+            line(1, LineState::Modified),
+            VictimPolicy::PreferSafeOverflow,
+        );
+        c.for_each_line_mut(|l| {
+            if l.state == LineState::Exclusive {
+                LineFate::Invalidate
+            } else {
+                LineFate::Keep
+            }
+        });
+        assert_eq!(c.occupancy(), 1);
+        assert!(c.find_way(LineAddr(1), |_| true).is_some());
+    }
+
+    #[test]
+    fn commit_epoch_and_lc_vid_registers() {
+        let mut c = small_cache();
+        assert_eq!(c.commit_epoch(), 0);
+        assert_eq!(c.lc_vid(), Vid(0));
+        c.bump_commit_epoch();
+        c.set_lc_vid(Vid(5));
+        assert_eq!(c.commit_epoch(), 1);
+        assert_eq!(c.lc_vid(), Vid(5));
+    }
+
+    #[test]
+    fn capacity_reporting() {
+        let c = small_cache();
+        assert_eq!(c.capacity(), 4);
+        assert_eq!(c.config().num_sets(), 2);
+    }
+}

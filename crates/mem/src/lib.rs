@@ -1,0 +1,33 @@
+//! Memory-system substrate for the HMTX reproduction: versioned cache lines,
+//! set-associative caches that can hold *multiple versions of the same
+//! address* in one set, victim selection policies, a snoopy bus, and main
+//! memory.
+//!
+//! This crate provides the *mechanism*; the HMTX coherence *policy* (the
+//! paper's contribution — speculative states, hit predicates, commit/abort
+//! state machines) lives in the `hmtx-core` crate and drives these
+//! structures.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmtx_mem::{Cache, CacheLine, LineState};
+//! use hmtx_types::{CacheConfig, LineAddr, VictimPolicy};
+//!
+//! let mut cache = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, latency: 2 });
+//! let line = CacheLine::non_speculative(LineAddr(3), LineState::Exclusive);
+//! assert!(cache.insert(line, VictimPolicy::PreferSafeOverflow).evicted.is_none());
+//! assert!(cache.find_way(LineAddr(3), |l| l.state == LineState::Exclusive).is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod cache;
+pub mod line;
+pub mod memory;
+
+pub use bus::Bus;
+pub use cache::{Cache, InsertOutcome};
+pub use line::{CacheLine, LineData, LineState};
+pub use memory::MainMemory;

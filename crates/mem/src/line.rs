@@ -1,0 +1,319 @@
+//! Cache lines with HMTX version metadata.
+
+use std::fmt;
+
+use hmtx_types::{LineAddr, Vid, LINE_SIZE};
+
+/// Coherence state of one cache-line version.
+///
+/// The non-speculative states are the classic MOESI states (Invalid lines are
+/// simply absent from the cache, so there is no `Invalid` variant). The
+/// speculative states are the four HMTX additions from §4.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// MOESI Modified: dirty, exclusive, writable.
+    Modified,
+    /// MOESI Owned: dirty, shared, read-only, responds to snoops.
+    Owned,
+    /// MOESI Exclusive: clean, exclusive, writable.
+    Exclusive,
+    /// MOESI Shared: clean, shared, read-only.
+    Shared,
+    /// S-M: the *latest* speculative version of the line (paper §4.1).
+    /// Dirty with respect to memory; commits to [`LineState::Modified`].
+    SpecModified,
+    /// S-O: a speculatively accessed version later superseded by a write
+    /// with a higher VID. Holds the data that accesses with VIDs in
+    /// `[modVID, highVID)` must observe.
+    SpecOwned,
+    /// S-E: like S-M but never modified since entering the cache
+    /// (`modVID` is always zero); commits to a clean state.
+    SpecExclusive,
+    /// S-S: a shared copy of a speculatively accessed version; never
+    /// responds to snoops (an S-M/S-O/S-E copy responds instead).
+    SpecShared,
+}
+
+impl LineState {
+    /// Returns `true` for the four HMTX speculative states.
+    pub fn is_speculative(self) -> bool {
+        matches!(
+            self,
+            LineState::SpecModified
+                | LineState::SpecOwned
+                | LineState::SpecExclusive
+                | LineState::SpecShared
+        )
+    }
+
+    /// Returns `true` if this version must eventually reach memory
+    /// (dirty with respect to main memory) when it is the live version.
+    pub fn is_dirty(self) -> bool {
+        matches!(
+            self,
+            LineState::Modified | LineState::Owned | LineState::SpecModified | LineState::SpecOwned
+        )
+    }
+
+    /// Returns `true` if a write may proceed without gaining exclusivity.
+    pub fn is_writable(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+
+    /// Returns `true` if this copy answers bus snoops (S-S and MOESI Shared
+    /// stay silent; some owner copy or the next level answers instead).
+    pub fn responds_to_snoops(self) -> bool {
+        !matches!(self, LineState::SpecShared | LineState::Shared)
+    }
+}
+
+impl fmt::Display for LineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LineState::Modified => "M",
+            LineState::Owned => "O",
+            LineState::Exclusive => "E",
+            LineState::Shared => "S",
+            LineState::SpecModified => "S-M",
+            LineState::SpecOwned => "S-O",
+            LineState::SpecExclusive => "S-E",
+            LineState::SpecShared => "S-S",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The 64 bytes of data held by one cache-line version.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LineData(Box<[u8; LINE_SIZE]>);
+
+impl LineData {
+    /// All-zero line (the content of never-written memory).
+    pub fn zeroed() -> Self {
+        LineData(Box::new([0u8; LINE_SIZE]))
+    }
+
+    /// Reads the aligned little-endian u64 at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 8 > 64`.
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        u64::from_le_bytes(self.0[offset..offset + 8].try_into().unwrap())
+    }
+
+    /// Writes the little-endian u64 at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 8 > 64`.
+    pub fn write_u64(&mut self, offset: usize, value: u64) {
+        self.0[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// The raw bytes.
+    pub fn bytes(&self) -> &[u8; LINE_SIZE] {
+        &self.0
+    }
+
+    /// The raw bytes, mutably.
+    pub fn bytes_mut(&mut self) -> &mut [u8; LINE_SIZE] {
+        &mut self.0
+    }
+}
+
+impl Default for LineData {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl fmt::Debug for LineData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // 64 raw bytes are noise; show the 8 words.
+        write!(f, "LineData[")?;
+        for w in 0..8 {
+            if w > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{:x}", self.read_u64(w * 8))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<[u8; LINE_SIZE]> for LineData {
+    fn from(bytes: [u8; LINE_SIZE]) -> Self {
+        LineData(Box::new(bytes))
+    }
+}
+
+/// One cache-line *version* stored in a cache way.
+///
+/// The pair `(modVID, highVID)` follows §4.1: `modVID` is the VID of the
+/// speculative write that created this version (zero for non-speculative
+/// versions) and `highVID` is the highest VID that accessed it.
+/// `phantom_high` is *not* hardware state: it records wrong-path
+/// (branch-speculative) marks that SLAs filtered out, used to count the
+/// aborts the SLA mechanism avoided (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheLine {
+    /// The line address of this version.
+    pub addr: LineAddr,
+    /// Coherence state.
+    pub state: LineState,
+    /// VID of the speculative write that created this version (`m`).
+    pub mod_vid: Vid,
+    /// Highest VID that accessed this version (`h`).
+    pub high_vid: Vid,
+    /// Highest wrong-path VID that *would have* marked this line were SLAs
+    /// not filtering squashed loads (simulator-only bookkeeping, §5.1).
+    pub phantom_high: Vid,
+    /// Set once this cache supplied the line to a peer, so in-place
+    /// speculative writes know to invalidate stale S-S copies.
+    pub shared_hint: bool,
+    /// Lazy commit processing stamp (§5.3); compared against the owning
+    /// cache's commit epoch.
+    pub commit_epoch: u64,
+    /// LRU recency stamp.
+    pub last_used: u64,
+    /// The 64 data bytes of this version.
+    pub data: LineData,
+}
+
+impl CacheLine {
+    /// Creates a non-speculative line version in the given MOESI state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is speculative.
+    pub fn non_speculative(addr: LineAddr, state: LineState) -> Self {
+        assert!(
+            !state.is_speculative(),
+            "use CacheLine fields for speculative versions"
+        );
+        CacheLine {
+            addr,
+            state,
+            mod_vid: Vid::NON_SPECULATIVE,
+            high_vid: Vid::NON_SPECULATIVE,
+            phantom_high: Vid::NON_SPECULATIVE,
+            shared_hint: false,
+            commit_epoch: 0,
+            last_used: 0,
+            data: LineData::zeroed(),
+        }
+    }
+
+    /// The `(modVID, highVID)` tuple in the paper's notation.
+    pub fn vids(&self) -> (Vid, Vid) {
+        (self.mod_vid, self.high_vid)
+    }
+
+    /// Formats the version as e.g. `S-M(2,2)` for traces and tests
+    /// (matching Figure 5 of the paper).
+    pub fn describe(&self) -> String {
+        format!("{}({},{})", self.state, self.mod_vid.0, self.high_vid.0)
+    }
+
+    /// Returns `true` if evicting this version past the last-level cache is
+    /// safe (§5.4): only non-speculative versions and `S-O` versions with
+    /// `modVID == 0` may leave the cache hierarchy without aborting.
+    pub fn safe_to_overflow(&self) -> bool {
+        !self.state.is_speculative()
+            || (self.state == LineState::SpecOwned && self.mod_vid.is_non_speculative())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_predicates() {
+        assert!(LineState::SpecModified.is_speculative());
+        assert!(LineState::SpecShared.is_speculative());
+        assert!(!LineState::Modified.is_speculative());
+        assert!(LineState::Modified.is_dirty());
+        assert!(LineState::Owned.is_dirty());
+        assert!(LineState::SpecModified.is_dirty());
+        assert!(LineState::SpecOwned.is_dirty());
+        assert!(!LineState::Exclusive.is_dirty());
+        assert!(!LineState::SpecExclusive.is_dirty());
+        assert!(LineState::Modified.is_writable());
+        assert!(LineState::Exclusive.is_writable());
+        assert!(!LineState::Owned.is_writable());
+        assert!(
+            !LineState::SpecModified.is_writable(),
+            "spec writes go through protocol checks"
+        );
+        assert!(!LineState::SpecShared.responds_to_snoops());
+        assert!(!LineState::Shared.responds_to_snoops());
+        assert!(LineState::SpecModified.responds_to_snoops());
+        assert!(LineState::Owned.responds_to_snoops());
+    }
+
+    #[test]
+    fn state_display_matches_paper_notation() {
+        assert_eq!(LineState::SpecModified.to_string(), "S-M");
+        assert_eq!(LineState::SpecOwned.to_string(), "S-O");
+        assert_eq!(LineState::SpecExclusive.to_string(), "S-E");
+        assert_eq!(LineState::SpecShared.to_string(), "S-S");
+        assert_eq!(LineState::Modified.to_string(), "M");
+    }
+
+    #[test]
+    fn line_data_word_access() {
+        let mut d = LineData::zeroed();
+        d.write_u64(8, 0xdead_beef);
+        assert_eq!(d.read_u64(8), 0xdead_beef);
+        assert_eq!(d.read_u64(0), 0);
+        assert_eq!(d.read_u64(16), 0);
+        d.write_u64(56, u64::MAX);
+        assert_eq!(d.read_u64(56), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic]
+    fn line_data_out_of_range_panics() {
+        LineData::zeroed().read_u64(57);
+    }
+
+    #[test]
+    fn describe_matches_figure5_notation() {
+        let mut l = CacheLine::non_speculative(LineAddr(1), LineState::Exclusive);
+        assert_eq!(l.describe(), "E(0,0)");
+        l.state = LineState::SpecModified;
+        l.mod_vid = Vid(2);
+        l.high_vid = Vid(2);
+        assert_eq!(l.describe(), "S-M(2,2)");
+    }
+
+    #[test]
+    fn overflow_safety_rule() {
+        let mut l = CacheLine::non_speculative(LineAddr(1), LineState::Modified);
+        assert!(l.safe_to_overflow());
+        l.state = LineState::SpecOwned;
+        assert!(l.safe_to_overflow(), "S-O with modVID 0 is overflow-safe");
+        l.mod_vid = Vid(1);
+        assert!(!l.safe_to_overflow(), "S-O with modVID > 0 is not");
+        l.state = LineState::SpecModified;
+        l.mod_vid = Vid::NON_SPECULATIVE;
+        assert!(!l.safe_to_overflow(), "S-M never overflows safely");
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_speculative_ctor_rejects_spec_states() {
+        let _ = CacheLine::non_speculative(LineAddr(0), LineState::SpecModified);
+    }
+
+    #[test]
+    fn line_data_debug_is_compact() {
+        let mut d = LineData::zeroed();
+        d.write_u64(0, 0xab);
+        let s = format!("{d:?}");
+        assert!(s.starts_with("LineData["));
+        assert!(s.contains("ab"));
+    }
+}

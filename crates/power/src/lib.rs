@@ -1,0 +1,385 @@
+//! McPAT-lite: an analytical area/leakage/dynamic-energy model for Table 3.
+//!
+//! The paper models the 4-core machine with McPAT/CACTI at 22 nm and
+//! reports (Table 3):
+//!
+//! * commodity baseline: 107.1 mm², 5.515 W leakage;
+//! * with HMTX extensions: 111.1 mm² (+4.0 mm² for the two 6-bit VIDs on
+//!   every cache line plus the low/high cascaded comparators of §4.5),
+//!   5.607 W leakage;
+//! * runtime dynamic power ~3.6 W for one active core (sequential), ~14 W
+//!   for four; HMTX's total *energy* beats SMTX because it finishes sooner.
+//!
+//! This crate reproduces those relations with an explicit analytical model:
+//! SRAM area per bit, logic area per core, leakage per mm² (with a power
+//! gating factor for the rarely-switching HMTX metadata), and per-event
+//! dynamic energies driven by the simulator's actual event counts —
+//! including the §4.5 split between short (low-bit) and cascaded (full)
+//! VID comparisons.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmtx_power::PowerModel;
+//! use hmtx_types::MachineConfig;
+//!
+//! let cfg = MachineConfig::paper_default();
+//! let commodity = PowerModel::commodity(&cfg);
+//! let hmtx = PowerModel::with_hmtx(&cfg);
+//! assert!((commodity.area_mm2() - 107.1).abs() < 0.2);
+//! assert!((hmtx.area_mm2() - commodity.area_mm2() - 4.0).abs() < 0.6);
+//! assert!(hmtx.leakage_w() > commodity.leakage_w());
+//! ```
+
+#![warn(missing_docs)]
+
+use hmtx_machine::Machine;
+use hmtx_types::MachineConfig;
+
+/// Clock frequency (Table 2: 2.0 GHz).
+pub const CLOCK_HZ: f64 = 2.0e9;
+
+// ---- area constants (22 nm, calibrated to Table 3's 107.1 mm² base) ----
+
+/// Logic + private structures per core, mm².
+const CORE_AREA_MM2: f64 = 10.0;
+/// SRAM density, mm² per MiB (CACTI-like 22 nm figure).
+const SRAM_MM2_PER_MIB: f64 = 1.9;
+/// Interconnect, IO and uncore fixed area, mm².
+const UNCORE_AREA_MM2: f64 = 5.86;
+/// Extra comparator/control area per cache for the §4.5 cascaded VID
+/// comparators, mm².
+const VID_COMPARATOR_AREA_MM2: f64 = 0.17;
+/// Tag-array packing factor for the HMTX metadata bits (tag SRAM with
+/// per-way comparator wiring is less dense than data SRAM).
+const METADATA_AREA_FACTOR: f64 = 2.2;
+
+// ---- leakage ----
+
+/// Leakage per mm² (calibrated to 5.515 W / 107.1 mm²).
+const LEAKAGE_W_PER_MM2: f64 = 5.515 / 107.1;
+/// Power-gating factor applied to the HMTX metadata additions (the paper
+/// applies McPAT power gating; the VID bits switch rarely).
+const HMTX_LEAKAGE_GATING: f64 = 0.45;
+
+// ---- dynamic energy per event (nJ) ----
+
+const ENERGY_INSTR_NJ: f64 = 1.45;
+const ENERGY_WRONG_PATH_INSTR_NJ: f64 = 0.9;
+const ENERGY_L1_ACCESS_NJ: f64 = 0.18;
+const ENERGY_L2_ACCESS_NJ: f64 = 2.4;
+const ENERGY_MEM_ACCESS_NJ: f64 = 18.0;
+const ENERGY_BUS_TXN_NJ: f64 = 1.1;
+/// Extra tag energy per L1 access on HMTX hardware (the 12 wider tag bits
+/// are read even by code that never uses HMTX — the paper's "applications
+/// running on hardware with HMTX extensions still see a marginal increase").
+const ENERGY_HMTX_TAG_OVERHEAD_NJ: f64 = 0.012;
+const ENERGY_SHORT_VID_CMP_NJ: f64 = 0.004;
+const ENERGY_CASCADED_VID_CMP_NJ: f64 = 0.012;
+const ENERGY_SLA_NJ: f64 = 0.05;
+const ENERGY_COMMIT_BROADCAST_NJ: f64 = 4.0;
+
+/// HMTX metadata bits added per cache line (two 6-bit VIDs, §6.4).
+const HMTX_BITS_PER_LINE: f64 = 12.0;
+
+/// Dynamic-energy breakdown by component, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Core pipelines (instruction execution, right and wrong path).
+    pub cores_j: f64,
+    /// L1 data arrays.
+    pub l1_j: f64,
+    /// L2 / peer transfers.
+    pub l2_j: f64,
+    /// Main memory.
+    pub memory_j: f64,
+    /// Coherence fabric (bus transactions, commit broadcasts).
+    pub fabric_j: f64,
+    /// HMTX extensions (VID tags, comparators, SLAs); zero on commodity
+    /// hardware.
+    pub hmtx_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy.
+    pub fn total_j(&self) -> f64 {
+        self.cores_j + self.l1_j + self.l2_j + self.memory_j + self.fabric_j + self.hmtx_j
+    }
+}
+
+/// Area/power/energy evaluation of one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Total leakage in W.
+    pub leakage_w: f64,
+    /// Runtime dynamic power in W (dynamic energy / runtime).
+    pub dynamic_w: f64,
+    /// Total energy in J (leakage + dynamic over the runtime).
+    pub energy_j: f64,
+    /// Runtime in seconds at the modeled clock.
+    pub runtime_s: f64,
+    /// Where the dynamic energy went.
+    pub breakdown: EnergyBreakdown,
+}
+
+/// The analytical hardware model: a machine configuration with or without
+/// the HMTX extensions.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    cfg: MachineConfig,
+    hmtx_hardware: bool,
+}
+
+impl PowerModel {
+    /// Commodity hardware (no HMTX extensions) — the SMTX/sequential
+    /// baseline platform.
+    pub fn commodity(cfg: &MachineConfig) -> Self {
+        PowerModel {
+            cfg: cfg.clone(),
+            hmtx_hardware: false,
+        }
+    }
+
+    /// Hardware with the HMTX extensions of §6.4.
+    pub fn with_hmtx(cfg: &MachineConfig) -> Self {
+        PowerModel {
+            cfg: cfg.clone(),
+            hmtx_hardware: true,
+        }
+    }
+
+    /// Whether this model includes the HMTX extensions.
+    pub fn is_hmtx(&self) -> bool {
+        self.hmtx_hardware
+    }
+
+    fn cache_mib(&self) -> f64 {
+        let l1_bytes = self.cfg.l1.size_bytes * self.cfg.num_cores;
+        let l2_bytes = self.cfg.l2.size_bytes;
+        (l1_bytes + l2_bytes) as f64 / (1024.0 * 1024.0)
+    }
+
+    fn total_lines(&self) -> f64 {
+        (self.cfg.l1.num_lines() * self.cfg.num_cores + self.cfg.l2.num_lines()) as f64
+    }
+
+    /// HMTX metadata SRAM in MiB (two VIDs per line; CB/AB bits and the
+    /// per-cache LC VID registers are negligible next to them).
+    fn hmtx_metadata_mib(&self) -> f64 {
+        self.total_lines() * HMTX_BITS_PER_LINE / 8.0 / (1024.0 * 1024.0)
+    }
+
+    /// Die area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        let base = CORE_AREA_MM2 * self.cfg.num_cores as f64
+            + SRAM_MM2_PER_MIB * self.cache_mib()
+            + UNCORE_AREA_MM2;
+        if self.hmtx_hardware {
+            let metadata = self.hmtx_metadata_mib() * SRAM_MM2_PER_MIB * METADATA_AREA_FACTOR;
+            let comparators = VID_COMPARATOR_AREA_MM2 * (self.cfg.num_cores as f64 + 1.0);
+            base + metadata + comparators
+        } else {
+            base
+        }
+    }
+
+    /// Total leakage in W.
+    pub fn leakage_w(&self) -> f64 {
+        let base_area = PowerModel::commodity(&self.cfg).area_mm2();
+        let mut leak = base_area * LEAKAGE_W_PER_MM2;
+        if self.hmtx_hardware {
+            let extra = self.area_mm2() - base_area;
+            leak += extra * LEAKAGE_W_PER_MM2 * HMTX_LEAKAGE_GATING;
+        }
+        leak
+    }
+
+    /// Evaluates a finished simulation run on this hardware.
+    pub fn evaluate(&self, machine: &Machine) -> PowerReport {
+        let ms = machine.stats();
+        let mem = machine.mem().stats();
+        let cycles = machine.cycles().max(1);
+        let runtime_s = cycles as f64 / CLOCK_HZ;
+
+        let mut breakdown = EnergyBreakdown {
+            cores_j: (ms.instructions as f64 * ENERGY_INSTR_NJ
+                + ms.wrong_path_instructions as f64 * ENERGY_WRONG_PATH_INSTR_NJ)
+                * 1e-9,
+            l1_j: (mem.l1_hits + mem.l1_misses + mem.wrong_path_loads) as f64
+                * ENERGY_L1_ACCESS_NJ
+                * 1e-9,
+            l2_j: (mem.l2_hits + mem.peer_transfers) as f64 * ENERGY_L2_ACCESS_NJ * 1e-9,
+            memory_j: mem.mem_fills as f64 * ENERGY_MEM_ACCESS_NJ * 1e-9,
+            fabric_j: ((mem.l1_misses + mem.upgrades) as f64 * ENERGY_BUS_TXN_NJ
+                + (mem.commits + mem.aborts + mem.vid_resets) as f64 * ENERGY_COMMIT_BROADCAST_NJ)
+                * 1e-9,
+            hmtx_j: 0.0,
+        };
+        if self.hmtx_hardware {
+            breakdown.hmtx_j = ((mem.l1_hits + mem.l1_misses) as f64 * ENERGY_HMTX_TAG_OVERHEAD_NJ
+                + mem.short_vid_compares as f64 * ENERGY_SHORT_VID_CMP_NJ
+                + mem.cascaded_vid_compares as f64 * ENERGY_CASCADED_VID_CMP_NJ
+                + mem.slas_sent as f64 * ENERGY_SLA_NJ)
+                * 1e-9;
+        }
+        let dynamic_j = breakdown.total_j();
+        let dynamic_w = dynamic_j / runtime_s;
+        let leakage_w = self.leakage_w();
+        PowerReport {
+            area_mm2: self.area_mm2(),
+            leakage_w,
+            dynamic_w,
+            energy_j: dynamic_j + leakage_w * runtime_s,
+            runtime_s,
+            breakdown,
+        }
+    }
+}
+
+/// Geometric mean of a nonempty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert!((hmtx_power::geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_types::MachineConfig;
+
+    #[test]
+    fn base_area_matches_table3() {
+        let m = PowerModel::commodity(&MachineConfig::paper_default());
+        assert!((m.area_mm2() - 107.1).abs() < 0.2, "got {}", m.area_mm2());
+    }
+
+    #[test]
+    fn hmtx_area_overhead_is_about_4mm2() {
+        let cfg = MachineConfig::paper_default();
+        let delta = PowerModel::with_hmtx(&cfg).area_mm2() - PowerModel::commodity(&cfg).area_mm2();
+        assert!((delta - 4.0).abs() < 0.6, "got {delta}");
+    }
+
+    #[test]
+    fn leakage_matches_table3_shape() {
+        let cfg = MachineConfig::paper_default();
+        let base = PowerModel::commodity(&cfg).leakage_w();
+        let ext = PowerModel::with_hmtx(&cfg).leakage_w();
+        assert!((base - 5.515).abs() < 0.05, "got {base}");
+        assert!(ext > base);
+        assert!((ext - 5.607).abs() < 0.09, "got {ext}");
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_activity() {
+        use hmtx_isa::{Cond, ProgramBuilder, Reg};
+        use hmtx_machine::{Machine, ThreadContext};
+        use hmtx_types::ThreadId;
+        use std::sync::Arc;
+
+        let cfg = MachineConfig::test_default();
+        let busy = |cores: usize| {
+            let mut m = Machine::new(cfg.clone());
+            for c in 0..cores {
+                let mut b = ProgramBuilder::new();
+                let head = b.new_label();
+                b.li(Reg::R1, 0);
+                b.li(Reg::R2, 0x100000 + c as i64 * 0x1000);
+                b.bind(head).unwrap();
+                b.store(Reg::R1, Reg::R2, 0);
+                b.addi(Reg::R1, Reg::R1, 1);
+                b.branch_imm(Cond::Lt, Reg::R1, 2000, head);
+                b.halt();
+                m.load_thread(
+                    c,
+                    ThreadContext::new(ThreadId(c), Arc::new(b.build().unwrap())),
+                );
+            }
+            m.run(1_000_000).unwrap();
+            PowerModel::commodity(&cfg).evaluate(&m).dynamic_w
+        };
+        let one = busy(1);
+        let four = busy(4);
+        assert!(
+            four > one * 2.5,
+            "4 busy cores must burn much more: {one} vs {four}"
+        );
+    }
+
+    #[test]
+    fn hmtx_hardware_adds_marginal_dynamic_power() {
+        use hmtx_runtime::{run_loop, Paradigm};
+        use hmtx_workloads::{suite, Scale};
+
+        let cfg = MachineConfig::test_default();
+        let w = &suite(Scale::Quick)[7]; // ispell: fast
+        let (machine, _) = run_loop(Paradigm::Sequential, w.as_ref(), &cfg, 50_000_000).unwrap();
+        let commodity = PowerModel::commodity(&cfg).evaluate(&machine);
+        let hmtx = PowerModel::with_hmtx(&cfg).evaluate(&machine);
+        assert!(hmtx.dynamic_w > commodity.dynamic_w);
+        assert!(
+            hmtx.dynamic_w < commodity.dynamic_w * 1.1,
+            "overhead must be marginal: {} vs {}",
+            commodity.dynamic_w,
+            hmtx.dynamic_w
+        );
+    }
+
+    #[test]
+    fn energy_combines_leakage_and_dynamic() {
+        use hmtx_runtime::{run_loop, Paradigm};
+        use hmtx_workloads::{suite, Scale};
+
+        let cfg = MachineConfig::test_default();
+        let w = &suite(Scale::Quick)[7];
+        let (machine, _) = run_loop(Paradigm::Sequential, w.as_ref(), &cfg, 50_000_000).unwrap();
+        let r = PowerModel::with_hmtx(&cfg).evaluate(&machine);
+        let recomputed = r.dynamic_w * r.runtime_s + r.leakage_w * r.runtime_s;
+        assert!((r.energy_j - recomputed).abs() / r.energy_j < 1e-9);
+        assert!(r.runtime_s > 0.0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_dynamic_energy() {
+        use hmtx_runtime::run_loop;
+        use hmtx_workloads::{suite, Scale};
+        let cfg = MachineConfig::test_default();
+        let w = &suite(Scale::Quick)[7];
+        let (machine, _) = run_loop(w.meta().paradigm, w.as_ref(), &cfg, 50_000_000).unwrap();
+        let r = PowerModel::with_hmtx(&cfg).evaluate(&machine);
+        let sum = r.breakdown.total_j();
+        assert!((sum - r.dynamic_w * r.runtime_s).abs() / sum < 1e-9);
+        assert!(
+            r.breakdown.hmtx_j > 0.0,
+            "HMTX hardware must show extension energy"
+        );
+        assert!(r.breakdown.cores_j > 0.0);
+        let commodity = PowerModel::commodity(&cfg).evaluate(&machine);
+        assert_eq!(commodity.breakdown.hmtx_j, 0.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn geomean_rejects_empty() {
+        let _ = geomean(&[]);
+    }
+}

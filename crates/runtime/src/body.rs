@@ -1,0 +1,52 @@
+//! The interface a parallelizable loop exposes to the runtime.
+
+use hmtx_isa::ProgramBuilder;
+use hmtx_machine::Machine;
+
+use crate::env::LoopEnv;
+
+/// A loop that the runtime can parallelize under any paradigm.
+///
+/// The contract (register conventions in [`crate::env::regs`]):
+///
+/// * `emit_stage1` generates the *sequential pipeline stage* of one
+///   iteration. It runs inside the iteration's transaction. It receives the
+///   1-based iteration number in `N` and must leave the iteration's work
+///   item in `ITEM`. All loop-carried state must live in guest memory at
+///   [`LoopEnv::state_slot`] addresses (read at the start, written back
+///   speculatively), so that recovery can restart from committed memory and
+///   so DOACROSS workers can pick the state up through versioned memory.
+///   It may set `STOP` nonzero to make this the final iteration.
+/// * `emit_stage2` generates the *parallel stage*: it receives the work item
+///   in `ITEM` (the runtime routes it through the speculative
+///   `produced_slot` under HMTX, or through queues under SMTX) and performs
+///   the iteration's work on shared data.
+/// * Bodies may clobber registers `r0..r13`; `SPEC_LOADS`/`SPEC_STORES`
+///   (`r14`/`r15`) should be set to the iteration's validated access counts
+///   when the SMTX baseline will run this workload.
+pub trait LoopBody {
+    /// Upper bound on iterations (the runtime stops at `iterations` even if
+    /// `STOP` was never set).
+    fn iterations(&self) -> u64;
+
+    /// Writes the initial guest memory image (data structures, inputs) and
+    /// the initial values of the state slots.
+    fn build_image(&self, machine: &mut Machine, env: &LoopEnv);
+
+    /// Emits the sequential stage of one iteration.
+    fn emit_stage1(&self, b: &mut ProgramBuilder, env: &LoopEnv);
+
+    /// Emits the parallel stage of one iteration.
+    fn emit_stage2(&self, b: &mut ProgramBuilder, env: &LoopEnv);
+
+    /// Expected output length (sanity checking; `None` to skip).
+    fn expected_outputs(&self) -> Option<u64> {
+        None
+    }
+
+    /// `(loads, stores)` a hand-minimized SMTX port would validate per
+    /// iteration (the expert-programmer minimal read/write set of Figure 2).
+    fn minimal_rw_counts(&self) -> (u64, u64) {
+        (2, 1)
+    }
+}

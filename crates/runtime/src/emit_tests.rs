@@ -1,0 +1,152 @@
+//! Structural tests of the generated paradigm programs: the orchestration
+//! code must contain exactly the HMTX instruction sequences the paper's
+//! Figure 3 prescribes.
+
+use hmtx_isa::{Instr, ProgramBuilder};
+use hmtx_machine::Machine;
+
+use crate::body::LoopBody;
+use crate::emit::{build_paradigm, build_single_tx, Paradigm};
+use crate::env::{regs, LoopEnv};
+
+struct Nop;
+
+impl LoopBody for Nop {
+    fn iterations(&self) -> u64 {
+        4
+    }
+    fn build_image(&self, _m: &mut Machine, _env: &LoopEnv) {}
+    fn emit_stage1(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        b.mov(regs::ITEM, regs::N);
+    }
+    fn emit_stage2(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        b.compute(1);
+    }
+}
+
+fn env(workers: usize) -> LoopEnv {
+    LoopEnv::new(63, workers)
+}
+
+fn count<F: Fn(&Instr) -> bool>(p: &hmtx_isa::Program, f: F) -> usize {
+    p.instrs().iter().filter(|i| f(i)).count()
+}
+
+#[test]
+fn sequential_emits_no_mtx_instructions() {
+    let g = build_paradigm(Paradigm::Sequential, &Nop, &env(1), 1).unwrap();
+    assert_eq!(g.threads.len(), 1);
+    let p = &g.threads[0].program;
+    assert_eq!(count(p, |i| matches!(i, Instr::BeginMtx { .. })), 0);
+    assert_eq!(count(p, |i| matches!(i, Instr::CommitMtx { .. })), 0);
+    assert_eq!(count(p, |i| matches!(i, Instr::Produce { .. })), 0);
+}
+
+#[test]
+fn psdswp_stage1_publishes_and_routes() {
+    let g = build_paradigm(Paradigm::PsDswp, &Nop, &env(3), 1).unwrap();
+    assert_eq!(g.threads.len(), 4, "stage 1 + 3 workers");
+    let stage1 = &g.threads[0].program;
+    // Two beginMTX per iteration (enter with vid, leave with 0), the
+    // producedNode store, one produce per worker route plus sentinels.
+    assert_eq!(count(stage1, |i| matches!(i, Instr::BeginMtx { .. })), 2);
+    assert_eq!(
+        count(stage1, |i| matches!(i, Instr::CommitMtx { .. })),
+        0,
+        "stage 1 never commits"
+    );
+    assert_eq!(count(stage1, |i| matches!(i, Instr::Produce { .. })), 3 + 3);
+    assert!(
+        count(stage1, |i| matches!(i, Instr::Store { .. })) >= 1,
+        "producedNode store"
+    );
+    assert_eq!(count(stage1, |i| matches!(i, Instr::VidReset)), 0);
+    for (w, t) in g.threads[1..].iter().enumerate() {
+        assert_eq!(t.core, 1 + w);
+        let p = &t.program;
+        assert_eq!(
+            count(p, |i| matches!(i, Instr::CommitMtx { .. })),
+            1,
+            "worker {w} commits"
+        );
+        assert_eq!(
+            count(p, |i| matches!(i, Instr::VidReset)),
+            1,
+            "worker {w} owns the reset"
+        );
+        assert_eq!(count(p, |i| matches!(i, Instr::Consume { .. })), 1);
+    }
+}
+
+#[test]
+fn doall_workers_commit_and_stride() {
+    let g = build_paradigm(Paradigm::Doall, &Nop, &env(4), 1).unwrap();
+    assert_eq!(g.threads.len(), 4);
+    for t in &g.threads {
+        let p = &t.program;
+        assert_eq!(count(p, |i| matches!(i, Instr::CommitMtx { .. })), 1);
+        // No queues at all in DOALL.
+        assert_eq!(count(p, |i| matches!(i, Instr::Produce { .. })), 0);
+        assert_eq!(count(p, |i| matches!(i, Instr::Consume { .. })), 0);
+    }
+}
+
+#[test]
+fn doacross_workers_pass_the_token_ring() {
+    let g = build_paradigm(Paradigm::Doacross, &Nop, &env(4), 1).unwrap();
+    for t in &g.threads {
+        let p = &t.program;
+        assert_eq!(
+            count(p, |i| matches!(i, Instr::Produce { .. })),
+            1,
+            "token to successor"
+        );
+        assert_eq!(
+            count(p, |i| matches!(i, Instr::Consume { .. })),
+            1,
+            "token from predecessor"
+        );
+        assert_eq!(count(p, |i| matches!(i, Instr::CommitMtx { .. })), 1);
+    }
+}
+
+#[test]
+fn single_tx_program_is_one_guarded_transaction() {
+    let g = build_single_tx(&Nop, &env(2), 3).unwrap();
+    assert_eq!(g.threads.len(), 1);
+    let p = &g.threads[0].program;
+    assert_eq!(count(p, |i| matches!(i, Instr::BeginMtx { .. })), 2);
+    assert_eq!(count(p, |i| matches!(i, Instr::CommitMtx { .. })), 1);
+    assert_eq!(count(p, |i| matches!(i, Instr::Halt)), 1);
+}
+
+#[test]
+fn dswp_is_psdswp_with_one_worker() {
+    let dswp = build_paradigm(Paradigm::Dswp, &Nop, &env(1), 1).unwrap();
+    assert_eq!(dswp.threads.len(), 2);
+    assert_eq!(dswp.threads[1].core, 1);
+}
+
+#[test]
+fn generated_programs_disassemble_and_reassemble() {
+    // The orchestration code itself must round-trip through the assembler.
+    for paradigm in [
+        Paradigm::Sequential,
+        Paradigm::Doall,
+        Paradigm::Doacross,
+        Paradigm::PsDswp,
+    ] {
+        let g = build_paradigm(paradigm, &Nop, &env(2), 1).unwrap();
+        for t in &g.threads {
+            let text: String = t
+                .program
+                .disassemble()
+                .lines()
+                .map(|l| l.split_once(':').unwrap().1.trim().to_string() + "\n")
+                .collect();
+            let reparsed = hmtx_isa::assemble(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", paradigm.name()));
+            assert_eq!(&reparsed, t.program.as_ref(), "{}", paradigm.name());
+        }
+    }
+}

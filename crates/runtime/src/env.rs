@@ -1,0 +1,181 @@
+//! Conventions shared between the runtime's generated orchestration code and
+//! workload-emitted loop bodies: register allocation, the runtime control
+//! block, and well-known guest addresses.
+
+use hmtx_types::Addr;
+
+/// Base of the runtime-reserved guest address region.
+pub const RUNTIME_REGION_BASE: u64 = 0x0001_0000;
+
+/// Base address workloads should allocate their data above.
+pub const WORKLOAD_REGION_BASE: u64 = 0x0010_0000;
+
+/// Register conventions. Workload bodies own `r0..r15`; the runtime owns
+/// `r16..r31`.
+pub mod regs {
+    use hmtx_isa::Reg;
+
+    /// The current work item, set by stage 1 for stage 2.
+    pub const ITEM: Reg = Reg::R16;
+    /// Early-stop flag: a stage-1 body sets this nonzero to make the current
+    /// iteration the last one.
+    pub const STOP: Reg = Reg::R17;
+    /// Dynamic count of validated speculative loads this iteration
+    /// (consumed by the SMTX cost model).
+    pub const SPEC_LOADS: Reg = Reg::R14;
+    /// Dynamic count of validated speculative stores this iteration.
+    pub const SPEC_STORES: Reg = Reg::R15;
+    /// Worker/stride register (runtime).
+    pub const STRIDE: Reg = Reg::R18;
+    /// First-iteration flag (runtime, DOACROSS token skip).
+    pub const FIRST: Reg = Reg::R19;
+    /// Scratch (runtime).
+    pub const T0: Reg = Reg::R20;
+    /// Scratch (runtime).
+    pub const T1: Reg = Reg::R21;
+    /// Maximum VID (runtime).
+    pub const MAX_VID: Reg = Reg::R22;
+    /// Runtime control block base address (runtime).
+    pub const RCB: Reg = Reg::R23;
+    /// Current VID (runtime).
+    pub const VID: Reg = Reg::R24;
+    /// Current global transaction number `n`, 1-based (runtime).
+    pub const N: Reg = Reg::R25;
+    /// Iteration bound / general runtime constant.
+    pub const BOUND: Reg = Reg::R26;
+    /// Produced-slot base address (runtime).
+    pub const SLOT: Reg = Reg::R27;
+}
+
+/// Byte offsets of the runtime control block fields.
+pub mod rcb {
+    /// `last_committed`: highest globally committed transaction number.
+    pub const LAST_COMMITTED: i64 = 0;
+    /// `vid_base`: transaction number at the last VID reset; the VID of
+    /// transaction `n` is `n - vid_base`.
+    pub const VID_BASE: i64 = 8;
+}
+
+/// Well-known addresses and constants handed to emitters.
+///
+/// # Examples
+///
+/// ```
+/// use hmtx_runtime::LoopEnv;
+/// let env = LoopEnv::new(63, 3);
+/// assert_eq!(env.max_vid, 63);
+/// assert!(env.produced_slot.0 >= hmtx_runtime::env::RUNTIME_REGION_BASE);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopEnv {
+    /// Runtime control block base (on its own cache line).
+    pub rcb: Addr,
+    /// The single shared location stage 1 speculatively stores each work
+    /// item to (the paper's `producedNode`, §3.2). Versioned memory keeps
+    /// per-transaction copies apart.
+    pub produced_slot: Addr,
+    /// Base of the stage-1 induction-state slots (one cache line each);
+    /// workload stage-1 bodies keep their loop-carried state here so that
+    /// recovery can restart from committed memory.
+    pub state_base: Addr,
+    /// Base of the per-worker SMTX log regions.
+    pub smtx_log_base: Addr,
+    /// Highest usable VID before a reset (2^m - 1).
+    pub max_vid: u16,
+    /// Number of parallel-stage workers.
+    pub workers: usize,
+    /// Maximum in-flight transactions (see
+    /// [`MachineConfig::pipeline_window`](hmtx_types::MachineConfig)).
+    pub pipeline_window: u64,
+}
+
+impl LoopEnv {
+    /// Builds the standard environment for `workers` parallel-stage workers.
+    pub fn new(max_vid: u16, workers: usize) -> Self {
+        LoopEnv {
+            rcb: Addr(RUNTIME_REGION_BASE),
+            produced_slot: Addr(RUNTIME_REGION_BASE + 0x100),
+            state_base: Addr(RUNTIME_REGION_BASE + 0x200),
+            smtx_log_base: Addr(RUNTIME_REGION_BASE + 0x1_0000),
+            max_vid,
+            workers,
+            pipeline_window: 16,
+        }
+    }
+
+    /// Sets the in-flight transaction bound.
+    pub fn with_pipeline_window(mut self, window: u64) -> Self {
+        self.pipeline_window = window;
+        self
+    }
+
+    /// The address of stage-1 state slot `i` (each on its own line).
+    pub fn state_slot(&self, i: u64) -> Addr {
+        Addr(self.state_base.0 + i * 64)
+    }
+
+    /// The SMTX log region for worker `w` (64 KiB each).
+    pub fn smtx_log_region(&self, w: usize) -> Addr {
+        Addr(self.smtx_log_base.0 + (w as u64) * 0x1_0000)
+    }
+}
+
+/// Convenience: all runtime-owned registers (for documentation and tests).
+pub fn runtime_registers() -> Vec<hmtx_isa::Reg> {
+    use regs::*;
+    vec![
+        ITEM,
+        STOP,
+        SPEC_LOADS,
+        SPEC_STORES,
+        STRIDE,
+        FIRST,
+        T0,
+        T1,
+        MAX_VID,
+        RCB,
+        VID,
+        N,
+        BOUND,
+        SLOT,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint() {
+        let env = LoopEnv::new(63, 3);
+        assert!(env.rcb.0 < env.produced_slot.0);
+        assert!(env.produced_slot.0 < env.state_base.0);
+        assert!(env.state_base.0 < env.smtx_log_base.0);
+        assert!(env.smtx_log_base.0 < WORKLOAD_REGION_BASE);
+        assert_ne!(env.rcb.line(), env.produced_slot.line());
+    }
+
+    #[test]
+    fn state_slots_live_on_distinct_lines() {
+        let env = LoopEnv::new(63, 2);
+        assert_ne!(env.state_slot(0).line(), env.state_slot(1).line());
+    }
+
+    #[test]
+    fn smtx_log_regions_do_not_overlap() {
+        let env = LoopEnv::new(63, 3);
+        let r0 = env.smtx_log_region(0);
+        let r1 = env.smtx_log_region(1);
+        assert!(r1.0 - r0.0 >= 0x1_0000);
+    }
+
+    #[test]
+    fn runtime_registers_are_r14_and_up() {
+        for r in runtime_registers() {
+            assert!(
+                r.index() >= 14,
+                "{r} must not collide with workload registers"
+            );
+        }
+    }
+}

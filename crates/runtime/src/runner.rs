@@ -1,0 +1,188 @@
+//! The run harness: dispatches a parallelized loop onto a machine, handles
+//! misspeculation recovery, and reports timing/statistics.
+
+use hmtx_core::{AccessKind, AccessRequest, AccessResponse, MisspecCause};
+use hmtx_machine::{Machine, MachineStats, RunEvent, ThreadContext};
+use hmtx_types::{CoreId, Cycle, MachineConfig, SimError, ThreadId, Vid};
+
+use crate::body::LoopBody;
+use crate::emit::{build_paradigm, Paradigm};
+use crate::env::{rcb, LoopEnv};
+
+/// Safety valve: a run that recovers this many times is considered livelocked.
+const MAX_RECOVERIES: u64 = 1_000;
+
+/// Result of running a parallelized loop to completion.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Paradigm that ran.
+    pub paradigm: Paradigm,
+    /// Completion time in cycles.
+    pub cycles: Cycle,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Times the machine aborted and the runtime re-dispatched.
+    pub recoveries: u64,
+    /// Causes of each recovery (the runtime aborts after 1,000 recoveries).
+    pub recovery_causes: Vec<MisspecCause>,
+    /// Committed program output.
+    pub outputs: Vec<u64>,
+    /// Machine statistics snapshot.
+    pub machine_stats: MachineStats,
+}
+
+/// Runs `body` under `paradigm` on a fresh machine built from `cfg`.
+///
+/// Returns the machine (for memory verification and statistics) together
+/// with the report.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for guest-program bugs or when the instruction
+/// budget/recovery limit is exceeded.
+pub fn run_loop(
+    paradigm: Paradigm,
+    body: &dyn LoopBody,
+    cfg: &MachineConfig,
+    budget: u64,
+) -> Result<(Machine, RunReport), SimError> {
+    let workers = match paradigm {
+        Paradigm::Sequential => 1,
+        Paradigm::Doall | Paradigm::Doacross => cfg.num_cores,
+        Paradigm::Dswp => 1,
+        Paradigm::PsDswp => cfg.num_cores.saturating_sub(1).max(1),
+    };
+    let env = LoopEnv::new(cfg.hmtx.max_vid().0, workers).with_pipeline_window(cfg.pipeline_window);
+    let mut machine = Machine::new(cfg.clone());
+    body.build_image(&mut machine, &env);
+
+    dispatch(paradigm, body, &env, &mut machine, 1)?;
+
+    let mut recoveries = 0;
+    let mut recovery_causes = Vec::new();
+    let mut spent = 0u64;
+    loop {
+        let before = machine.stats().instructions;
+        let event = machine.run(budget.saturating_sub(spent))?;
+        spent += machine.stats().instructions - before;
+        match event {
+            RunEvent::AllHalted => break,
+            RunEvent::BudgetExhausted => {
+                return Err(SimError::InstructionBudgetExceeded { budget });
+            }
+            RunEvent::Misspeculation { cause, cycle } => {
+                recoveries += 1;
+                if recoveries > MAX_RECOVERIES {
+                    return Err(SimError::BadProgram(format!(
+                        "{} recoveries without progress (last cause: {cause:?})",
+                        MAX_RECOVERIES
+                    )));
+                }
+                recovery_causes.push(cause);
+                recover(paradigm, body, &env, &mut machine, cycle)?;
+            }
+        }
+    }
+
+    if let Some(expected) = body.expected_outputs() {
+        let got = machine.committed_output().len() as u64;
+        debug_assert_eq!(expected, got, "workload output count mismatch");
+    }
+
+    let report = RunReport {
+        paradigm,
+        cycles: machine.cycles(),
+        instructions: machine.stats().instructions,
+        recoveries,
+        recovery_causes,
+        outputs: machine.committed_output().to_vec(),
+        machine_stats: *machine.stats(),
+    };
+    Ok((machine, report))
+}
+
+/// Loads the generated thread programs onto their cores.
+fn dispatch(
+    paradigm: Paradigm,
+    body: &dyn LoopBody,
+    env: &LoopEnv,
+    machine: &mut Machine,
+    n0: u64,
+) -> Result<(), SimError> {
+    let generated = build_paradigm(paradigm, body, env, n0)?;
+    for (i, t) in generated.threads.into_iter().enumerate() {
+        machine.load_thread(t.core, ThreadContext::new(ThreadId(i), t.program));
+    }
+    Ok(())
+}
+
+/// Recovery after an abort: the machine has already flushed all speculative
+/// state and queues. Re-synchronize the runtime control block with the true
+/// commit count and restart every thread from the first uncommitted
+/// transaction (the paper's recovery-code path, hosted here).
+fn recover(
+    paradigm: Paradigm,
+    body: &dyn LoopBody,
+    env: &LoopEnv,
+    machine: &mut Machine,
+    cycle: Cycle,
+) -> Result<(), SimError> {
+    // Total commits is monotonic across VID resets; every transaction
+    // 1..=commits committed exactly once.
+    let committed = machine.mem().stats().commits;
+    let n0 = committed + 1;
+
+    // Free the VID space: everything uncommitted was just aborted, so every
+    // outstanding VID is either committed or gone.
+    if machine.mem().last_committed() > Vid::NON_SPECULATIVE {
+        machine.vid_reset();
+    }
+
+    // Fix the runtime control block through the coherence protocol (plain
+    // non-speculative stores), charging normal memory latency.
+    let now = machine.cycles().max(cycle);
+    for (offset, value) in [(rcb::LAST_COMMITTED, committed), (rcb::VID_BASE, committed)] {
+        let req = AccessRequest {
+            core: CoreId(0),
+            addr: env.rcb.offset(offset),
+            kind: AccessKind::Write(value),
+            vid: Vid::NON_SPECULATIVE,
+            wrong_path: false,
+        };
+        match machine.mem_mut().access(now, &req)? {
+            AccessResponse::Done { .. } => {}
+            AccessResponse::Misspec { cause, .. } => {
+                return Err(SimError::BadProgram(format!(
+                    "runtime control block conflicted during recovery: {cause:?}"
+                )));
+            }
+        }
+    }
+
+    // Guarantee forward progress: re-execute the first uncommitted
+    // transaction alone (a true cross-iteration conflict would otherwise
+    // recur forever), then go parallel again from n0 + 1.
+    for core in 0..machine.config().num_cores {
+        machine.unload_thread(core);
+    }
+    if n0 <= body.iterations() {
+        let single = crate::emit::build_single_tx(body, env, n0)?;
+        for (i, t) in single.threads.into_iter().enumerate() {
+            machine.load_thread(t.core, ThreadContext::new(ThreadId(i), t.program));
+        }
+        match machine.run(u64::MAX)? {
+            RunEvent::AllHalted => {}
+            RunEvent::Misspeculation { cause, .. } => {
+                return Err(SimError::BadProgram(format!(
+                    "transaction {n0} misspeculated while running alone: {cause:?}"
+                )));
+            }
+            RunEvent::BudgetExhausted => unreachable!("unlimited budget"),
+        }
+        for core in 0..machine.config().num_cores {
+            machine.unload_thread(core);
+        }
+        return dispatch(paradigm, body, env, machine, n0 + 1);
+    }
+    dispatch(paradigm, body, env, machine, n0)
+}

@@ -1,0 +1,115 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration was supplied.
+///
+/// # Examples
+///
+/// ```
+/// use hmtx_types::{CacheConfig, ConfigError};
+/// let bad = CacheConfig { size_bytes: 100, ways: 3, latency: 1 };
+/// let err: ConfigError = bad.validate().unwrap_err();
+/// assert!(err.to_string().contains("multiple"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A simulation failed in a way that is a bug in the *guest program*
+/// (not a misspeculation, which is a modeled architectural event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum SimError {
+    /// A guest memory access crossed a cache-line boundary.
+    UnalignedAccess { addr: u64 },
+    /// A guest program ran past its instruction budget (likely livelock).
+    InstructionBudgetExceeded { budget: u64 },
+    /// Guest code referenced an undefined queue, register, or label.
+    BadProgram(String),
+    /// A transaction commit was requested out of consecutive VID order.
+    NonConsecutiveCommit { expected: u16, got: u16 },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnalignedAccess { addr } => {
+                write!(
+                    f,
+                    "guest access at 0x{addr:x} crosses a cache line boundary"
+                )
+            }
+            SimError::InstructionBudgetExceeded { budget } => {
+                write!(f, "guest program exceeded instruction budget of {budget}")
+            }
+            SimError::BadProgram(msg) => write!(f, "malformed guest program: {msg}"),
+            SimError::NonConsecutiveCommit { expected, got } => {
+                write!(
+                    f,
+                    "commit of v{got} violates consecutive order (expected v{expected})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let e = ConfigError::new("cache set count must be a power of two");
+        let s = e.to_string();
+        assert!(s.starts_with("invalid configuration"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn sim_error_messages() {
+        assert!(SimError::UnalignedAccess { addr: 0x3f }
+            .to_string()
+            .contains("0x3f"));
+        assert!(SimError::InstructionBudgetExceeded { budget: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(SimError::NonConsecutiveCommit {
+            expected: 2,
+            got: 4
+        }
+        .to_string()
+        .contains("v4"));
+        assert!(SimError::BadProgram("no label".into())
+            .to_string()
+            .contains("no label"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<SimError>();
+    }
+}

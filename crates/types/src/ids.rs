@@ -1,0 +1,255 @@
+//! Identifier newtypes: version IDs, addresses, core/thread/queue handles.
+
+use std::fmt;
+
+use crate::config::{LINE_SIZE, LINE_SIZE_BITS};
+
+/// A transaction *version ID*.
+///
+/// Every multithreaded transaction is assigned a VID corresponding to the
+/// original sequential program order (paper §3). VID `0` is reserved for
+/// non-speculative execution. VIDs are physically limited to
+/// [`HmtxConfig::vid_bits`](crate::HmtxConfig::vid_bits) bits in hardware;
+/// this type stores the full value and lets the protocol layer enforce the
+/// width.
+///
+/// # Examples
+///
+/// ```
+/// use hmtx_types::Vid;
+/// let v = Vid(3);
+/// assert!(v.is_speculative());
+/// assert_eq!(v.next(), Vid(4));
+/// assert!(Vid::NON_SPECULATIVE < v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vid(pub u16);
+
+impl Vid {
+    /// The reserved VID for non-speculative execution.
+    pub const NON_SPECULATIVE: Vid = Vid(0);
+
+    /// Returns `true` if this is the reserved non-speculative VID (zero).
+    #[inline]
+    pub fn is_non_speculative(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if this VID labels speculative (transactional) work.
+    #[inline]
+    pub fn is_speculative(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The consecutive successor VID (original-program-order successor).
+    #[inline]
+    pub fn next(self) -> Vid {
+        Vid(self.0 + 1)
+    }
+
+    /// The largest VID representable with `bits` bits (e.g. 63 for the
+    /// paper's 6-bit configuration).
+    #[inline]
+    pub fn max_for_bits(bits: u32) -> Vid {
+        Vid(((1u32 << bits) - 1) as u16)
+    }
+}
+
+impl fmt::Display for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u16> for Vid {
+    fn from(raw: u16) -> Self {
+        Vid(raw)
+    }
+}
+
+/// A byte address in the simulated guest physical address space.
+///
+/// # Examples
+///
+/// ```
+/// use hmtx_types::{Addr, LineAddr};
+/// let a = Addr(0x1040);
+/// assert_eq!(a.line(), LineAddr(0x41));
+/// assert_eq!(a.line_offset(), 0);
+/// assert_eq!(a.offset(8).0, 0x1048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SIZE_BITS)
+    }
+
+    /// Byte offset of this address inside its cache line.
+    #[inline]
+    pub fn line_offset(self) -> usize {
+        (self.0 & (LINE_SIZE as u64 - 1)) as usize
+    }
+
+    /// This address displaced by `delta` bytes (wrapping on overflow).
+    #[inline]
+    pub fn offset(self, delta: i64) -> Addr {
+        Addr(self.0.wrapping_add(delta as u64))
+    }
+
+    /// Returns `true` if an aligned 8-byte word at this address stays inside
+    /// one cache line (the simulator only issues word accesses that do).
+    #[inline]
+    pub fn word_in_line(self) -> bool {
+        self.line_offset() + 8 <= LINE_SIZE
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line address (byte address divided by the 64 B line size).
+///
+/// # Examples
+///
+/// ```
+/// use hmtx_types::{Addr, LineAddr};
+/// let l = LineAddr(2);
+/// assert_eq!(l.base(), Addr(128));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The first byte address of this line.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 << LINE_SIZE_BITS)
+    }
+
+    /// The cache set index for a cache with `num_sets` sets (a power of two).
+    #[inline]
+    pub fn set_index(self, num_sets: usize) -> usize {
+        (self.0 as usize) & (num_sets - 1)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L0x{:x}", self.0)
+    }
+}
+
+/// Index of a processor core in the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Index of a software thread (threads may migrate between cores, §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub usize);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Index of a hardware produce/consume queue connecting pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QueueId(pub usize);
+
+impl fmt::Display for QueueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A simulated clock cycle count.
+pub type Cycle = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vid_ordering_matches_program_order() {
+        assert!(Vid(1) < Vid(2));
+        assert_eq!(Vid(5).next(), Vid(6));
+        assert!(Vid::NON_SPECULATIVE.is_non_speculative());
+        assert!(!Vid::NON_SPECULATIVE.is_speculative());
+        assert!(Vid(1).is_speculative());
+    }
+
+    #[test]
+    fn vid_max_for_bits() {
+        assert_eq!(Vid::max_for_bits(6), Vid(63));
+        assert_eq!(Vid::max_for_bits(3), Vid(7));
+        assert_eq!(Vid::max_for_bits(8), Vid(255));
+    }
+
+    #[test]
+    fn addr_line_decomposition() {
+        let a = Addr(0x1040);
+        assert_eq!(a.line(), LineAddr(0x41));
+        assert_eq!(a.line_offset(), 0);
+        assert_eq!(Addr(0x107f).line(), LineAddr(0x41));
+        assert_eq!(Addr(0x107f).line_offset(), 0x3f);
+    }
+
+    #[test]
+    fn line_base_round_trips() {
+        let l = LineAddr(123);
+        assert_eq!(l.base().line(), l);
+        assert_eq!(l.base().line_offset(), 0);
+    }
+
+    #[test]
+    fn set_index_masks_low_bits() {
+        assert_eq!(LineAddr(0x41).set_index(16), 0x1);
+        assert_eq!(LineAddr(0xff).set_index(16), 0xf);
+        assert_eq!(LineAddr(0xff).set_index(1), 0);
+    }
+
+    #[test]
+    fn word_in_line_boundary() {
+        assert!(Addr(0).word_in_line());
+        assert!(Addr(56).word_in_line());
+        assert!(!Addr(57).word_in_line());
+        assert!(!Addr(63).word_in_line());
+        assert!(Addr(64).word_in_line());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Vid(7).to_string(), "v7");
+        assert_eq!(Addr(16).to_string(), "0x10");
+        assert_eq!(LineAddr(16).to_string(), "L0x10");
+        assert_eq!(CoreId(2).to_string(), "core2");
+        assert_eq!(ThreadId(1).to_string(), "t1");
+        assert_eq!(QueueId(0).to_string(), "q0");
+    }
+
+    #[test]
+    fn addr_offset_signed() {
+        assert_eq!(Addr(100).offset(-4), Addr(96));
+        assert_eq!(Addr(100).offset(28), Addr(128));
+    }
+}

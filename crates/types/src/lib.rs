@@ -1,0 +1,33 @@
+//! Shared vocabulary types for the HMTX (Hardware Multithreaded Transactions)
+//! reproduction.
+//!
+//! This crate defines the newtypes used across every other crate in the
+//! workspace — version IDs ([`Vid`]), guest addresses ([`Addr`],
+//! [`LineAddr`]), core/thread identifiers — together with the architectural
+//! configuration structures that mirror Table 2 of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmtx_types::{Addr, LineAddr, Vid, MachineConfig};
+//!
+//! let cfg = MachineConfig::paper_default();
+//! assert_eq!(cfg.num_cores, 4);
+//!
+//! let a = Addr(0x1234);
+//! assert_eq!(a.line(), LineAddr(0x1234 >> 6));
+//! assert!(Vid::NON_SPECULATIVE.is_non_speculative());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod ids;
+
+pub use config::{
+    CacheConfig, HmtxConfig, Interconnect, MachineConfig, SmtxConfig, VictimPolicy, LINE_SIZE,
+    LINE_SIZE_BITS,
+};
+pub use error::{ConfigError, SimError};
+pub use ids::{Addr, CoreId, Cycle, LineAddr, QueueId, ThreadId, Vid};

@@ -1,0 +1,216 @@
+//! 052.alvinn analogue: neural-network training (DOALL).
+//!
+//! ALVINN trains a small feed-forward network on road images. The hot loop
+//! is a DOALL over training patterns: each iteration computes the hidden
+//! layer activations for one pattern — affine loops over a shared read-only
+//! weight matrix, with very regular (highly predictable) control flow, which
+//! is why the paper reports a 0.245% misprediction rate and few SLAs.
+//!
+//! Each iteration reads `hidden x inputs` weights and one input pattern, and
+//! writes this pattern's activation vector and error cell (disjoint across
+//! iterations, so the DOALL transactions never conflict).
+
+use hmtx_isa::{ProgramBuilder, Reg};
+use hmtx_machine::Machine;
+use hmtx_runtime::env::{regs, LoopEnv, WORKLOAD_REGION_BASE};
+use hmtx_runtime::LoopBody;
+
+use crate::emitlib::counted_loop;
+use crate::heap::GuestHeap;
+use crate::meta::WorkloadMeta;
+use crate::suite::{meta_for, Scale, Workload};
+
+/// The ALVINN analogue.
+#[derive(Debug, Clone)]
+pub struct Alvinn {
+    iters: u64,
+    hidden: u64,
+    inputs: u64,
+    weights: u64,
+    patterns: u64,
+    activations: u64,
+    errors: u64,
+}
+
+impl Alvinn {
+    /// Builds the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (iters, hidden, inputs) = match scale {
+            Scale::Quick => (24, 8, 12),
+            Scale::Standard => (48, 16, 24),
+            Scale::Stress => (64, 48, 64),
+        };
+        let weights = WORKLOAD_REGION_BASE;
+        let patterns = weights + hidden * inputs * 8;
+        let activations = patterns + iters * inputs * 8;
+        let errors = activations + iters * hidden * 8;
+        Alvinn {
+            iters,
+            hidden,
+            inputs,
+            weights,
+            patterns,
+            activations,
+            errors,
+        }
+    }
+
+    /// Host-side reference result: the error sum for pattern `n` (1-based).
+    pub fn expected_error(&self, machine: &Machine, n: u64) -> u64 {
+        let mut total = 0u64;
+        for h in 0..self.hidden {
+            let mut acc = 0u64;
+            for i in 0..self.inputs {
+                let w = machine
+                    .mem()
+                    .memory()
+                    .read_word(hmtx_types::Addr(self.weights + (h * self.inputs + i) * 8));
+                let p = machine.mem().memory().read_word(hmtx_types::Addr(
+                    self.patterns + ((n - 1) * self.inputs + i) * 8,
+                ));
+                acc = acc.wrapping_add(w.wrapping_mul(p));
+            }
+            total = total.wrapping_add(acc);
+        }
+        total
+    }
+
+    /// Address of the error cell for pattern `n` (1-based).
+    pub fn error_cell(&self, n: u64) -> u64 {
+        self.errors + (n - 1) * 64
+    }
+}
+
+impl LoopBody for Alvinn {
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+
+    fn build_image(&self, machine: &mut Machine, _env: &LoopEnv) {
+        let mut heap = GuestHeap::new(0x052);
+        let w = heap.alloc_random_words(machine, self.hidden * self.inputs, 97);
+        let p = heap.alloc_random_words(machine, self.iters * self.inputs, 255);
+        debug_assert_eq!(w.0, self.weights);
+        debug_assert_eq!(p.0, self.patterns);
+        heap.alloc(self.iters * self.hidden * 8); // activations (zeroed)
+        heap.alloc(self.iters * 64); // error cells
+    }
+
+    fn emit_stage1(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        b.mov(regs::ITEM, regs::N);
+    }
+
+    fn emit_stage2(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        // R1 = this pattern's input row, R3 = this pattern's activation row.
+        b.sub(Reg::R1, regs::ITEM, 1);
+        b.mul(Reg::R1, Reg::R1, self.inputs as i64 * 8);
+        b.addi(Reg::R1, Reg::R1, self.patterns as i64);
+        b.sub(Reg::R3, regs::ITEM, 1);
+        b.mul(Reg::R3, Reg::R3, self.hidden as i64 * 8);
+        b.addi(Reg::R3, Reg::R3, self.activations as i64);
+        b.li(Reg::R11, 0); // error accumulator
+        let (hidden, inputs, weights) = (self.hidden, self.inputs, self.weights);
+        counted_loop(b, Reg::R4, hidden, |b| {
+            // Weight row pointer and pattern pointer.
+            b.mul(Reg::R7, Reg::R4, inputs as i64 * 8);
+            b.addi(Reg::R7, Reg::R7, weights as i64);
+            b.mov(Reg::R8, Reg::R1);
+            b.li(Reg::R5, 0);
+            counted_loop(b, Reg::R6, inputs, |b| {
+                b.load(Reg::R9, Reg::R7, 0);
+                b.load(Reg::R10, Reg::R8, 0);
+                b.mul(Reg::R9, Reg::R9, Reg::R10);
+                b.add(Reg::R5, Reg::R5, Reg::R9);
+                b.addi(Reg::R7, Reg::R7, 8);
+                b.addi(Reg::R8, Reg::R8, 8);
+            })
+            .unwrap();
+            b.shl(Reg::R9, Reg::R4, 3);
+            b.add(Reg::R9, Reg::R9, Reg::R3);
+            b.store(Reg::R5, Reg::R9, 0);
+            b.add(Reg::R11, Reg::R11, Reg::R5);
+        })
+        .unwrap();
+        // Error cell for this pattern.
+        b.sub(Reg::R9, regs::ITEM, 1);
+        b.mul(Reg::R9, Reg::R9, 64);
+        b.addi(Reg::R9, Reg::R9, self.errors as i64);
+        b.store(Reg::R11, Reg::R9, 0);
+        // Validated access counts for the SMTX baseline.
+        b.li(regs::SPEC_LOADS, (self.hidden * self.inputs * 2) as i64);
+        b.li(regs::SPEC_STORES, (self.hidden + 1) as i64);
+    }
+
+    fn minimal_rw_counts(&self) -> (u64, u64) {
+        (2, 1)
+    }
+}
+
+impl Workload for Alvinn {
+    fn meta(&self) -> WorkloadMeta {
+        meta_for("052.alvinn")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_runtime::{run_loop, Paradigm};
+    use hmtx_types::{Addr, MachineConfig, Vid};
+
+    #[test]
+    fn sequential_matches_host_reference() {
+        let w = Alvinn::new(Scale::Quick);
+        let (machine, report) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            50_000_000,
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 0);
+        for n in 1..=w.iterations() {
+            assert_eq!(
+                machine.mem().peek_word(Addr(w.error_cell(n)), Vid(0)),
+                w.expected_error(&machine, n),
+                "pattern {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn doall_matches_sequential_and_does_not_abort() {
+        let w = Alvinn::new(Scale::Quick);
+        let (machine, report) = run_loop(
+            Paradigm::Doall,
+            &w,
+            &MachineConfig::test_default(),
+            50_000_000,
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 0, "DOALL iterations are independent");
+        for n in 1..=w.iterations() {
+            assert_eq!(
+                machine.mem().peek_word(Addr(w.error_cell(n)), Vid(0)),
+                w.expected_error(&machine, n)
+            );
+        }
+    }
+
+    #[test]
+    fn branch_profile_is_regular() {
+        let w = Alvinn::new(Scale::Quick);
+        let (machine, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            50_000_000,
+        )
+        .unwrap();
+        assert!(
+            machine.stats().mispredict_rate() < 0.05,
+            "affine loops must predict well, got {:.3}",
+            machine.stats().mispredict_rate()
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! 256.bzip2 analogue: block-sorting compression (PS-DSWP).
+//!
+//! bzip2 has the paper's largest read/write sets (≈16 MB per transaction,
+//! Figure 9): each iteration sorts an entire block. Stage 1 advances the
+//! block cursor; stage 2 copies the block into a per-iteration workspace and
+//! runs odd-even transposition passes over it — bulk reads and writes that
+//! dominate the validation traffic under SMTX and stress HMTX's version
+//! storage.
+
+use hmtx_isa::{Cond, ProgramBuilder, Reg};
+use hmtx_machine::Machine;
+use hmtx_runtime::env::{regs, LoopEnv, WORKLOAD_REGION_BASE};
+use hmtx_runtime::LoopBody;
+
+use crate::emitlib::{counted_loop, iter_region};
+use crate::heap::GuestHeap;
+use crate::meta::WorkloadMeta;
+use crate::suite::{meta_for, Scale, Workload};
+
+/// The bzip2 analogue.
+#[derive(Debug, Clone)]
+pub struct Bzip2 {
+    iters: u64,
+    block_words: u64,
+    passes: u64,
+    input: u64,
+    workspaces: u64,
+    workspace_stride: u64,
+    checksums: u64,
+}
+
+impl Bzip2 {
+    /// Builds the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (iters, block_words, passes) = match scale {
+            Scale::Quick => (12, 128, 4),
+            Scale::Standard => (36, 1024, 6),
+            Scale::Stress => (48, 2048, 8),
+        };
+        let input = WORKLOAD_REGION_BASE;
+        let input_bytes: u64 = iters * block_words * 8;
+        let workspaces = input + input_bytes.div_ceil(64) * 64;
+        let workspace_stride = (block_words * 8).div_ceil(64) * 64;
+        let checksums = workspaces + iters * workspace_stride;
+        Bzip2 {
+            iters,
+            block_words,
+            passes,
+            input,
+            workspaces,
+            workspace_stride,
+            checksums,
+        }
+    }
+
+    /// Address of the checksum cell of block `n` (1-based).
+    pub fn checksum_cell(&self, n: u64) -> u64 {
+        self.checksums + (n - 1) * 64
+    }
+
+    /// Host-side reference: sorts block `n`'s input and returns the
+    /// position-weighted checksum the guest computes.
+    pub fn expected_checksum(&self, machine: &Machine, n: u64) -> u64 {
+        let base = self.input + (n - 1) * self.block_words * 8;
+        let mut words: Vec<u64> = (0..self.block_words)
+            .map(|i| {
+                machine
+                    .mem()
+                    .memory()
+                    .read_word(hmtx_types::Addr(base + i * 8))
+            })
+            .collect();
+        // Odd-even transposition with a bounded pass count (may leave the
+        // block partially sorted, exactly like the guest).
+        for pass in 0..self.passes {
+            let start = (pass % 2) as usize;
+            let mut i = start;
+            while i + 1 < words.len() {
+                if words[i] > words[i + 1] {
+                    words.swap(i, i + 1);
+                }
+                i += 2;
+            }
+        }
+        words.iter().enumerate().fold(0u64, |acc, (i, w)| {
+            acc.wrapping_add(w.wrapping_mul(i as u64 + 1))
+        })
+    }
+}
+
+impl LoopBody for Bzip2 {
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+
+    fn build_image(&self, machine: &mut Machine, env: &LoopEnv) {
+        let mut heap = GuestHeap::new(0x256);
+        let input = heap.alloc_random_words(machine, self.iters * self.block_words, 1 << 32);
+        debug_assert_eq!(input.0, self.input);
+        heap.alloc(self.iters * self.workspace_stride);
+        heap.alloc(self.iters * 64);
+        machine
+            .mem_mut()
+            .memory_mut()
+            .write_word(env.state_slot(0), self.input);
+    }
+
+    fn emit_stage1(&self, b: &mut ProgramBuilder, env: &LoopEnv) {
+        b.li(Reg::R1, env.state_slot(0).0 as i64);
+        b.load(regs::ITEM, Reg::R1, 0);
+        b.addi(Reg::R2, regs::ITEM, (self.block_words * 8) as i64);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.li(regs::SPEC_LOADS, 1);
+        b.li(regs::SPEC_STORES, 1);
+    }
+
+    fn emit_stage2(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        let words = self.block_words;
+        // R1 = input block, R2 = workspace, R11 = swap count.
+        b.mov(Reg::R1, regs::ITEM);
+        iter_region(b, Reg::R2, self.workspaces, self.workspace_stride);
+        b.li(Reg::R11, 0);
+        // Copy the block into the workspace.
+        counted_loop(b, Reg::R0, words, |b| {
+            b.shl(Reg::R3, Reg::R0, 3);
+            b.add(Reg::R4, Reg::R3, Reg::R1);
+            b.load(Reg::R5, Reg::R4, 0);
+            b.add(Reg::R4, Reg::R3, Reg::R2);
+            b.store(Reg::R5, Reg::R4, 0);
+        })
+        .unwrap();
+        // Odd-even transposition passes.
+        for pass in 0..self.passes {
+            let start = pass % 2;
+            let pairs = (words - start - 1).div_ceil(2);
+            counted_loop(b, Reg::R0, pairs, |b| {
+                let no_swap = b.new_label();
+                // i = start + 2*k
+                b.shl(Reg::R3, Reg::R0, 4); // 2k words -> bytes
+                b.addi(Reg::R3, Reg::R3, (start * 8) as i64);
+                b.add(Reg::R3, Reg::R3, Reg::R2);
+                b.load(Reg::R5, Reg::R3, 0);
+                b.load(Reg::R6, Reg::R3, 8);
+                b.branch(Cond::GeU, Reg::R6, Reg::R5, no_swap);
+                b.store(Reg::R6, Reg::R3, 0);
+                b.store(Reg::R5, Reg::R3, 8);
+                b.addi(Reg::R11, Reg::R11, 2);
+                b.bind(no_swap).unwrap();
+            })
+            .unwrap();
+        }
+        // Position-weighted checksum of the (partially) sorted block.
+        b.li(Reg::R7, 0);
+        counted_loop(b, Reg::R0, words, |b| {
+            b.shl(Reg::R3, Reg::R0, 3);
+            b.add(Reg::R3, Reg::R3, Reg::R2);
+            b.load(Reg::R5, Reg::R3, 0);
+            b.addi(Reg::R6, Reg::R0, 1);
+            b.mul(Reg::R5, Reg::R5, Reg::R6);
+            b.add(Reg::R7, Reg::R7, Reg::R5);
+        })
+        .unwrap();
+        iter_region(b, Reg::R9, self.checksums, 64);
+        b.store(Reg::R7, Reg::R9, 0);
+        // Loads: copy + compares + checksum; stores: copy + swaps + result.
+        let fixed_loads = words + self.passes * (words - 1) + words;
+        b.li(regs::SPEC_LOADS, fixed_loads as i64);
+        b.addi(regs::SPEC_STORES, Reg::R11, (words + 1) as i64);
+    }
+
+    fn minimal_rw_counts(&self) -> (u64, u64) {
+        (2, 1)
+    }
+}
+
+impl Workload for Bzip2 {
+    fn meta(&self) -> WorkloadMeta {
+        meta_for("256.bzip2")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_runtime::{run_loop, Paradigm};
+    use hmtx_types::{Addr, MachineConfig, Vid};
+
+    #[test]
+    fn guest_sort_matches_host_reference() {
+        let w = Bzip2::new(Scale::Quick);
+        let (machine, report) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            200_000_000,
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 0);
+        for n in 1..=w.iterations() {
+            assert_eq!(
+                machine.mem().peek_word(Addr(w.checksum_cell(n)), Vid(0)),
+                w.expected_checksum(&machine, n),
+                "block {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn psdswp_matches_sequential() {
+        let w = Bzip2::new(Scale::Quick);
+        let (m_seq, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            200_000_000,
+        )
+        .unwrap();
+        let w2 = Bzip2::new(Scale::Quick);
+        let (m_par, report) = run_loop(
+            Paradigm::PsDswp,
+            &w2,
+            &MachineConfig::test_default(),
+            200_000_000,
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 0);
+        for n in 1..=w.iterations() {
+            assert_eq!(
+                m_seq.mem().peek_word(Addr(w.checksum_cell(n)), Vid(0)),
+                m_par.mem().peek_word(Addr(w2.checksum_cell(n)), Vid(0)),
+            );
+        }
+    }
+
+    #[test]
+    fn has_the_largest_write_set_of_the_suite() {
+        // Relative set sizes drive Figure 9; bzip2's per-TX footprint must
+        // dominate e.g. ispell's by orders of magnitude.
+        let bz = Bzip2::new(Scale::Standard);
+        let bz_spec = bz.block_words * (2 + bz.passes);
+        let ispell_spec = 16; // ispell touches a handful of lines per TX
+        assert!(bz_spec > 50 * ispell_spec);
+    }
+}

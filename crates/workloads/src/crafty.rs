@@ -1,0 +1,216 @@
+//! 186.crafty analogue: game-tree search (PS-DSWP).
+//!
+//! Crafty is the paper's most misprediction-heavy benchmark (5.59%): move
+//! generation and evaluation branch on board contents that the predictor
+//! cannot learn. Stage 1 generates position seeds from a PRNG kept in a
+//! state slot; stage 2 "searches": a ply loop whose direction, pruning, and
+//! table updates all branch on fresh pseudo-random bits, reading a shared
+//! evaluation table and updating a per-iteration history table.
+
+use hmtx_isa::{Cond, ProgramBuilder, Reg};
+use hmtx_machine::Machine;
+use hmtx_runtime::env::{regs, LoopEnv, WORKLOAD_REGION_BASE};
+use hmtx_runtime::LoopBody;
+
+use crate::emitlib::{counted_loop, hash_to_offset, xorshift_step};
+use crate::heap::GuestHeap;
+use crate::meta::WorkloadMeta;
+use crate::suite::{meta_for, Scale, Workload};
+
+/// The crafty analogue.
+#[derive(Debug, Clone)]
+pub struct Crafty {
+    iters: u64,
+    plies: u64,
+    eval_entries: u64,
+    history_entries: u64,
+    eval_table: u64,
+    history: u64,
+    history_stride: u64,
+    scores: u64,
+}
+
+impl Crafty {
+    /// Builds the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (iters, plies) = match scale {
+            Scale::Quick => (18, 32),
+            Scale::Standard => (48, 96),
+            Scale::Stress => (96, 1024),
+        };
+        let eval_entries = 256u64;
+        let history_entries = 64u64;
+        let eval_table = WORKLOAD_REGION_BASE;
+        let history = eval_table + eval_entries * 8;
+        let history_stride = history_entries * 8;
+        let scores = history + iters * history_stride;
+        Crafty {
+            iters,
+            plies,
+            eval_entries,
+            history_entries,
+            eval_table,
+            history,
+            history_stride,
+            scores,
+        }
+    }
+
+    /// Address of the final score cell of iteration `n` (1-based).
+    pub fn score_cell(&self, n: u64) -> u64 {
+        self.scores + (n - 1) * 64
+    }
+}
+
+impl LoopBody for Crafty {
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+
+    fn build_image(&self, machine: &mut Machine, env: &LoopEnv) {
+        let mut heap = GuestHeap::new(0x186);
+        let et = heap.alloc_random_words(machine, self.eval_entries, 10_000);
+        debug_assert_eq!(et.0, self.eval_table);
+        heap.alloc(self.iters * self.history_stride);
+        heap.alloc(self.iters * 64); // scores
+                                     // Stage-1 PRNG state.
+        machine
+            .mem_mut()
+            .memory_mut()
+            .write_word(env.state_slot(0), 0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn emit_stage1(&self, b: &mut ProgramBuilder, env: &LoopEnv) {
+        b.li(Reg::R1, env.state_slot(0).0 as i64);
+        b.load(Reg::R2, Reg::R1, 0);
+        xorshift_step(b, Reg::R2, Reg::R3);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.mov(regs::ITEM, Reg::R2);
+        b.li(regs::SPEC_LOADS, 1);
+        b.li(regs::SPEC_STORES, 1);
+    }
+
+    fn emit_stage2(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        // R1 = PRNG, R2 = score, R3 = history base, R11 = store count.
+        b.mov(Reg::R1, regs::ITEM);
+        b.li(Reg::R2, 0);
+        crate::emitlib::iter_region(b, Reg::R3, self.history, self.history_stride);
+        b.li(Reg::R11, 0);
+        let (eval_entries, history_entries, eval_table, plies) = (
+            self.eval_entries,
+            self.history_entries,
+            self.eval_table,
+            self.plies,
+        );
+        counted_loop(b, Reg::R0, plies, |b| {
+            let skip_eval = b.new_label();
+            let no_prune = b.new_label();
+            let after = b.new_label();
+            xorshift_step(b, Reg::R1, Reg::R4);
+            // Move choice: unpredictable branch.
+            b.and(Reg::R5, Reg::R1, 1);
+            b.branch_imm(Cond::Ne, Reg::R5, 0, skip_eval);
+            // Evaluate: shared read-only table lookup.
+            hash_to_offset(b, Reg::R6, Reg::R1, eval_entries);
+            b.addi(Reg::R6, Reg::R6, eval_table as i64);
+            b.load(Reg::R7, Reg::R6, 0);
+            b.add(Reg::R2, Reg::R2, Reg::R7);
+            b.jump(no_prune);
+            b.bind(skip_eval).unwrap();
+            // Pruned: cheap scoring, second unpredictable branch.
+            b.shr(Reg::R5, Reg::R1, 5);
+            b.and(Reg::R5, Reg::R5, 1);
+            b.branch_imm(Cond::Eq, Reg::R5, 0, after);
+            b.addi(Reg::R2, Reg::R2, 3);
+            b.bind(no_prune).unwrap();
+            // History update: per-iteration read-modify-write.
+            hash_to_offset(b, Reg::R6, Reg::R2, history_entries);
+            b.add(Reg::R6, Reg::R6, Reg::R3);
+            b.load(Reg::R7, Reg::R6, 0);
+            b.addi(Reg::R7, Reg::R7, 1);
+            b.store(Reg::R7, Reg::R6, 0);
+            b.addi(Reg::R11, Reg::R11, 1);
+            b.bind(after).unwrap();
+        })
+        .unwrap();
+        crate::emitlib::iter_region(b, Reg::R9, self.scores, 64);
+        b.store(Reg::R2, Reg::R9, 0);
+        b.li(regs::SPEC_LOADS, (plies * 2) as i64);
+        b.addi(regs::SPEC_STORES, Reg::R11, 1);
+    }
+
+    fn minimal_rw_counts(&self) -> (u64, u64) {
+        (2, 1)
+    }
+}
+
+impl Workload for Crafty {
+    fn meta(&self) -> WorkloadMeta {
+        meta_for("186.crafty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_runtime::{run_loop, Paradigm};
+    use hmtx_types::{Addr, MachineConfig, Vid};
+
+    #[test]
+    fn psdswp_matches_sequential() {
+        let w = Crafty::new(Scale::Quick);
+        let (m_seq, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        let w2 = Crafty::new(Scale::Quick);
+        let (m_par, report) = run_loop(
+            Paradigm::PsDswp,
+            &w2,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 0);
+        for n in 1..=w.iterations() {
+            assert_eq!(
+                m_seq.mem().peek_word(Addr(w.score_cell(n)), Vid(0)),
+                m_par.mem().peek_word(Addr(w2.score_cell(n)), Vid(0)),
+                "iteration {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn search_mispredicts_heavily() {
+        let w = Crafty::new(Scale::Quick);
+        let (machine, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        let rate = machine.stats().mispredict_rate();
+        assert!(
+            rate > 0.04,
+            "crafty-style branches must mispredict, got {rate:.4}"
+        );
+    }
+
+    #[test]
+    fn wrong_paths_issue_branch_speculative_loads() {
+        let w = Crafty::new(Scale::Quick);
+        let (machine, _) = run_loop(
+            Paradigm::PsDswp,
+            &w,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        assert!(machine.mem().stats().wrong_path_loads > 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Small code-generation helpers shared by the workload kernels.
+
+use hmtx_isa::{Cond, ProgramBuilder, Reg};
+use hmtx_runtime::env::regs;
+use hmtx_types::SimError;
+
+/// Emits `for idx in 0..bound { body }` with `idx` in a register and a
+/// compile-time bound. The loop branch is highly predictable, like a real
+/// counted loop.
+pub fn counted_loop(
+    b: &mut ProgramBuilder,
+    idx: Reg,
+    bound: u64,
+    mut body: impl FnMut(&mut ProgramBuilder),
+) -> Result<(), SimError> {
+    let head = b.new_label();
+    let done = b.new_label();
+    b.li(idx, 0);
+    b.bind(head)?;
+    b.branch_imm(Cond::GeU, idx, bound as i64, done);
+    body(b);
+    b.addi(idx, idx, 1);
+    b.jump(head);
+    b.bind(done)?;
+    Ok(())
+}
+
+/// Emits one xorshift64 step on `x` (using `tmp` as scratch): a cheap,
+/// high-quality guest-side PRNG for data-dependent control flow.
+pub fn xorshift_step(b: &mut ProgramBuilder, x: Reg, tmp: Reg) {
+    b.shl(tmp, x, 13);
+    b.xor(x, x, tmp);
+    b.shr(tmp, x, 7);
+    b.xor(x, x, tmp);
+    b.shl(tmp, x, 17);
+    b.xor(x, x, tmp);
+}
+
+/// Emits `dst = base + (N - 1) * stride`: the address of this iteration's
+/// private region (disjoint per iteration, so concurrent stage-2 workers
+/// never conflict).
+pub fn iter_region(b: &mut ProgramBuilder, dst: Reg, base: u64, stride: u64) {
+    b.sub(dst, regs::N, 1);
+    b.mul(dst, dst, stride as i64);
+    b.addi(dst, dst, base as i64);
+}
+
+/// Emits a Fibonacci-style hash of `src` into `dst`, masked to
+/// `buckets` (a power of two), scaled by 8 (word index -> byte offset).
+pub fn hash_to_offset(b: &mut ProgramBuilder, dst: Reg, src: Reg, buckets: u64) {
+    debug_assert!(buckets.is_power_of_two());
+    b.mul(dst, src, 0x9E37_79B9_7F4A_7C15u64 as i64);
+    b.shr(dst, dst, 40);
+    b.and(dst, dst, (buckets - 1) as i64);
+    b.shl(dst, dst, 3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_machine::{Machine, RunEvent, ThreadContext};
+    use hmtx_types::{MachineConfig, ThreadId};
+    use std::sync::Arc;
+
+    fn run(b: ProgramBuilder) -> Machine {
+        let mut m = Machine::new(MachineConfig::test_default());
+        m.load_thread(
+            0,
+            ThreadContext::new(ThreadId(0), Arc::new(b.build().unwrap())),
+        );
+        assert_eq!(m.run(1_000_000).unwrap(), RunEvent::AllHalted);
+        m
+    }
+
+    #[test]
+    fn counted_loop_runs_bound_times() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R2, 0);
+        counted_loop(&mut b, Reg::R1, 13, |b| {
+            b.addi(Reg::R2, Reg::R2, 2);
+        })
+        .unwrap();
+        b.out(Reg::R2);
+        b.halt();
+        assert_eq!(run(b).committed_output(), &[26]);
+    }
+
+    #[test]
+    fn counted_loop_zero_bound_skips_body() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R2, 7);
+        counted_loop(&mut b, Reg::R1, 0, |b| {
+            b.li(Reg::R2, 0);
+        })
+        .unwrap();
+        b.out(Reg::R2);
+        b.halt();
+        assert_eq!(run(b).committed_output(), &[7]);
+    }
+
+    #[test]
+    fn xorshift_matches_host_implementation() {
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let expect = {
+            let mut v = x;
+            for _ in 0..3 {
+                v ^= v << 13;
+                v ^= v >> 7;
+                v ^= v << 17;
+            }
+            v
+        };
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, x as i64);
+        for _ in 0..3 {
+            xorshift_step(&mut b, Reg::R1, Reg::R2);
+        }
+        b.out(Reg::R1);
+        b.halt();
+        assert_eq!(run(b).committed_output(), &[expect]);
+        x ^= 0; // silence unused_mut lint paranoia
+        let _ = x;
+    }
+
+    #[test]
+    fn hash_offset_is_word_aligned_and_bounded() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 123456789);
+        hash_to_offset(&mut b, Reg::R2, Reg::R1, 64);
+        b.out(Reg::R2);
+        b.halt();
+        let m = run(b);
+        let v = m.committed_output()[0];
+        assert_eq!(v % 8, 0);
+        assert!(v < 64 * 8);
+    }
+}

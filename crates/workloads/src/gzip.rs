@@ -1,0 +1,193 @@
+//! 164.gzip analogue: LZ77-style block compression (PS-DSWP).
+//!
+//! Stage 1 advances a cursor over the shared input stream (the loop-carried
+//! dependence) and hands each block offset to stage 2. Stage 2 scans its
+//! block position by position: hash the current word, probe this block's
+//! hash table for a previous match (a data-dependent hit/miss branch), and
+//! update the table — writing the match decisions to a per-block output
+//! region. The per-block hash table gives gzip its mid-sized write set.
+
+use hmtx_isa::{Cond, ProgramBuilder, Reg};
+use hmtx_machine::Machine;
+use hmtx_runtime::env::{regs, LoopEnv, WORKLOAD_REGION_BASE};
+use hmtx_runtime::LoopBody;
+
+use crate::emitlib::{counted_loop, hash_to_offset, iter_region};
+use crate::heap::GuestHeap;
+use crate::meta::WorkloadMeta;
+use crate::suite::{meta_for, Scale, Workload};
+
+/// The gzip analogue.
+#[derive(Debug, Clone)]
+pub struct Gzip {
+    iters: u64,
+    block_words: u64,
+    hash_buckets: u64,
+    input: u64,
+    tables: u64,
+    table_stride: u64,
+    outputs: u64,
+    output_stride: u64,
+}
+
+impl Gzip {
+    /// Builds the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (iters, block_words, hash_buckets) = match scale {
+            Scale::Quick => (18, 48, 64),
+            Scale::Standard => (48, 128, 256),
+            Scale::Stress => (96, 1024, 1024),
+        };
+        let input = WORKLOAD_REGION_BASE;
+        let input_bytes: u64 = iters * block_words * 8;
+        let tables = input + input_bytes;
+        let table_stride = hash_buckets * 8;
+        let outputs = tables + iters * table_stride;
+        let output_stride = (block_words * 8).div_ceil(64) * 64;
+        Gzip {
+            iters,
+            block_words,
+            hash_buckets,
+            input,
+            tables,
+            table_stride,
+            outputs,
+            output_stride,
+        }
+    }
+
+    /// Address of the match-count summary word of block `n` (1-based).
+    pub fn summary_cell(&self, n: u64) -> u64 {
+        self.outputs + (n - 1) * self.output_stride
+    }
+}
+
+impl LoopBody for Gzip {
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+
+    fn build_image(&self, machine: &mut Machine, env: &LoopEnv) {
+        let mut heap = GuestHeap::new(0x164);
+        // "Compressible" input: random words drawn from a small alphabet so
+        // hash probes actually hit.
+        let input = heap.alloc_random_words(machine, self.iters * self.block_words, 29);
+        debug_assert_eq!(input.0, self.input);
+        heap.alloc(self.iters * self.table_stride); // per-block hash tables
+        heap.alloc(self.iters * self.output_stride); // per-block outputs
+                                                     // Stage-1 cursor starts at the input base.
+        machine
+            .mem_mut()
+            .memory_mut()
+            .write_word(env.state_slot(0), self.input);
+    }
+
+    fn emit_stage1(&self, b: &mut ProgramBuilder, env: &LoopEnv) {
+        // cursor -> ITEM; cursor += block bytes (loop-carried dependence).
+        b.li(Reg::R1, env.state_slot(0).0 as i64);
+        b.load(regs::ITEM, Reg::R1, 0);
+        b.addi(Reg::R2, regs::ITEM, (self.block_words * 8) as i64);
+        b.store(Reg::R2, Reg::R1, 0);
+        // Peek at the block head (models the read that drives gzip's
+        // block-type decision).
+        b.load(Reg::R3, regs::ITEM, 0);
+        b.li(regs::SPEC_LOADS, 2);
+        b.li(regs::SPEC_STORES, 1);
+    }
+
+    fn emit_stage2(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        // R1 = input ptr, R2 = this block's hash table, R3 = matches,
+        // R11 = table stores.
+        b.mov(Reg::R1, regs::ITEM);
+        iter_region(b, Reg::R2, self.tables, self.table_stride);
+        b.li(Reg::R3, 0);
+        b.li(Reg::R11, 0);
+        let buckets = self.hash_buckets;
+        counted_loop(b, Reg::R0, self.block_words, |b| {
+            let miss = b.new_label();
+            let update = b.new_label();
+            b.load(Reg::R4, Reg::R1, 0); // current word
+            hash_to_offset(b, Reg::R5, Reg::R4, buckets);
+            b.add(Reg::R5, Reg::R5, Reg::R2);
+            b.load(Reg::R6, Reg::R5, 0); // previous occupant (word+1)
+                                         // Hit if the stored word matches (data-dependent branch).
+            b.sub(Reg::R7, Reg::R6, 1);
+            b.branch(Cond::Ne, Reg::R7, Reg::R4, miss);
+            b.addi(Reg::R3, Reg::R3, 1); // match found
+            b.jump(update);
+            b.bind(miss).unwrap();
+            b.bind(update).unwrap();
+            b.addi(Reg::R8, Reg::R4, 1);
+            b.store(Reg::R8, Reg::R5, 0); // install word+1
+            b.addi(Reg::R11, Reg::R11, 1);
+            b.addi(Reg::R1, Reg::R1, 8);
+        })
+        .unwrap();
+        // Summary: match count for the block.
+        iter_region(b, Reg::R9, self.outputs, self.output_stride);
+        b.store(Reg::R3, Reg::R9, 0);
+        b.li(regs::SPEC_LOADS, (self.block_words * 2) as i64);
+        b.addi(regs::SPEC_STORES, Reg::R11, 1);
+    }
+
+    fn minimal_rw_counts(&self) -> (u64, u64) {
+        (2, 2)
+    }
+}
+
+impl Workload for Gzip {
+    fn meta(&self) -> WorkloadMeta {
+        meta_for("164.gzip")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_runtime::{run_loop, Paradigm};
+    use hmtx_types::{Addr, MachineConfig, Vid};
+
+    #[test]
+    fn psdswp_matches_sequential() {
+        let w = Gzip::new(Scale::Quick);
+        let (m_seq, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        let w2 = Gzip::new(Scale::Quick);
+        let (m_par, report) = run_loop(
+            Paradigm::PsDswp,
+            &w2,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 0);
+        for n in 1..=w.iterations() {
+            assert_eq!(
+                m_seq.mem().peek_word(Addr(w.summary_cell(n)), Vid(0)),
+                m_par.mem().peek_word(Addr(w2.summary_cell(n)), Vid(0)),
+                "block {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_alphabet_produces_matches() {
+        let w = Gzip::new(Scale::Quick);
+        let (machine, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        let total: u64 = (1..=w.iterations())
+            .map(|n| machine.mem().peek_word(Addr(w.summary_cell(n)), Vid(0)))
+            .sum();
+        assert!(total > 0, "hash probes must hit sometimes");
+    }
+}

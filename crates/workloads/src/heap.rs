@@ -1,0 +1,202 @@
+//! Guest-memory image construction: a bump allocator over the workload
+//! address region plus helpers for laying out arrays, linked lists, and
+//! pseudo-random data in simulated memory.
+
+use hmtx_machine::Machine;
+use hmtx_runtime::env::WORKLOAD_REGION_BASE;
+use hmtx_types::Addr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bump allocator over the guest workload region, writing initial data
+/// directly into the machine's main memory (the pre-run committed image).
+///
+/// # Examples
+///
+/// ```
+/// use hmtx_machine::Machine;
+/// use hmtx_types::MachineConfig;
+/// use hmtx_workloads::heap::GuestHeap;
+///
+/// let mut m = Machine::new(MachineConfig::test_default());
+/// let mut heap = GuestHeap::new(7);
+/// let arr = heap.alloc_words(&mut m, &[1, 2, 3]);
+/// assert_eq!(m.mem().memory().read_word(arr.offset(8)), 2);
+/// ```
+#[derive(Debug)]
+pub struct GuestHeap {
+    next: u64,
+    rng: StdRng,
+}
+
+impl GuestHeap {
+    /// Creates a heap with a deterministic seed for random data.
+    pub fn new(seed: u64) -> Self {
+        GuestHeap {
+            next: WORKLOAD_REGION_BASE,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Reserves `bytes` of guest address space, line-aligned.
+    pub fn alloc(&mut self, bytes: u64) -> Addr {
+        let base = self.next;
+        self.next += bytes.div_ceil(64) * 64;
+        Addr(base)
+    }
+
+    /// Allocates and initializes an array of words.
+    pub fn alloc_words(&mut self, machine: &mut Machine, words: &[u64]) -> Addr {
+        let base = self.alloc(words.len() as u64 * 8);
+        for (i, w) in words.iter().enumerate() {
+            machine
+                .mem_mut()
+                .memory_mut()
+                .write_word(base.offset(i as i64 * 8), *w);
+        }
+        base
+    }
+
+    /// Allocates an array of `count` pseudo-random words below `bound`.
+    pub fn alloc_random_words(&mut self, machine: &mut Machine, count: u64, bound: u64) -> Addr {
+        let words: Vec<u64> = (0..count).map(|_| self.rng.gen_range(0..bound)).collect();
+        self.alloc_words(machine, &words)
+    }
+
+    /// Allocates a singly linked list of `count` nodes. Each node is one
+    /// cache line: word 0 = next pointer (0 terminates), word 1 = payload.
+    /// Nodes are laid out in a shuffled order so traversal is genuine
+    /// pointer chasing, not a prefetchable stride.
+    ///
+    /// Returns the head address.
+    pub fn alloc_list(
+        &mut self,
+        machine: &mut Machine,
+        count: u64,
+        mut payload: impl FnMut(u64) -> u64,
+    ) -> Addr {
+        assert!(count > 0);
+        let base = self.alloc(count * 64);
+        // Shuffled placement: node i lives at slot perm[i].
+        let mut perm: Vec<u64> = (0..count).collect();
+        for i in (1..count as usize).rev() {
+            let j = self.rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let slot_addr = |slot: u64| Addr(base.0 + slot * 64);
+        for i in 0..count {
+            let here = slot_addr(perm[i as usize]);
+            let next = if i + 1 < count {
+                slot_addr(perm[(i + 1) as usize]).0
+            } else {
+                0
+            };
+            machine.mem_mut().memory_mut().write_word(here, next);
+            machine
+                .mem_mut()
+                .memory_mut()
+                .write_word(here.offset(8), payload(i));
+        }
+        slot_addr(perm[0])
+    }
+
+    /// Total bytes reserved so far.
+    pub fn used_bytes(&self) -> u64 {
+        self.next - WORKLOAD_REGION_BASE
+    }
+
+    /// A deterministic pseudo-random word (host-side, for parameters).
+    pub fn rand(&mut self, bound: u64) -> u64 {
+        self.rng.gen_range(0..bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_types::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::test_default())
+    }
+
+    #[test]
+    fn allocations_are_line_aligned_and_disjoint() {
+        let mut h = GuestHeap::new(1);
+        let a = h.alloc(10);
+        let b = h.alloc(100);
+        let c = h.alloc(64);
+        assert_eq!(a.0 % 64, 0);
+        assert_eq!(b.0, a.0 + 64);
+        assert_eq!(c.0, b.0 + 128);
+        assert_eq!(h.used_bytes(), 64 + 128 + 64);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut m = machine();
+        let mut h = GuestHeap::new(1);
+        let arr = h.alloc_words(&mut m, &[10, 20, 30]);
+        assert_eq!(m.mem().memory().read_word(arr), 10);
+        assert_eq!(m.mem().memory().read_word(arr.offset(16)), 30);
+    }
+
+    #[test]
+    fn list_traversal_visits_all_payloads() {
+        let mut m = machine();
+        let mut h = GuestHeap::new(2);
+        let head = h.alloc_list(&mut m, 20, |i| 100 + i);
+        let mut seen = Vec::new();
+        let mut node = head.0;
+        while node != 0 {
+            seen.push(m.mem().memory().read_word(Addr(node + 8)));
+            node = m.mem().memory().read_word(Addr(node));
+        }
+        let mut expected: Vec<u64> = (0..20).map(|i| 100 + i).collect();
+        assert_eq!(seen, expected.as_mut_slice());
+    }
+
+    #[test]
+    fn list_is_shuffled_not_sequential() {
+        let mut m = machine();
+        let mut h = GuestHeap::new(3);
+        let head = h.alloc_list(&mut m, 50, |i| i);
+        let mut strided = 0;
+        let mut node = head.0;
+        loop {
+            let next = m.mem().memory().read_word(Addr(node));
+            if next == 0 {
+                break;
+            }
+            if next == node + 64 {
+                strided += 1;
+            }
+            node = next;
+        }
+        assert!(strided < 25, "traversal should mostly not be a unit stride");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut m1 = machine();
+        let mut m2 = machine();
+        let h1 = GuestHeap::new(42).alloc_random_words(&mut m1, 32, 1000);
+        let h2 = GuestHeap::new(42).alloc_random_words(&mut m2, 32, 1000);
+        for i in 0..32 {
+            assert_eq!(
+                m1.mem().memory().read_word(h1.offset(i * 8)),
+                m2.mem().memory().read_word(h2.offset(i * 8))
+            );
+        }
+    }
+
+    #[test]
+    fn random_words_respect_bound() {
+        let mut m = machine();
+        let mut h = GuestHeap::new(9);
+        let arr = h.alloc_random_words(&mut m, 100, 7);
+        for i in 0..100 {
+            assert!(m.mem().memory().read_word(arr.offset(i * 8)) < 7);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! 456.hmmer analogue: profile-HMM sequence scoring (PS-DSWP).
+//!
+//! hmmer scores protein sequences against a profile hidden Markov model
+//! with a Viterbi dynamic program — regular, barely-branching inner loops
+//! (the paper reports only 4.83% branch instructions). Stage 1 fetches the
+//! next sequence; stage 2 fills the DP recurrence over a per-iteration
+//! two-row workspace, reading shared transition/emission tables.
+
+use hmtx_isa::{Cond, ProgramBuilder, Reg};
+use hmtx_machine::Machine;
+use hmtx_runtime::env::{regs, LoopEnv, WORKLOAD_REGION_BASE};
+use hmtx_runtime::LoopBody;
+
+use crate::emitlib::{counted_loop, iter_region};
+use crate::heap::GuestHeap;
+use crate::meta::WorkloadMeta;
+use crate::suite::{meta_for, Scale, Workload};
+
+/// Alphabet size for emissions.
+const ALPHABET: u64 = 16;
+
+/// The hmmer analogue.
+#[derive(Debug, Clone)]
+pub struct Hmmer {
+    iters: u64,
+    seq_len: u64,
+    states: u64,
+    sequences: u64,
+    transitions: u64,
+    emissions: u64,
+    workspaces: u64,
+    workspace_stride: u64,
+    scores: u64,
+}
+
+impl Hmmer {
+    /// Builds the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (iters, seq_len, states): (u64, u64, u64) = match scale {
+            Scale::Quick => (18, 10, 6),
+            Scale::Standard => (48, 24, 12),
+            Scale::Stress => (96, 96, 24),
+        };
+        let sequences = WORKLOAD_REGION_BASE;
+        let seq_bytes: u64 = iters * seq_len * 8;
+        let transitions = sequences + seq_bytes.div_ceil(64) * 64;
+        let emissions = transitions + (states * 2 * 8).div_ceil(64) * 64;
+        let workspaces = emissions + (ALPHABET * states * 8).div_ceil(64) * 64;
+        let workspace_stride = (2 * states * 8).div_ceil(64) * 64;
+        let scores = workspaces + iters * workspace_stride;
+        Hmmer {
+            iters,
+            seq_len,
+            states,
+            sequences,
+            transitions,
+            emissions,
+            workspaces,
+            workspace_stride,
+            scores,
+        }
+    }
+
+    /// Address of the score cell of sequence `n` (1-based).
+    pub fn score_cell(&self, n: u64) -> u64 {
+        self.scores + (n - 1) * 64
+    }
+}
+
+impl LoopBody for Hmmer {
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+
+    fn build_image(&self, machine: &mut Machine, env: &LoopEnv) {
+        let mut heap = GuestHeap::new(0x456);
+        let seqs = heap.alloc_random_words(machine, self.iters * self.seq_len, ALPHABET);
+        debug_assert_eq!(seqs.0, self.sequences);
+        heap.alloc_random_words(machine, self.states * 2, 50);
+        heap.alloc_random_words(machine, ALPHABET * self.states, 200);
+        heap.alloc(self.iters * self.workspace_stride);
+        heap.alloc(self.iters * 64);
+        machine
+            .mem_mut()
+            .memory_mut()
+            .write_word(env.state_slot(0), self.sequences);
+    }
+
+    fn emit_stage1(&self, b: &mut ProgramBuilder, env: &LoopEnv) {
+        b.li(Reg::R1, env.state_slot(0).0 as i64);
+        b.load(regs::ITEM, Reg::R1, 0);
+        b.addi(Reg::R2, regs::ITEM, (self.seq_len * 8) as i64);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.li(regs::SPEC_LOADS, 1);
+        b.li(regs::SPEC_STORES, 1);
+    }
+
+    fn emit_stage2(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        let (states, seq_len, transitions, emissions) =
+            (self.states, self.seq_len, self.transitions, self.emissions);
+        // R1 = sequence ptr, R2 = workspace (row0), R12 = row1.
+        b.mov(Reg::R1, regs::ITEM);
+        iter_region(b, Reg::R2, self.workspaces, self.workspace_stride);
+        b.addi(Reg::R12, Reg::R2, (states * 8) as i64);
+        // DP over positions; rows swap each step (R2 = prev, R12 = next).
+        counted_loop(b, Reg::R0, seq_len, |b| {
+            b.load(Reg::R3, Reg::R1, 0); // symbol
+            counted_loop(b, Reg::R4, states, |b| {
+                // prev[k] + trans0 vs prev[k-1] + trans1 (k=0 reuses k).
+                b.shl(Reg::R5, Reg::R4, 3);
+                b.add(Reg::R6, Reg::R5, Reg::R2);
+                b.load(Reg::R7, Reg::R6, 0); // prev[k]
+                let k0 = b.new_label();
+                let join = b.new_label();
+                b.branch_imm(Cond::Eq, Reg::R4, 0, k0);
+                b.load(Reg::R8, Reg::R6, -8); // prev[k-1]
+                b.jump(join);
+                b.bind(k0).unwrap();
+                b.mov(Reg::R8, Reg::R7);
+                b.bind(join).unwrap();
+                // trans costs
+                b.shl(Reg::R9, Reg::R4, 4); // 2 words per state
+                b.addi(Reg::R9, Reg::R9, transitions as i64);
+                b.load(Reg::R10, Reg::R9, 0);
+                b.add(Reg::R7, Reg::R7, Reg::R10);
+                b.load(Reg::R10, Reg::R9, 8);
+                b.add(Reg::R8, Reg::R8, Reg::R10);
+                // Branchless max (a compiler emits cmov here, and hmmer's
+                // low branch fraction in Table 1 reflects that).
+                b.alu(hmtx_isa::AluOp::SltU, Reg::R9, Reg::R7, Reg::R8);
+                b.mul(Reg::R10, Reg::R8, Reg::R9);
+                b.xor(Reg::R9, Reg::R9, 1);
+                b.mul(Reg::R9, Reg::R7, Reg::R9);
+                b.add(Reg::R7, Reg::R9, Reg::R10);
+                // + emission[symbol][k]
+                b.mul(Reg::R10, Reg::R3, states as i64 * 8);
+                b.add(Reg::R10, Reg::R10, Reg::R5);
+                b.addi(Reg::R10, Reg::R10, emissions as i64);
+                b.load(Reg::R11, Reg::R10, 0);
+                b.add(Reg::R7, Reg::R7, Reg::R11);
+                b.add(Reg::R10, Reg::R5, Reg::R12);
+                b.store(Reg::R7, Reg::R10, 0);
+            })
+            .unwrap();
+            // Swap rows, advance the sequence.
+            b.mov(Reg::R5, Reg::R2);
+            b.mov(Reg::R2, Reg::R12);
+            b.mov(Reg::R12, Reg::R5);
+            b.addi(Reg::R1, Reg::R1, 8);
+        })
+        .unwrap();
+        // Score: last row's final state.
+        b.addi(Reg::R6, Reg::R2, ((states - 1) * 8) as i64);
+        b.load(Reg::R7, Reg::R6, 0);
+        iter_region(b, Reg::R9, self.scores, 64);
+        b.store(Reg::R7, Reg::R9, 0);
+        b.li(
+            regs::SPEC_LOADS,
+            (seq_len * states * 5 + seq_len + 1) as i64,
+        );
+        b.li(regs::SPEC_STORES, (seq_len * states + 1) as i64);
+    }
+
+    fn minimal_rw_counts(&self) -> (u64, u64) {
+        (2, 1)
+    }
+}
+
+impl Workload for Hmmer {
+    fn meta(&self) -> WorkloadMeta {
+        meta_for("456.hmmer")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_runtime::{run_loop, Paradigm};
+    use hmtx_types::{Addr, MachineConfig, Vid};
+
+    #[test]
+    fn psdswp_matches_sequential() {
+        let w = Hmmer::new(Scale::Quick);
+        let (m_seq, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        let w2 = Hmmer::new(Scale::Quick);
+        let (m_par, report) = run_loop(
+            Paradigm::PsDswp,
+            &w2,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 0);
+        for n in 1..=w.iterations() {
+            assert_eq!(
+                m_seq.mem().peek_word(Addr(w.score_cell(n)), Vid(0)),
+                m_par.mem().peek_word(Addr(w2.score_cell(n)), Vid(0)),
+                "sequence {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_control_flow_is_regular() {
+        let w = Hmmer::new(Scale::Quick);
+        let (machine, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        assert!(
+            machine.stats().branch_fraction() < 0.25,
+            "hmmer is the least branchy benchmark"
+        );
+    }
+}

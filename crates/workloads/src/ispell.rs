@@ -1,0 +1,201 @@
+//! ispell analogue: spell checking (PS-DSWP, MiBench).
+//!
+//! ispell has the paper's *smallest* transactions (≈44k accesses vs li's
+//! 182M): one word lookup per iteration. Stage 1 reads the next word from
+//! the input stream; stage 2 probes the shared dictionary hash table a few
+//! times and records whether the word is known. Because transactions are
+//! tiny, fixed per-transaction overheads (commits, queue latency) matter
+//! most here — which is why ispell also has the highest fraction of
+//! speculative loads needing SLAs (13%, Table 1): there is little locality
+//! for a transaction's VID marks to amortize over.
+
+use hmtx_isa::{Cond, ProgramBuilder, Reg};
+use hmtx_machine::Machine;
+use hmtx_runtime::env::{regs, LoopEnv, WORKLOAD_REGION_BASE};
+use hmtx_runtime::LoopBody;
+
+use crate::emitlib::hash_to_offset;
+use crate::heap::GuestHeap;
+use crate::meta::WorkloadMeta;
+use crate::suite::{meta_for, Scale, Workload};
+
+/// The ispell analogue.
+#[derive(Debug, Clone)]
+pub struct Ispell {
+    iters: u64,
+    dict_buckets: u64,
+    vocabulary: u64,
+    input: u64,
+    dict: u64,
+    results: u64,
+}
+
+impl Ispell {
+    /// Builds the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (iters, dict_buckets) = match scale {
+            Scale::Quick => (24, 256),
+            Scale::Standard => (96, 1024),
+            Scale::Stress => (512, 4096),
+        };
+        let vocabulary = 600;
+        let input = WORKLOAD_REGION_BASE;
+        let input_bytes: u64 = iters * 8;
+        let dict = input + input_bytes.div_ceil(64) * 64;
+        let results = dict + dict_buckets * 8;
+        Ispell {
+            iters,
+            dict_buckets,
+            vocabulary,
+            input,
+            dict,
+            results,
+        }
+    }
+
+    /// Address of the result cell of word `n` (1-based).
+    pub fn result_cell(&self, n: u64) -> u64 {
+        self.results + (n - 1) * 64
+    }
+}
+
+impl LoopBody for Ispell {
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+
+    fn build_image(&self, machine: &mut Machine, env: &LoopEnv) {
+        let mut heap = GuestHeap::new(0x15E1);
+        let input = heap.alloc_random_words(machine, self.iters, self.vocabulary);
+        debug_assert_eq!(input.0, self.input);
+        // Dictionary: bucket holds word+1 for ~60% of the vocabulary.
+        let dict = heap.alloc(self.dict_buckets * 8);
+        for w in 0..self.vocabulary {
+            if w % 5 < 3 {
+                let h = (w.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) % self.dict_buckets;
+                machine
+                    .mem_mut()
+                    .memory_mut()
+                    .write_word(dict.offset((h * 8) as i64), w + 1);
+            }
+        }
+        heap.alloc(self.iters * 64);
+        machine
+            .mem_mut()
+            .memory_mut()
+            .write_word(env.state_slot(0), self.input);
+    }
+
+    fn emit_stage1(&self, b: &mut ProgramBuilder, env: &LoopEnv) {
+        b.li(Reg::R1, env.state_slot(0).0 as i64);
+        b.load(Reg::R2, Reg::R1, 0); // cursor
+        b.load(regs::ITEM, Reg::R2, 0); // word
+        b.addi(Reg::R2, Reg::R2, 8);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.li(regs::SPEC_LOADS, 2);
+        b.li(regs::SPEC_STORES, 1);
+    }
+
+    fn emit_stage2(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        let buckets = self.dict_buckets;
+        let found = b.new_label();
+        let done = b.new_label();
+        // Probe the home bucket, then one linear-probe step.
+        b.li(Reg::R3, 0);
+        hash_to_offset(b, Reg::R5, regs::ITEM, buckets);
+        b.addi(Reg::R5, Reg::R5, self.dict as i64);
+        b.load(Reg::R6, Reg::R5, 0);
+        b.addi(Reg::R7, regs::ITEM, 1);
+        b.branch(Cond::Eq, Reg::R6, Reg::R7, found);
+        b.load(Reg::R6, Reg::R5, 8);
+        b.branch(Cond::Eq, Reg::R6, Reg::R7, found);
+        b.jump(done);
+        b.bind(found).unwrap();
+        b.li(Reg::R3, 1);
+        b.bind(done).unwrap();
+        crate::emitlib::iter_region(b, Reg::R9, self.results, 64);
+        b.store(Reg::R3, Reg::R9, 0);
+        b.li(regs::SPEC_LOADS, 2);
+        b.li(regs::SPEC_STORES, 1);
+    }
+
+    fn minimal_rw_counts(&self) -> (u64, u64) {
+        (2, 1)
+    }
+}
+
+impl Workload for Ispell {
+    fn meta(&self) -> WorkloadMeta {
+        meta_for("ispell")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_runtime::{run_loop, Paradigm};
+    use hmtx_types::{Addr, MachineConfig, Vid};
+
+    #[test]
+    fn psdswp_matches_sequential() {
+        let w = Ispell::new(Scale::Quick);
+        let (m_seq, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            50_000_000,
+        )
+        .unwrap();
+        let w2 = Ispell::new(Scale::Quick);
+        let (m_par, report) = run_loop(
+            Paradigm::PsDswp,
+            &w2,
+            &MachineConfig::test_default(),
+            50_000_000,
+        )
+        .unwrap();
+        assert_eq!(report.recoveries, 0);
+        for n in 1..=w.iterations() {
+            assert_eq!(
+                m_seq.mem().peek_word(Addr(w.result_cell(n)), Vid(0)),
+                m_par.mem().peek_word(Addr(w2.result_cell(n)), Vid(0)),
+                "word {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn some_words_hit_and_some_miss() {
+        let w = Ispell::new(Scale::Quick);
+        let (machine, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            50_000_000,
+        )
+        .unwrap();
+        let hits: u64 = (1..=w.iterations())
+            .map(|n| machine.mem().peek_word(Addr(w.result_cell(n)), Vid(0)))
+            .sum();
+        assert!(hits > 0, "dictionary lookups must sometimes succeed");
+        assert!(hits < w.iterations(), "and sometimes fail");
+    }
+
+    #[test]
+    fn transactions_are_tiny() {
+        let w = Ispell::new(Scale::Quick);
+        let (machine, _) = run_loop(
+            Paradigm::PsDswp,
+            &w,
+            &MachineConfig::test_default(),
+            50_000_000,
+        )
+        .unwrap();
+        let stats = machine.mem().stats();
+        let per_tx = (stats.spec_loads + stats.spec_stores) as f64 / stats.commits.max(1) as f64;
+        assert!(
+            per_tx < 30.0,
+            "ispell transactions must be small, got {per_tx}"
+        );
+    }
+}

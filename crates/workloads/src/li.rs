@@ -1,0 +1,256 @@
+//! 130.li analogue: a lisp-interpreter-style workload (PS-DSWP).
+//!
+//! `130.li` is the paper's largest transaction producer (~182M speculative
+//! accesses per TX): evaluating lisp expressions chases cons cells through
+//! an irregular heap with tag-dispatched (hard-to-predict) control flow.
+//!
+//! Stage 1 walks a worklist of expressions exactly like Figure 3's
+//! linked-list traversal (`node = node->next` kept in a state slot).
+//! Stage 2 "evaluates" the expression: a bounded walk over a shared cons
+//! heap, choosing car/cdr by each cell's pseudo-random tag (≈50/50 data-
+//! dependent branch), maintaining an explicit stack in a per-iteration
+//! workspace, and writing a result cell.
+
+use hmtx_isa::{Cond, ProgramBuilder, Reg};
+use hmtx_machine::Machine;
+use hmtx_runtime::env::{regs, LoopEnv, WORKLOAD_REGION_BASE};
+use hmtx_runtime::LoopBody;
+
+use crate::emitlib::counted_loop;
+use crate::heap::GuestHeap;
+use crate::meta::WorkloadMeta;
+use crate::suite::{meta_for, Scale, Workload};
+
+/// Cons-cell layout: word 0 = car pointer, word 1 = cdr pointer,
+/// word 2 = tag, word 3 = value; one cell per cache line.
+const CELL_SIZE: u64 = 64;
+
+/// The li analogue.
+#[derive(Debug, Clone)]
+pub struct Li {
+    iters: u64,
+    cells: u64,
+    steps: u64,
+    heap_base: u64,
+    results: u64,
+    workspace: u64,
+    workspace_stride: u64,
+}
+
+impl Li {
+    /// Builds the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (iters, cells, steps) = match scale {
+            Scale::Quick => (18, 64, 40),
+            Scale::Standard => (48, 384, 240),
+            Scale::Stress => (96, 1024, 2000),
+        };
+        let heap_base = WORKLOAD_REGION_BASE;
+        let worklist = heap_base + cells * CELL_SIZE;
+        let results = worklist + iters * CELL_SIZE;
+        let workspace_stride = (steps + 8) * 8;
+        let workspace = results + iters * CELL_SIZE;
+        Li {
+            iters,
+            cells,
+            steps,
+            heap_base,
+            results,
+            workspace,
+            workspace_stride: workspace_stride.div_ceil(64) * 64,
+        }
+    }
+
+    /// Address of the result cell of iteration `n` (1-based).
+    pub fn result_cell(&self, n: u64) -> u64 {
+        self.results + (n - 1) * CELL_SIZE
+    }
+}
+
+impl LoopBody for Li {
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+
+    fn build_image(&self, machine: &mut Machine, env: &LoopEnv) {
+        let mut heap = GuestHeap::new(0x130);
+        // Cons heap: random car/cdr pointers into the heap, random tags.
+        let base = heap.alloc(self.cells * CELL_SIZE);
+        debug_assert_eq!(base.0, self.heap_base);
+        for i in 0..self.cells {
+            let cell = base.offset((i * CELL_SIZE) as i64);
+            let car = self.heap_base + heap.rand(self.cells) * CELL_SIZE;
+            let cdr = self.heap_base + heap.rand(self.cells) * CELL_SIZE;
+            let mem = machine.mem_mut().memory_mut();
+            mem.write_word(cell, car);
+            mem.write_word(cell.offset(8), cdr);
+            mem.write_word(cell.offset(16), heap.rand(u64::MAX - 1));
+            mem.write_word(cell.offset(24), heap.rand(1_000_000));
+        }
+        // Worklist: a shuffled linked list of expressions; each payload is a
+        // pointer into the cons heap.
+        let cells = self.cells;
+        let heap_base = self.heap_base;
+        let mut seeds = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            seeds.push(heap_base + heap.rand(cells) * CELL_SIZE);
+        }
+        let head = heap.alloc_list(machine, self.iters, |i| seeds[i as usize]);
+        // Stage-1 state slot 0 holds the current worklist node.
+        machine
+            .mem_mut()
+            .memory_mut()
+            .write_word(env.state_slot(0), head.0);
+        heap.alloc(self.iters * CELL_SIZE); // results
+        heap.alloc(self.iters * self.workspace_stride); // eval stacks
+    }
+
+    fn emit_stage1(&self, b: &mut ProgramBuilder, env: &LoopEnv) {
+        // Figure 3's stage 1: producedNode = node; node = node->next.
+        b.li(Reg::R1, env.state_slot(0).0 as i64);
+        b.load(Reg::R2, Reg::R1, 0); // node
+        b.load(regs::ITEM, Reg::R2, 8); // payload: expression root
+        b.load(Reg::R3, Reg::R2, 0); // node->next
+        b.store(Reg::R3, Reg::R1, 0);
+        // Early exit when the list ends (control "speculated" in DSWP terms:
+        // checked here, before later iterations are squashed).
+        let cont = b.new_label();
+        b.branch_imm(Cond::Ne, Reg::R3, 0, cont);
+        b.li(regs::STOP, 1);
+        b.bind(cont).unwrap();
+        b.li(regs::SPEC_LOADS, 3);
+        b.li(regs::SPEC_STORES, 1);
+    }
+
+    fn emit_stage2(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        // R1 = current cell, R2 = checksum, R3 = stack base, R4 = stack
+        // depth, R11 = store count.
+        b.mov(Reg::R1, regs::ITEM);
+        b.li(Reg::R2, 0);
+        crate::emitlib::iter_region(b, Reg::R3, self.workspace, self.workspace_stride);
+        b.li(Reg::R4, 0);
+        b.li(Reg::R11, 0);
+        let steps = self.steps;
+        counted_loop(b, Reg::R0, steps, |b| {
+            let go_cdr = b.new_label();
+            let stepped = b.new_label();
+            b.load(Reg::R5, Reg::R1, 16); // tag
+            b.load(Reg::R6, Reg::R1, 24); // value
+            b.add(Reg::R2, Reg::R2, Reg::R6);
+            // Data-dependent direction: essentially a coin flip per cell,
+            // the source of li's high misprediction rate.
+            b.and(Reg::R7, Reg::R5, 1);
+            b.branch_imm(Cond::Ne, Reg::R7, 0, go_cdr);
+            // car path: push the cdr on the eval stack.
+            b.load(Reg::R8, Reg::R1, 8);
+            b.shl(Reg::R9, Reg::R4, 3);
+            b.add(Reg::R9, Reg::R9, Reg::R3);
+            b.store(Reg::R8, Reg::R9, 0);
+            b.addi(Reg::R4, Reg::R4, 1);
+            b.addi(Reg::R11, Reg::R11, 1);
+            b.load(Reg::R1, Reg::R1, 0);
+            b.jump(stepped);
+            b.bind(go_cdr).unwrap();
+            // cdr path: pop from the stack if possible, else follow cdr.
+            let follow = b.new_label();
+            b.branch_imm(Cond::Eq, Reg::R4, 0, follow);
+            b.sub(Reg::R4, Reg::R4, 1);
+            b.shl(Reg::R9, Reg::R4, 3);
+            b.add(Reg::R9, Reg::R9, Reg::R3);
+            b.load(Reg::R1, Reg::R9, 0);
+            b.jump(stepped);
+            b.bind(follow).unwrap();
+            b.load(Reg::R1, Reg::R1, 8);
+            b.bind(stepped).unwrap();
+        })
+        .unwrap();
+        // Result cell.
+        crate::emitlib::iter_region(b, Reg::R9, self.results, CELL_SIZE);
+        b.store(Reg::R2, Reg::R9, 0);
+        // Counts: ~3-4 loads per step plus the pushes; approximate with the
+        // algorithm's own counters (steps and pushes are known).
+        b.li(regs::SPEC_LOADS, (steps * 3) as i64);
+        b.addi(regs::SPEC_STORES, Reg::R11, 1);
+    }
+
+    fn minimal_rw_counts(&self) -> (u64, u64) {
+        (3, 2)
+    }
+}
+
+impl Workload for Li {
+    fn meta(&self) -> WorkloadMeta {
+        meta_for("130.li")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_runtime::{run_loop, Paradigm};
+    use hmtx_types::{Addr, MachineConfig, Vid};
+
+    fn results(machine: &Machine, w: &Li) -> Vec<u64> {
+        (1..=w.iterations())
+            .map(|n| machine.mem().peek_word(Addr(w.result_cell(n)), Vid(0)))
+            .collect()
+    }
+
+    #[test]
+    fn psdswp_matches_sequential() {
+        let w = Li::new(Scale::Quick);
+        let (m_seq, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        let w2 = Li::new(Scale::Quick);
+        let (m_par, report) = run_loop(
+            Paradigm::PsDswp,
+            &w2,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        assert_eq!(results(&m_seq, &w), results(&m_par, &w2));
+        assert_eq!(report.recoveries, 0, "li evaluations are conflict-free");
+    }
+
+    #[test]
+    fn pointer_chasing_mispredicts_substantially() {
+        let w = Li::new(Scale::Quick);
+        let (machine, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        let rate = machine.stats().mispredict_rate();
+        assert!(rate > 0.02, "tag dispatch must mispredict, got {rate:.4}");
+    }
+
+    #[test]
+    fn stage1_is_a_genuine_linked_list_walk() {
+        // The worklist must terminate by STOP (its length), not the bound.
+        let w = Li::new(Scale::Quick);
+        let (machine, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        // All result cells written => all list nodes reached.
+        for n in 1..=w.iterations() {
+            // Checksums of a random heap are almost surely nonzero.
+            assert_ne!(
+                machine.mem().peek_word(Addr(w.result_cell(n)), Vid(0)),
+                0,
+                "iteration {n} never ran"
+            );
+        }
+    }
+}

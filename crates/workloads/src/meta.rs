@@ -1,0 +1,218 @@
+//! Workload metadata: which paradigm each benchmark uses and the numbers
+//! the paper reports for it (Table 1, Figure 9), for paper-vs-measured
+//! comparison in `EXPERIMENTS.md`.
+
+use hmtx_runtime::Paradigm;
+
+/// The paper's reported numbers for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Table 1: hot-loop share of native execution time (fraction).
+    pub hot_loop_fraction: f64,
+    /// Table 1: average speculative memory accesses per transaction.
+    pub spec_accesses_per_tx: f64,
+    /// Table 1: transaction aborts avoided via SLA per transaction.
+    pub sla_aborts_avoided_per_tx: f64,
+    /// Table 1: % of speculative loads needing an SLA (fraction).
+    pub loads_needing_sla: f64,
+    /// Table 1: % of branch instructions inside the hot loop (fraction).
+    pub branch_fraction: f64,
+    /// Table 1: branch misprediction rate inside the hot loop (fraction).
+    pub mispredict_rate: f64,
+    /// Figure 9: average combined read/write set per transaction, in kB.
+    pub combined_set_kb: f64,
+}
+
+/// Static description of one of the 8 evaluated benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadMeta {
+    /// Benchmark name as in the paper.
+    pub name: &'static str,
+    /// Parallelization paradigm (Table 1).
+    pub paradigm: Paradigm,
+    /// Whether the paper has an SMTX version to compare against
+    /// (6 of the 8; not 186.crafty or ispell).
+    pub smtx_comparable: bool,
+    /// The paper's reported numbers.
+    pub paper: PaperRow,
+}
+
+/// Metadata for all 8 benchmarks, in the paper's table order.
+pub fn paper_table1() -> Vec<WorkloadMeta> {
+    vec![
+        WorkloadMeta {
+            name: "052.alvinn",
+            paradigm: Paradigm::Doall,
+            smtx_comparable: true,
+            paper: PaperRow {
+                hot_loop_fraction: 0.855,
+                spec_accesses_per_tx: 2_290_717.0,
+                sla_aborts_avoided_per_tx: 0.158,
+                loads_needing_sla: 0.0128,
+                branch_fraction: 0.115,
+                mispredict_rate: 0.00245,
+                combined_set_kb: 194.0,
+            },
+        },
+        WorkloadMeta {
+            name: "130.li",
+            paradigm: Paradigm::PsDswp,
+            smtx_comparable: true,
+            paper: PaperRow {
+                hot_loop_fraction: 1.0,
+                spec_accesses_per_tx: 181_844_120.0,
+                sla_aborts_avoided_per_tx: 22.5,
+                loads_needing_sla: 0.0421,
+                branch_fraction: 0.205,
+                mispredict_rate: 0.0365,
+                combined_set_kb: 5_000.0,
+            },
+        },
+        WorkloadMeta {
+            name: "164.gzip",
+            paradigm: Paradigm::PsDswp,
+            smtx_comparable: true,
+            paper: PaperRow {
+                hot_loop_fraction: 0.984,
+                spec_accesses_per_tx: 6_248_356.0,
+                sla_aborts_avoided_per_tx: 3.32,
+                loads_needing_sla: 0.0708,
+                branch_fraction: 0.146,
+                mispredict_rate: 0.0268,
+                combined_set_kb: 1_200.0,
+            },
+        },
+        WorkloadMeta {
+            name: "186.crafty",
+            paradigm: Paradigm::PsDswp,
+            smtx_comparable: false,
+            paper: PaperRow {
+                hot_loop_fraction: 0.995,
+                spec_accesses_per_tx: 4_498_903.0,
+                sla_aborts_avoided_per_tx: 1.50,
+                loads_needing_sla: 0.0492,
+                branch_fraction: 0.131,
+                mispredict_rate: 0.0559,
+                combined_set_kb: 700.0,
+            },
+        },
+        WorkloadMeta {
+            name: "197.parser",
+            paradigm: Paradigm::PsDswp,
+            smtx_comparable: true,
+            paper: PaperRow {
+                hot_loop_fraction: 1.0,
+                spec_accesses_per_tx: 24_733_144.0,
+                sla_aborts_avoided_per_tx: 24.6,
+                loads_needing_sla: 0.0256,
+                branch_fraction: 0.192,
+                mispredict_rate: 0.0105,
+                combined_set_kb: 2_500.0,
+            },
+        },
+        WorkloadMeta {
+            name: "256.bzip2",
+            paradigm: Paradigm::PsDswp,
+            smtx_comparable: true,
+            paper: PaperRow {
+                hot_loop_fraction: 0.985,
+                spec_accesses_per_tx: 131_271_380.0,
+                sla_aborts_avoided_per_tx: 17.3,
+                loads_needing_sla: 0.0604,
+                branch_fraction: 0.126,
+                mispredict_rate: 0.0133,
+                combined_set_kb: 16_222.0,
+            },
+        },
+        WorkloadMeta {
+            name: "456.hmmer",
+            paradigm: Paradigm::PsDswp,
+            smtx_comparable: true,
+            paper: PaperRow {
+                hot_loop_fraction: 1.0,
+                spec_accesses_per_tx: 1_709_195.0,
+                sla_aborts_avoided_per_tx: 0.187,
+                loads_needing_sla: 0.0140,
+                branch_fraction: 0.0483,
+                mispredict_rate: 0.0103,
+                combined_set_kb: 120.0,
+            },
+        },
+        WorkloadMeta {
+            name: "ispell",
+            paradigm: Paradigm::PsDswp,
+            smtx_comparable: false,
+            paper: PaperRow {
+                hot_loop_fraction: 0.865,
+                spec_accesses_per_tx: 43_752.0,
+                sla_aborts_avoided_per_tx: 0.0280,
+                loads_needing_sla: 0.130,
+                branch_fraction: 0.166,
+                mispredict_rate: 0.0282,
+                combined_set_kb: 10.0,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_benchmarks_in_table_order() {
+        let t = paper_table1();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t[0].name, "052.alvinn");
+        assert_eq!(t[7].name, "ispell");
+    }
+
+    #[test]
+    fn six_benchmarks_have_smtx_comparisons() {
+        let t = paper_table1();
+        assert_eq!(t.iter().filter(|m| m.smtx_comparable).count(), 6);
+        assert!(
+            !t.iter()
+                .find(|m| m.name == "186.crafty")
+                .unwrap()
+                .smtx_comparable
+        );
+        assert!(
+            !t.iter()
+                .find(|m| m.name == "ispell")
+                .unwrap()
+                .smtx_comparable
+        );
+    }
+
+    #[test]
+    fn only_alvinn_is_doall() {
+        let t = paper_table1();
+        for m in &t {
+            if m.name == "052.alvinn" {
+                assert_eq!(m.paradigm, Paradigm::Doall);
+            } else {
+                assert_eq!(m.paradigm, Paradigm::PsDswp);
+            }
+        }
+    }
+
+    #[test]
+    fn bzip2_has_the_largest_set_and_ispell_the_smallest() {
+        let t = paper_table1();
+        let max = t.iter().max_by(|a, b| {
+            a.paper
+                .combined_set_kb
+                .partial_cmp(&b.paper.combined_set_kb)
+                .unwrap()
+        });
+        let min = t.iter().min_by(|a, b| {
+            a.paper
+                .combined_set_kb
+                .partial_cmp(&b.paper.combined_set_kb)
+                .unwrap()
+        });
+        assert_eq!(max.unwrap().name, "256.bzip2");
+        assert_eq!(min.unwrap().name, "ispell");
+    }
+}

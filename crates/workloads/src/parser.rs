@@ -1,0 +1,194 @@
+//! 197.parser analogue: dictionary-driven sentence parsing (PS-DSWP).
+//!
+//! The link-grammar parser tokenizes a sentence (sequential cursor — the
+//! loop-carried dependence) and parses it against a large shared dictionary.
+//! Stage 2 performs chained hash lookups in the read-only dictionary (each
+//! chain step is a data-dependent branch) and records linkages in a
+//! per-sentence parse workspace.
+
+use hmtx_isa::{Cond, ProgramBuilder, Reg};
+use hmtx_machine::Machine;
+use hmtx_runtime::env::{regs, LoopEnv, WORKLOAD_REGION_BASE};
+use hmtx_runtime::LoopBody;
+
+use crate::emitlib::{counted_loop, hash_to_offset, iter_region};
+use crate::heap::GuestHeap;
+use crate::meta::WorkloadMeta;
+use crate::suite::{meta_for, Scale, Workload};
+
+/// The parser analogue.
+#[derive(Debug, Clone)]
+pub struct Parser {
+    iters: u64,
+    tokens_per_sentence: u64,
+    dict_buckets: u64,
+    input: u64,
+    dict: u64,
+    workspaces: u64,
+    workspace_stride: u64,
+    results: u64,
+}
+
+impl Parser {
+    /// Builds the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (iters, tokens, dict_buckets) = match scale {
+            Scale::Quick => (18, 24, 128),
+            Scale::Standard => (48, 80, 512),
+            Scale::Stress => (96, 512, 2048),
+        };
+        let input = WORKLOAD_REGION_BASE;
+        let input_bytes: u64 = iters * tokens * 8;
+        let dict = input + input_bytes.div_ceil(64) * 64;
+        let workspaces = dict + dict_buckets * 8;
+        let workspace_stride = (tokens * 8).div_ceil(64) * 64;
+        let results = workspaces + iters * workspace_stride;
+        Parser {
+            iters,
+            tokens_per_sentence: tokens,
+            dict_buckets,
+            input,
+            dict,
+            workspaces,
+            workspace_stride,
+            results,
+        }
+    }
+
+    /// Address of the linkage-count cell of sentence `n` (1-based).
+    pub fn result_cell(&self, n: u64) -> u64 {
+        self.results + (n - 1) * 64
+    }
+}
+
+impl LoopBody for Parser {
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+
+    fn build_image(&self, machine: &mut Machine, env: &LoopEnv) {
+        let mut heap = GuestHeap::new(0x197);
+        // Input tokens from a vocabulary; dictionary entries hold "senses".
+        let input = heap.alloc_random_words(machine, self.iters * self.tokens_per_sentence, 1000);
+        debug_assert_eq!(input.0, self.input);
+        heap.alloc_random_words(machine, self.dict_buckets, 17);
+        heap.alloc(self.iters * self.workspace_stride);
+        heap.alloc(self.iters * 64);
+        // Stage-1 cursor.
+        machine
+            .mem_mut()
+            .memory_mut()
+            .write_word(env.state_slot(0), self.input);
+    }
+
+    fn emit_stage1(&self, b: &mut ProgramBuilder, env: &LoopEnv) {
+        // Tokenize: cursor -> ITEM (sentence base); cursor += sentence bytes.
+        b.li(Reg::R1, env.state_slot(0).0 as i64);
+        b.load(regs::ITEM, Reg::R1, 0);
+        b.addi(Reg::R2, regs::ITEM, (self.tokens_per_sentence * 8) as i64);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.load(Reg::R3, regs::ITEM, 0); // peek first token
+        b.li(regs::SPEC_LOADS, 2);
+        b.li(regs::SPEC_STORES, 1);
+    }
+
+    fn emit_stage2(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        // R1 = token ptr, R2 = workspace, R3 = linkages, R11 = probe count.
+        b.mov(Reg::R1, regs::ITEM);
+        iter_region(b, Reg::R2, self.workspaces, self.workspace_stride);
+        b.li(Reg::R3, 0);
+        b.li(Reg::R11, 0);
+        let (dict, buckets, tokens) = (self.dict, self.dict_buckets, self.tokens_per_sentence);
+        counted_loop(b, Reg::R0, tokens, |b| {
+            let chain_done = b.new_label();
+            b.load(Reg::R4, Reg::R1, 0); // token
+                                         // Chained dictionary probes: up to 3, exit data-dependently.
+            b.mov(Reg::R5, Reg::R4);
+            for _ in 0..3 {
+                hash_to_offset(b, Reg::R6, Reg::R5, buckets);
+                b.addi(Reg::R6, Reg::R6, dict as i64);
+                b.load(Reg::R7, Reg::R6, 0); // sense
+                b.add(Reg::R3, Reg::R3, Reg::R7);
+                b.addi(Reg::R11, Reg::R11, 1);
+                // Chain continues only on rare collisions (biased, mostly
+                // predictable — the paper reports just 1.05% for parser).
+                b.and(Reg::R8, Reg::R7, 7);
+                b.branch_imm(Cond::Ne, Reg::R8, 7, chain_done);
+                b.addi(Reg::R5, Reg::R5, 0x51);
+            }
+            b.bind(chain_done).unwrap();
+            // Record the linkage in the parse workspace.
+            b.shl(Reg::R9, Reg::R0, 3);
+            b.add(Reg::R9, Reg::R9, Reg::R2);
+            b.store(Reg::R3, Reg::R9, 0);
+            b.addi(Reg::R1, Reg::R1, 8);
+        })
+        .unwrap();
+        iter_region(b, Reg::R9, self.results, 64);
+        b.store(Reg::R3, Reg::R9, 0);
+        // Loads: token + probes; stores: workspace + result.
+        b.addi(regs::SPEC_LOADS, Reg::R11, tokens as i64);
+        b.li(regs::SPEC_STORES, (tokens + 1) as i64);
+    }
+
+    fn minimal_rw_counts(&self) -> (u64, u64) {
+        (3, 1)
+    }
+}
+
+impl Workload for Parser {
+    fn meta(&self) -> WorkloadMeta {
+        meta_for("197.parser")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_runtime::{run_loop, Paradigm};
+    use hmtx_types::{Addr, MachineConfig, Vid};
+
+    #[test]
+    fn psdswp_and_doacross_match_sequential() {
+        let w = Parser::new(Scale::Quick);
+        let (m_seq, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        for paradigm in [Paradigm::PsDswp, Paradigm::Doacross] {
+            let w2 = Parser::new(Scale::Quick);
+            let (m_par, report) =
+                run_loop(paradigm, &w2, &MachineConfig::test_default(), 100_000_000).unwrap();
+            assert_eq!(report.recoveries, 0, "{}", paradigm.name());
+            for n in 1..=w.iterations() {
+                assert_eq!(
+                    m_seq.mem().peek_word(Addr(w.result_cell(n)), Vid(0)),
+                    m_par.mem().peek_word(Addr(w2.result_cell(n)), Vid(0)),
+                    "{} sentence {n}",
+                    paradigm.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_nontrivial() {
+        let w = Parser::new(Scale::Quick);
+        let (machine, _) = run_loop(
+            Paradigm::Sequential,
+            &w,
+            &MachineConfig::test_default(),
+            100_000_000,
+        )
+        .unwrap();
+        let first = machine.mem().peek_word(Addr(w.result_cell(1)), Vid(0));
+        let last = machine
+            .mem()
+            .peek_word(Addr(w.result_cell(w.iterations())), Vid(0));
+        assert_ne!(first, 0);
+        assert_ne!(first, last);
+    }
+}

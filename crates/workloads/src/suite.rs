@@ -1,0 +1,86 @@
+//! The benchmark suite: the 8 workload analogues and their registry.
+
+use crate::meta::{paper_table1, WorkloadMeta};
+use hmtx_runtime::LoopBody;
+
+/// How large to build a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small instances for unit/integration tests (seconds).
+    Quick,
+    /// The benchmark-harness instances used for the paper figures.
+    Standard,
+    /// Long-transaction stress instances (hundreds of thousands of
+    /// speculative accesses per transaction) for resilience tests.
+    Stress,
+}
+
+/// A benchmark workload: a parallelizable loop plus its paper metadata.
+pub trait Workload: LoopBody {
+    /// Static description and the paper's reported numbers.
+    fn meta(&self) -> WorkloadMeta;
+}
+
+/// Looks up the paper metadata row by benchmark name.
+///
+/// # Panics
+///
+/// Panics if the name is not one of the 8 benchmarks.
+pub fn meta_for(name: &str) -> WorkloadMeta {
+    paper_table1()
+        .into_iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+}
+
+/// Builds the full 8-benchmark suite at the given scale, in Table 1 order.
+pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(crate::alvinn::Alvinn::new(scale)),
+        Box::new(crate::li::Li::new(scale)),
+        Box::new(crate::gzip::Gzip::new(scale)),
+        Box::new(crate::crafty::Crafty::new(scale)),
+        Box::new(crate::parser::Parser::new(scale)),
+        Box::new(crate::bzip2::Bzip2::new(scale)),
+        Box::new(crate::hmmer::Hmmer::new(scale)),
+        Box::new(crate::ispell::Ispell::new(scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table1_order_and_metadata() {
+        let s = suite(Scale::Quick);
+        let t = paper_table1();
+        assert_eq!(s.len(), 8);
+        for (w, m) in s.iter().zip(t.iter()) {
+            assert_eq!(w.meta().name, m.name);
+            assert_eq!(w.meta().paradigm, m.paradigm);
+        }
+    }
+
+    #[test]
+    fn standard_scale_is_larger_than_quick() {
+        for (q, s) in suite(Scale::Quick)
+            .iter()
+            .zip(suite(Scale::Standard).iter())
+        {
+            assert!(
+                q.iterations() <= s.iterations(),
+                "{}: quick {} > standard {}",
+                q.meta().name,
+                q.iterations(),
+                s.iterations()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn meta_for_unknown_name_panics() {
+        let _ = meta_for("999.nonesuch");
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: parallelize the paper's Figure 3 linked-list loop with
+//! hardware multithreaded transactions and compare it against sequential
+//! execution.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hmtx::runtime::{run_loop, Paradigm};
+use hmtx::types::MachineConfig;
+use hmtx::workloads::li::Li;
+use hmtx::workloads::{Scale, Workload};
+
+fn main() {
+    // The 130.li workload is exactly Figure 3's shape: stage 1 walks a
+    // linked list (`node = node->next` is the loop-carried dependence),
+    // stage 2 runs `work(node)` on each element.
+    let workload = Li::new(Scale::Standard);
+    let cfg = MachineConfig::paper_default();
+
+    println!(
+        "machine: {} cores, {} KB L1, {} MB shared L2, {}-bit VIDs\n",
+        cfg.num_cores,
+        cfg.l1.size_bytes / 1024,
+        cfg.l2.size_bytes / 1024 / 1024,
+        cfg.hmtx.vid_bits
+    );
+
+    let (_, seq) =
+        run_loop(Paradigm::Sequential, &workload, &cfg, u64::MAX).expect("sequential run");
+    println!("sequential:        {:>12} cycles", seq.cycles);
+
+    let (machine, par) =
+        run_loop(workload.meta().paradigm, &workload, &cfg, u64::MAX).expect("parallel run");
+    let stats = machine.mem().stats();
+    println!(
+        "PS-DSWP (HMTX):    {:>12} cycles   ({:.2}x speedup)",
+        par.cycles,
+        seq.cycles as f64 / par.cycles as f64
+    );
+    println!();
+    println!("transactions committed:        {}", stats.commits);
+    println!(
+        "speculative loads / stores:    {} / {}",
+        stats.spec_loads, stats.spec_stores
+    );
+    println!("SLAs sent (needed marking):    {}", stats.slas_sent);
+    println!(
+        "misspeculations:               {} (recoveries: {})",
+        stats.aborts, par.recoveries
+    );
+    let rw = stats.rw_totals();
+    println!(
+        "avg read/write set per TX:     {:.2} kB / {:.2} kB",
+        rw.avg_read_kb(),
+        rw.avg_write_kb()
+    );
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full local verification: format, lints, tests, docs, experiments smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace
+cargo doc --workspace --no-deps
+cargo run --release -p hmtx-bench --bin experiments -- table2 --quick >/dev/null
+echo "all checks passed"

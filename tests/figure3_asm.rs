@@ -1,0 +1,181 @@
+//! Figure 3 of the paper, written in actual guest assembly: the speculative
+//! DSWP linked-list traversal with `beginMTX`/`commitMTX`, the
+//! `producedNode` versioned-memory idiom, `produceVID`/`consumeVID` queues,
+//! and the early-exit control speculation that triggers `abortMTX` when
+//! `work(node) > MAX`.
+
+use std::sync::Arc;
+
+use hmtx::core::MisspecCause;
+use hmtx::isa::assemble;
+use hmtx::machine::{Machine, RunEvent, ThreadContext};
+use hmtx::types::{Addr, MachineConfig, ThreadId, Vid};
+
+/// Guest layout: one node per line, word 0 = next, word 1 = payload.
+const LIST_BASE: u64 = 0x10_0000;
+/// The shared `producedNode` slot of Figure 3(b).
+const PRODUCED_NODE: u64 = 0x20_0000;
+/// Initial `node` pointer lives here.
+const NODE_SLOT: u64 = 0x20_0040;
+/// Figure 3's early-exit threshold.
+const MAX: u64 = 100;
+
+fn build_list(machine: &mut Machine, payloads: &[u64]) {
+    for (i, p) in payloads.iter().enumerate() {
+        let node = LIST_BASE + (i as u64) * 64;
+        let next = if i + 1 < payloads.len() { node + 64 } else { 0 };
+        machine.mem_mut().memory_mut().write_word(Addr(node), next);
+        machine
+            .mem_mut()
+            .memory_mut()
+            .write_word(Addr(node + 8), *p);
+    }
+    machine
+        .mem_mut()
+        .memory_mut()
+        .write_word(Addr(NODE_SLOT), LIST_BASE);
+}
+
+fn stage1() -> Arc<hmtx::isa::Program> {
+    Arc::new(
+        assemble(&format!(
+            r"
+            ; Figure 3(b): speculative DSWP stage 1
+                li   r10, 1              ; vid = 1
+                li   r9, {NODE_SLOT}
+                ld   r0, (r9)            ; node (non-speculative initial load)
+                beq  r0, 0, finish       ; leaveLoop = (node == NULL)
+            loop:
+                beginMTX r10
+                li   r8, {PRODUCED_NODE}
+                st   r0, (r8)            ; producedNode = node (new version)
+                ld   r0, (r0)            ; node = node->next
+                li   r7, 0
+                beginMTX r7              ; does not commit
+                produce q0, r10          ; produceVID(vid++)
+                add  r10, r10, 1
+                bne  r0, 0, loop
+            finish:
+                li   r7, 0
+                produce q0, r7           ; produceVID(0)
+                halt
+            "
+        ))
+        .expect("stage 1 assembles"),
+    )
+}
+
+fn stage2() -> Arc<hmtx::isa::Program> {
+    Arc::new(
+        assemble(&format!(
+            r"
+            ; Figure 3(c): speculative DSWP stage 2
+            loop:
+                consume r10, q0          ; vid = consumeVID()
+                beq  r10, 0, done
+                beginMTX r10             ; continue the TX started in stage 1
+                li   r8, {PRODUCED_NODE}
+                ld   r0, (r8)            ; finds this VID's producedNode
+                ld   r1, 8(r0)           ; w = work(node)
+                commitMTX r10
+                bgeu r1, {THRESH}, do_abort ; if (w > MAX): abortMTX(vid+1)
+                j    loop
+            do_abort:
+                add  r11, r10, 1
+                abortMTX r11
+            done:
+                halt
+            ",
+            THRESH = MAX + 1
+        ))
+        .expect("stage 2 assembles"),
+    )
+}
+
+#[test]
+fn figure3_without_early_exit_commits_every_node() {
+    let mut machine = Machine::new(MachineConfig::test_default());
+    let payloads: Vec<u64> = (0..10).map(|i| 10 + i).collect(); // all <= MAX
+    build_list(&mut machine, &payloads);
+    machine.load_thread(0, ThreadContext::new(ThreadId(0), stage1()));
+    machine.load_thread(1, ThreadContext::new(ThreadId(1), stage2()));
+    assert_eq!(machine.run(1_000_000).unwrap(), RunEvent::AllHalted);
+    assert_eq!(machine.mem().stats().commits, 10);
+    // The committed producedNode is the last node.
+    let last = LIST_BASE + 9 * 64;
+    assert_eq!(machine.mem().peek_word(Addr(PRODUCED_NODE), Vid(0)), last);
+}
+
+#[test]
+fn figure3_early_exit_aborts_later_transactions() {
+    let mut machine = Machine::new(MachineConfig::test_default());
+    // Node 6 (0-based index 5) exceeds MAX: stage 2 discovers it after
+    // later iterations already started speculatively in stage 1.
+    let payloads = vec![10, 20, 30, 40, 50, MAX + 23, 60, 70, 80, 90];
+    build_list(&mut machine, &payloads);
+    machine.load_thread(0, ThreadContext::new(ThreadId(0), stage1()));
+    machine.load_thread(1, ThreadContext::new(ThreadId(1), stage2()));
+    match machine.run(1_000_000).unwrap() {
+        RunEvent::Misspeculation {
+            cause: MisspecCause::ExplicitAbort { vid },
+            ..
+        } => {
+            assert_eq!(
+                vid,
+                Vid(7),
+                "abortMTX(vid+1) for the iteration after the exit"
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Transactions 1..=6 committed (the exit iteration itself is valid);
+    // everything later was squashed.
+    assert_eq!(machine.mem().stats().commits, 6);
+    let exit_node = LIST_BASE + 5 * 64;
+    assert_eq!(
+        machine.mem().peek_word(Addr(PRODUCED_NODE), Vid(0)),
+        exit_node,
+        "committed producedNode is the early-exit node"
+    );
+    assert_eq!(machine.mem().stats().aborts, 1);
+}
+
+#[test]
+fn figure3_uncommitted_value_forwarding_carries_every_node() {
+    // Stage 2 instrumented to emit each node pointer it observed; the
+    // sequence must be exactly the list order even though every value it
+    // read was uncommitted when stage 1 produced it.
+    let stage2_instrumented = Arc::new(
+        assemble(&format!(
+            r"
+            loop:
+                consume r10, q0
+                beq  r10, 0, done
+                beginMTX r10
+                li   r8, {PRODUCED_NODE}
+                ld   r0, (r8)
+                out  r0                  ; record the forwarded pointer
+                ld   r1, 8(r0)
+                commitMTX r10
+                bgeu r1, {THRESH}, do_abort
+                j    loop
+            do_abort:
+                add  r11, r10, 1
+                abortMTX r11
+            done:
+                halt
+            ",
+            THRESH = MAX + 1
+        ))
+        .unwrap(),
+    );
+
+    let mut machine = Machine::new(MachineConfig::test_default());
+    let payloads: Vec<u64> = (0..8).map(|i| i + 1).collect();
+    build_list(&mut machine, &payloads);
+    machine.load_thread(0, ThreadContext::new(ThreadId(0), stage1()));
+    machine.load_thread(1, ThreadContext::new(ThreadId(1), stage2_instrumented));
+    assert_eq!(machine.run(1_000_000).unwrap(), RunEvent::AllHalted);
+    let expected: Vec<u64> = (0..8).map(|i| LIST_BASE + i * 64).collect();
+    assert_eq!(machine.committed_output(), expected.as_slice());
+}

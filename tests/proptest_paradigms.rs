@@ -1,0 +1,152 @@
+//! Property test: for *randomly generated* parallelizable loops (random
+//! access patterns, random sizes, random seeds), every speculative paradigm
+//! must produce exactly the sequential run's committed memory.
+
+use hmtx::isa::{ProgramBuilder, Reg};
+use hmtx::machine::Machine;
+use hmtx::runtime::env::{regs, LoopEnv, WORKLOAD_REGION_BASE};
+use hmtx::runtime::{run_loop, LoopBody, Paradigm};
+use hmtx::types::{Addr, MachineConfig};
+use hmtx::workloads::emitlib::{counted_loop, hash_to_offset, xorshift_step};
+use proptest::prelude::*;
+
+/// A loop with seed-driven random reads of a shared table and random writes
+/// into a per-iteration region, with a loop-carried PRNG in stage 1.
+#[derive(Debug, Clone)]
+struct RandomLoop {
+    iters: u64,
+    reads: u64,
+    writes: u64,
+    shared_words: u64, // power of two
+    seed: u64,
+}
+
+const SHARED: u64 = WORKLOAD_REGION_BASE;
+const REGIONS: u64 = WORKLOAD_REGION_BASE + 0x2_0000;
+const RESULTS: u64 = WORKLOAD_REGION_BASE + 0x8_0000;
+const REGION_STRIDE: u64 = 512; // 8 lines per iteration
+
+impl LoopBody for RandomLoop {
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+
+    fn build_image(&self, machine: &mut Machine, env: &LoopEnv) {
+        // Shared read-only table with deterministic pseudo-random contents.
+        let mut x = self.seed | 1;
+        for i in 0..self.shared_words {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            machine
+                .mem_mut()
+                .memory_mut()
+                .write_word(Addr(SHARED + i * 8), x);
+        }
+        machine
+            .mem_mut()
+            .memory_mut()
+            .write_word(env.state_slot(0), self.seed | 1);
+    }
+
+    fn emit_stage1(&self, b: &mut ProgramBuilder, env: &LoopEnv) {
+        // Loop-carried PRNG: each iteration's item depends on the last.
+        b.li(Reg::R1, env.state_slot(0).0 as i64);
+        b.load(Reg::R2, Reg::R1, 0);
+        xorshift_step(b, Reg::R2, Reg::R3);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.mov(regs::ITEM, Reg::R2);
+        b.li(regs::SPEC_LOADS, 1);
+        b.li(regs::SPEC_STORES, 1);
+    }
+
+    fn emit_stage2(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        let (reads, writes, shared_words) = (self.reads, self.writes, self.shared_words);
+        // R1 = PRNG, R2 = checksum, R3 = own region.
+        b.mov(Reg::R1, regs::ITEM);
+        b.li(Reg::R2, 0);
+        hmtx::workloads::emitlib::iter_region(b, Reg::R3, REGIONS, REGION_STRIDE);
+        counted_loop(b, Reg::R0, reads, |b| {
+            xorshift_step(b, Reg::R1, Reg::R4);
+            hash_to_offset(b, Reg::R5, Reg::R1, shared_words);
+            b.addi(Reg::R5, Reg::R5, SHARED as i64);
+            b.load(Reg::R6, Reg::R5, 0);
+            b.add(Reg::R2, Reg::R2, Reg::R6);
+        })
+        .unwrap();
+        counted_loop(b, Reg::R0, writes, |b| {
+            xorshift_step(b, Reg::R1, Reg::R4);
+            // A random word within this iteration's own region (repeats OK).
+            hash_to_offset(b, Reg::R5, Reg::R1, REGION_STRIDE / 8);
+            b.add(Reg::R5, Reg::R5, Reg::R3);
+            b.store(Reg::R2, Reg::R5, 0);
+        })
+        .unwrap();
+        hmtx::workloads::emitlib::iter_region(b, Reg::R5, RESULTS, 64);
+        b.store(Reg::R2, Reg::R5, 0);
+        b.li(regs::SPEC_LOADS, reads as i64);
+        b.li(regs::SPEC_STORES, writes as i64 + 1);
+    }
+}
+
+fn fingerprint(mut machine: Machine) -> u64 {
+    let violations = machine.mem().check_invariants();
+    assert!(
+        violations.is_empty(),
+        "protocol invariants violated: {violations:?}"
+    );
+    machine.mem_mut().drain_committed().expect("clean drain");
+    machine
+        .mem()
+        .memory()
+        .fingerprint_range(Addr(WORKLOAD_REGION_BASE), Addr(0xFFFF_0000_0000))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_paradigm_matches_sequential_on_random_loops(
+        iters in 4u64..20,
+        reads in 1u64..12,
+        writes in 1u64..8,
+        shared_pow in 4u32..9,
+        seed in any::<u64>(),
+    ) {
+        let body = RandomLoop {
+            iters,
+            reads,
+            writes,
+            shared_words: 1 << shared_pow,
+            seed,
+        };
+        let cfg = MachineConfig::test_default();
+        let (m, _) = run_loop(Paradigm::Sequential, &body, &cfg, 100_000_000).unwrap();
+        let expected = fingerprint(m);
+        for paradigm in [Paradigm::Dswp, Paradigm::PsDswp, Paradigm::Doacross] {
+            let (m, report) = run_loop(paradigm, &body, &cfg, 100_000_000).unwrap();
+            prop_assert_eq!(report.recoveries, 0, "{} misspeculated", paradigm.name());
+            prop_assert_eq!(fingerprint(m), expected, "{} diverged", paradigm.name());
+        }
+    }
+
+    #[test]
+    fn random_loops_survive_narrow_vids_and_interrupts(
+        iters in 10u64..24,
+        reads in 1u64..8,
+        writes in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let body = RandomLoop { iters, reads, writes, shared_words: 64, seed };
+        let mut cfg = MachineConfig::test_default();
+        let (m, _) = run_loop(Paradigm::Sequential, &body, &cfg, 100_000_000).unwrap();
+        let expected = fingerprint(m);
+        cfg.hmtx.vid_bits = 3;
+        cfg.pipeline_window = 4;
+        cfg.interrupt_period = 700;
+        let (m, report) = run_loop(Paradigm::PsDswp, &body, &cfg, 100_000_000).unwrap();
+        prop_assert_eq!(report.recoveries, 0);
+        prop_assert!(m.mem().stats().vid_resets >= 1);
+        prop_assert_eq!(fingerprint(m), expected);
+    }
+}

@@ -1,0 +1,158 @@
+//! Cross-crate protocol integration: VID wraparound under real workloads,
+//! lazy/eager commit equivalence at workload level, and cache-overflow
+//! behaviour under pressure.
+
+use hmtx::machine::Machine;
+use hmtx::runtime::env::WORKLOAD_REGION_BASE;
+use hmtx::runtime::{run_loop, Paradigm};
+use hmtx::types::{Addr, CacheConfig, MachineConfig};
+use hmtx::workloads::{suite, Scale};
+
+const BUDGET: u64 = 2_000_000_000;
+
+fn workload_fingerprint(mut machine: Machine) -> u64 {
+    machine.mem_mut().drain_committed().expect("clean drain");
+    machine
+        .mem()
+        .memory()
+        // Stop below the per-core kernel scratch region the interrupt
+        // handler writes (its contents are timing-dependent by design).
+        .fingerprint_range(Addr(WORKLOAD_REGION_BASE), Addr(0xFFFF_0000_0000))
+}
+
+#[test]
+fn narrow_vids_force_resets_but_preserve_results() {
+    // 3-bit VIDs: only 7 usable VIDs, so every workload wraps many times.
+    let mut cfg = MachineConfig::test_default();
+    cfg.hmtx.vid_bits = 3;
+    cfg.pipeline_window = 4;
+    for w in suite(Scale::Quick) {
+        let name = w.meta().name;
+        let (seq_machine, _) = run_loop(Paradigm::Sequential, w.as_ref(), &cfg, BUDGET).unwrap();
+        let expected = workload_fingerprint(seq_machine);
+        let (par_machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &cfg, BUDGET).unwrap();
+        assert_eq!(report.recoveries, 0, "{name}");
+        assert!(
+            par_machine.mem().stats().vid_resets >= 1,
+            "{name}: 3-bit VIDs must reset, got {}",
+            par_machine.mem().stats().vid_resets
+        );
+        assert_eq!(workload_fingerprint(par_machine), expected, "{name}");
+    }
+}
+
+#[test]
+fn lazy_and_eager_commit_agree_on_every_workload() {
+    for w in suite(Scale::Quick) {
+        let name = w.meta().name;
+        let run = |lazy: bool| {
+            let mut cfg = MachineConfig::test_default();
+            cfg.hmtx.lazy_commit = lazy;
+            let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &cfg, BUDGET).unwrap();
+            assert_eq!(report.recoveries, 0, "{name} lazy={lazy}");
+            (workload_fingerprint(machine), report.outputs)
+        };
+        let (lazy_fp, lazy_out) = run(true);
+        let (eager_fp, eager_out) = run(false);
+        assert_eq!(
+            lazy_fp, eager_fp,
+            "{name}: lazy and eager final memory differ"
+        );
+        assert_eq!(lazy_out, eager_out, "{name}: outputs differ");
+    }
+}
+
+#[test]
+fn eager_commit_walks_lines_and_lazy_does_not() {
+    let w = &suite(Scale::Quick)[1]; // 130.li
+    let run = |lazy: bool| {
+        let mut cfg = MachineConfig::test_default();
+        cfg.hmtx.lazy_commit = lazy;
+        let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &cfg, BUDGET).unwrap();
+        (
+            machine.mem().stats().eager_commit_lines_walked,
+            report.cycles,
+        )
+    };
+    let (lazy_walked, lazy_cycles) = run(true);
+    let (eager_walked, eager_cycles) = run(false);
+    assert_eq!(lazy_walked, 0);
+    assert!(eager_walked > 0);
+    assert!(
+        eager_cycles > lazy_cycles,
+        "walking the cache at every commit must cost time: {eager_cycles} vs {lazy_cycles}"
+    );
+}
+
+#[test]
+fn constrained_caches_overflow_safely_and_stay_correct() {
+    // Caches far smaller than bzip2's footprint: S-O(0,·) spills and §5.4
+    // refills must keep results exact even when recoveries occur.
+    // Standard-scale bzip2 (128 workspace lines per transaction) against a
+    // 32 KB LLC: the speculative footprint cannot fit.
+    let w = hmtx::workloads::bzip2::Bzip2::new(Scale::Standard);
+    let w: &dyn hmtx::workloads::Workload = &w;
+    let mut cfg = MachineConfig::test_default();
+    cfg.l1 = CacheConfig {
+        size_bytes: 4 * 1024,
+        ways: 4,
+        latency: 2,
+    };
+    cfg.l2 = CacheConfig {
+        size_bytes: 32 * 1024,
+        ways: 8,
+        latency: 40,
+    };
+    cfg.pipeline_window = 3;
+    let (seq_machine, _) = run_loop(Paradigm::Sequential, w, &cfg, BUDGET).unwrap();
+    let expected = workload_fingerprint(seq_machine);
+    let (par_machine, _report) = run_loop(w.meta().paradigm, w, &cfg, BUDGET).unwrap();
+    let stats_overflow = par_machine.mem().stats().safe_overflow_writebacks;
+    assert_eq!(
+        workload_fingerprint(par_machine),
+        expected,
+        "overflowing run must be exact"
+    );
+    assert!(
+        stats_overflow > 0,
+        "bzip2 on tiny caches must spill S-O(0) lines"
+    );
+}
+
+#[test]
+fn sla_disabled_still_produces_correct_results() {
+    // Without SLAs wrong-path loads can cause false misspeculation; the
+    // recovery path must still converge to the sequential answer.
+    let mut cfg = MachineConfig::test_default();
+    cfg.hmtx.sla_enabled = false;
+    for idx in [3usize, 7] {
+        // crafty (mispredict-heavy) and ispell
+        let w = &suite(Scale::Quick)[idx];
+        let name = w.meta().name;
+        let (seq_machine, _) = run_loop(Paradigm::Sequential, w.as_ref(), &cfg, BUDGET).unwrap();
+        let expected = workload_fingerprint(seq_machine);
+        let (par_machine, _) = run_loop(w.meta().paradigm, w.as_ref(), &cfg, BUDGET).unwrap();
+        assert_eq!(
+            workload_fingerprint(par_machine),
+            expected,
+            "{name} without SLA"
+        );
+    }
+}
+
+#[test]
+fn runs_are_fully_deterministic() {
+    let w = &suite(Scale::Quick)[4]; // 197.parser
+    let run = || {
+        let cfg = MachineConfig::test_default();
+        let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &cfg, BUDGET).unwrap();
+        (
+            report.cycles,
+            report.instructions,
+            machine.mem().stats().l1_misses,
+            machine.mem().stats().slas_sent,
+            workload_fingerprint(machine),
+        )
+    };
+    assert_eq!(run(), run());
+}

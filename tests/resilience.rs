@@ -1,0 +1,142 @@
+//! Resilience (§5): long transactions must survive interrupts, thread
+//! migration, and genuine conflicts with recovery — while preserving exact
+//! results.
+
+use hmtx::isa::{ProgramBuilder, Reg};
+use hmtx::machine::Machine;
+use hmtx::runtime::env::{regs, WORKLOAD_REGION_BASE};
+use hmtx::runtime::{run_loop, LoopBody, LoopEnv, Paradigm};
+use hmtx::types::{Addr, MachineConfig, Vid};
+use hmtx::workloads::{suite, Scale};
+
+const BUDGET: u64 = 4_000_000_000;
+
+fn workload_fingerprint(mut machine: Machine) -> u64 {
+    machine.mem_mut().drain_committed().expect("clean drain");
+    machine
+        .mem()
+        .memory()
+        // Stop below the per-core kernel scratch region the interrupt
+        // handler writes (its contents are timing-dependent by design).
+        .fingerprint_range(Addr(WORKLOAD_REGION_BASE), Addr(0xFFFF_0000_0000))
+}
+
+#[test]
+fn interrupts_during_every_workload_change_nothing() {
+    // §5.2: frequent timer interrupts running non-speculative OS handlers
+    // inside live transactions must not perturb results.
+    for w in suite(Scale::Quick) {
+        let name = w.meta().name;
+        let quiet = MachineConfig::test_default();
+        let (m, _) = run_loop(w.meta().paradigm, w.as_ref(), &quiet, BUDGET).unwrap();
+        let expected = workload_fingerprint(m);
+
+        let mut noisy = MachineConfig::test_default();
+        noisy.interrupt_period = 1_500;
+        noisy.interrupt_handler_instrs = 120;
+        let (m, report) = run_loop(w.meta().paradigm, w.as_ref(), &noisy, BUDGET).unwrap();
+        assert!(m.stats().interrupts > 0, "{name}: interrupts must fire");
+        assert_eq!(
+            report.recoveries, 0,
+            "{name}: interrupts must not abort transactions"
+        );
+        assert_eq!(workload_fingerprint(m), expected, "{name} with interrupts");
+    }
+}
+
+#[test]
+fn long_stress_transactions_commit_cleanly() {
+    // Stress scale: transactions with tens of thousands of speculative
+    // accesses (the paper's headline capability) on the paper's caches.
+    let w = hmtx::workloads::bzip2::Bzip2::new(Scale::Stress);
+    let cfg = MachineConfig::paper_default();
+    let (machine, report) =
+        run_loop(Paradigm::PsDswp, &w, &cfg, BUDGET).expect("stress run completes");
+    assert_eq!(report.recoveries, 0);
+    let stats = machine.mem().stats();
+    let per_tx = (stats.spec_loads + stats.spec_stores) as f64 / stats.commits as f64;
+    assert!(
+        per_tx > 30_000.0,
+        "stress transactions must be large, got {per_tx:.0} accesses/TX"
+    );
+    // Verify against the host-side reference sort.
+    for n in 1..=w.iterations() {
+        assert_eq!(
+            machine.mem().peek_word(Addr(w.checksum_cell(n)), Vid(0)),
+            w.expected_checksum(&machine, n),
+            "block {n}"
+        );
+    }
+}
+
+/// A loop whose stage-2 transactions genuinely conflict (one shared
+/// accumulator cell), forcing aborts and recovery at workload level.
+struct ConflictingAccum {
+    iters: u64,
+}
+
+const ACCUM: u64 = WORKLOAD_REGION_BASE + 0x8000;
+
+impl LoopBody for ConflictingAccum {
+    fn iterations(&self) -> u64 {
+        self.iters
+    }
+    fn build_image(&self, _m: &mut Machine, _env: &LoopEnv) {}
+    fn emit_stage1(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        b.mov(regs::ITEM, regs::N);
+        b.li(regs::SPEC_LOADS, 1);
+        b.li(regs::SPEC_STORES, 1);
+    }
+    fn emit_stage2(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
+        b.li(Reg::R1, ACCUM as i64);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.mul(Reg::R3, regs::ITEM, regs::ITEM);
+        b.add(Reg::R2, Reg::R2, Reg::R3);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.li(regs::SPEC_LOADS, 1);
+        b.li(regs::SPEC_STORES, 1);
+    }
+}
+
+#[test]
+fn genuine_conflicts_recover_to_the_exact_serial_answer() {
+    let body = ConflictingAccum { iters: 30 };
+    let cfg = MachineConfig::test_default();
+    let (machine, report) = run_loop(Paradigm::PsDswp, &body, &cfg, BUDGET).unwrap();
+    assert!(report.recoveries > 0, "a shared accumulator must conflict");
+    let expected: u64 = (1..=30u64).map(|n| n * n).sum();
+    assert_eq!(machine.mem().peek_word(Addr(ACCUM), Vid(0)), expected);
+    // Every recovery had a concrete architectural cause.
+    assert_eq!(report.recovery_causes.len() as u64, report.recoveries);
+}
+
+#[test]
+fn migration_mid_run_preserves_transaction_state() {
+    // Drive the machine manually: start a PS-DSWP run, stop it mid-flight,
+    // migrate a worker to a different core, and finish.
+    use hmtx::machine::{RunEvent, ThreadContext};
+    use hmtx::runtime::build_paradigm;
+    use hmtx::types::ThreadId;
+
+    let w = &suite(Scale::Quick)[7]; // ispell: short, many transactions
+    let mut cfg = MachineConfig::test_default();
+    cfg.num_cores = 6; // leave two empty cores to migrate onto
+    let env = hmtx::runtime::LoopEnv::new(cfg.hmtx.max_vid().0, 3)
+        .with_pipeline_window(cfg.pipeline_window);
+    let mut machine = Machine::new(cfg.clone());
+    w.build_image(&mut machine, &env);
+    let generated = build_paradigm(w.meta().paradigm, w.as_ref(), &env, 1).unwrap();
+    for (i, t) in generated.threads.into_iter().enumerate() {
+        machine.load_thread(t.core, ThreadContext::new(ThreadId(i), t.program));
+    }
+    // Run a slice, then migrate worker on core 1 to core 4 and the worker
+    // on core 2 to core 5 (possibly mid-transaction).
+    assert_eq!(machine.run(2_000).unwrap(), RunEvent::BudgetExhausted);
+    machine.migrate_thread(1, 4);
+    machine.migrate_thread(2, 5);
+    match machine.run(BUDGET).unwrap() {
+        RunEvent::AllHalted => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(machine.mem().stats().commits >= w.iterations());
+}

@@ -1,0 +1,79 @@
+//! SMTX baseline integration: correctness across the suite and the
+//! validation-cost phenomenon of Figure 2 at workload level.
+
+use hmtx::runtime::run_loop;
+use hmtx::smtx::{run_smtx, RwSetMode};
+use hmtx::types::MachineConfig;
+use hmtx::workloads::{suite, Scale};
+
+const BUDGET: u64 = 2_000_000_000;
+
+#[test]
+fn validation_cost_is_monotone_for_every_comparable_workload() {
+    let cfg = MachineConfig::test_default();
+    for w in suite(Scale::Quick) {
+        if !w.meta().smtx_comparable {
+            continue;
+        }
+        let name = w.meta().name;
+        let cycles = |mode| run_smtx(w.as_ref(), &cfg, mode, BUDGET).unwrap().1.cycles;
+        let min = cycles(RwSetMode::Minimal);
+        let sub = cycles(RwSetMode::Substantial);
+        let max = cycles(RwSetMode::Maximal);
+        assert!(
+            min <= sub && sub <= max,
+            "{name}: validation cost must grow with set size: {min} {sub} {max}"
+        );
+        assert!(max > min, "{name}: maximal validation must cost something");
+    }
+}
+
+#[test]
+fn hmtx_with_maximal_validation_beats_smtx_with_maximal_validation() {
+    // The paper's central claim, per benchmark: when both systems validate
+    // every access, hardware wins decisively.
+    let cfg = MachineConfig::test_default();
+    for w in suite(Scale::Quick) {
+        if !w.meta().smtx_comparable {
+            continue;
+        }
+        let name = w.meta().name;
+        let (_, hmtx) = run_loop(w.meta().paradigm, w.as_ref(), &cfg, BUDGET).unwrap();
+        let (_, smtx) = run_smtx(w.as_ref(), &cfg, RwSetMode::Maximal, BUDGET).unwrap();
+        assert!(
+            hmtx.cycles < smtx.cycles,
+            "{name}: HMTX {} vs SMTX-max {}",
+            hmtx.cycles,
+            smtx.cycles
+        );
+    }
+}
+
+#[test]
+fn smtx_commit_core_becomes_the_bottleneck_under_maximal_validation() {
+    // bzip2's huge sets: with maximal validation, the run should be
+    // dominated by validation work — instructions balloon relative to the
+    // minimal-set run.
+    let cfg = MachineConfig::test_default();
+    let w = &suite(Scale::Quick)[5];
+    let (_, min) = run_smtx(w.as_ref(), &cfg, RwSetMode::Minimal, BUDGET).unwrap();
+    let (_, max) = run_smtx(w.as_ref(), &cfg, RwSetMode::Maximal, BUDGET).unwrap();
+    assert!(
+        max.instructions > min.instructions * 2,
+        "validation instructions must dominate: {} vs {}",
+        max.instructions,
+        min.instructions
+    );
+}
+
+#[test]
+fn smtx_never_uses_hmtx_hardware() {
+    let cfg = MachineConfig::test_default();
+    let w = &suite(Scale::Quick)[7];
+    let (machine, _) = run_smtx(w.as_ref(), &cfg, RwSetMode::Maximal, BUDGET).unwrap();
+    let stats = machine.mem().stats();
+    assert_eq!(stats.spec_loads, 0, "SMTX issues no VID-labeled loads");
+    assert_eq!(stats.spec_stores, 0);
+    assert_eq!(stats.commits, 0, "no hardware group commits");
+    assert_eq!(stats.slas_sent, 0);
+}

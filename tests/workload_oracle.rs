@@ -1,0 +1,115 @@
+//! The strongest end-to-end correctness oracle: for every benchmark, the
+//! final committed memory image of a speculative parallel run must be
+//! byte-identical (over the workload data region) to the sequential run's.
+
+use hmtx::machine::Machine;
+use hmtx::runtime::env::WORKLOAD_REGION_BASE;
+use hmtx::runtime::{run_loop, Paradigm};
+use hmtx::smtx::{run_smtx, RwSetMode};
+use hmtx::types::{Addr, MachineConfig};
+use hmtx::workloads::{suite, Scale};
+
+const BUDGET: u64 = 2_000_000_000;
+
+/// Drains the caches and fingerprints the workload data region, after
+/// verifying every protocol invariant still holds.
+fn workload_fingerprint(mut machine: Machine) -> u64 {
+    let violations = machine.mem().check_invariants();
+    assert!(
+        violations.is_empty(),
+        "protocol invariants violated: {violations:?}"
+    );
+    machine
+        .mem_mut()
+        .drain_committed()
+        .expect("no speculative leftovers at end of run");
+    machine
+        .mem()
+        .memory()
+        // Stop below the per-core kernel scratch region the interrupt
+        // handler writes (its contents are timing-dependent by design).
+        .fingerprint_range(Addr(WORKLOAD_REGION_BASE), Addr(0xFFFF_0000_0000))
+}
+
+#[test]
+fn every_workload_parallel_run_matches_sequential_memory() {
+    let cfg = MachineConfig::test_default();
+    for w in suite(Scale::Quick) {
+        let name = w.meta().name;
+        let (seq_machine, _) = run_loop(Paradigm::Sequential, w.as_ref(), &cfg, BUDGET)
+            .unwrap_or_else(|e| panic!("{name} sequential: {e}"));
+        let expected = workload_fingerprint(seq_machine);
+
+        let (par_machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &cfg, BUDGET)
+            .unwrap_or_else(|e| panic!("{name} parallel: {e}"));
+        assert_eq!(
+            report.recoveries, 0,
+            "{name}: high-confidence speculation must not abort"
+        );
+        assert_eq!(
+            workload_fingerprint(par_machine),
+            expected,
+            "{name}: parallel final memory differs from sequential"
+        );
+    }
+}
+
+#[test]
+fn every_workload_matches_under_paper_scale_caches() {
+    // Same oracle on the paper's Table 2 cache configuration.
+    let cfg = MachineConfig::paper_default();
+    for w in suite(Scale::Quick) {
+        let name = w.meta().name;
+        let (seq_machine, _) = run_loop(Paradigm::Sequential, w.as_ref(), &cfg, BUDGET).unwrap();
+        let expected = workload_fingerprint(seq_machine);
+        let (par_machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &cfg, BUDGET).unwrap();
+        assert_eq!(report.recoveries, 0, "{name}");
+        assert_eq!(workload_fingerprint(par_machine), expected, "{name}");
+    }
+}
+
+#[test]
+fn every_smtx_comparable_workload_matches_sequential_memory() {
+    let cfg = MachineConfig::test_default();
+    for w in suite(Scale::Quick) {
+        if !w.meta().smtx_comparable {
+            continue;
+        }
+        let name = w.meta().name;
+        let (seq_machine, _) = run_loop(Paradigm::Sequential, w.as_ref(), &cfg, BUDGET).unwrap();
+        let expected = workload_fingerprint(seq_machine);
+        for mode in [RwSetMode::Minimal, RwSetMode::Maximal] {
+            let (smtx_machine, _) = run_smtx(w.as_ref(), &cfg, mode, BUDGET)
+                .unwrap_or_else(|e| panic!("{name} smtx {}: {e}", mode.name()));
+            // SMTX log regions live below the workload region, so the
+            // workload fingerprint isolates the actual results.
+            assert_eq!(
+                workload_fingerprint(smtx_machine),
+                expected,
+                "{name} under SMTX {}",
+                mode.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dswp_with_one_worker_also_matches() {
+    // The 2-thread DSWP of Figure 1(c), not just PS-DSWP.
+    let cfg = MachineConfig::test_default();
+    for w in suite(Scale::Quick) {
+        if w.meta().paradigm != Paradigm::PsDswp {
+            continue;
+        }
+        let name = w.meta().name;
+        let (seq_machine, _) = run_loop(Paradigm::Sequential, w.as_ref(), &cfg, BUDGET).unwrap();
+        let expected = workload_fingerprint(seq_machine);
+        let (dswp_machine, report) = run_loop(Paradigm::Dswp, w.as_ref(), &cfg, BUDGET).unwrap();
+        assert_eq!(report.recoveries, 0, "{name}");
+        assert_eq!(
+            workload_fingerprint(dswp_machine),
+            expected,
+            "{name} under DSWP"
+        );
+    }
+}
