@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hmtx_bench::fig1::render_paradigm;
+use hmtx_bench::runner::SimPool;
 use hmtx_bench::{
     ablation_commit, ablation_sla, ablation_unbounded, ablation_victim, ablation_vid_width,
     extension_scaling, fig2, fig8, fig9, table1, table3,
@@ -18,6 +19,12 @@ fn cfg() -> MachineConfig {
     MachineConfig::test_default()
 }
 
+/// A fresh (empty-cache) pool per measured iteration, so the benchmarks
+/// time the simulations, not the memoization.
+fn pool() -> SimPool {
+    SimPool::new(Scale::Quick, cfg())
+}
+
 fn bench_fig1(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_paradigms");
     g.sample_size(10);
@@ -28,7 +35,7 @@ fn bench_fig1(c: &mut Criterion) {
         Paradigm::PsDswp,
     ] {
         g.bench_function(paradigm.name(), |b| {
-            b.iter(|| render_paradigm(paradigm, &cfg()).unwrap());
+            b.iter(|| render_paradigm(&pool(), paradigm).unwrap());
         });
     }
     g.finish();
@@ -58,7 +65,7 @@ fn bench_fig2(c: &mut Criterion) {
         });
     });
     g.bench_function("all_rows", |b| {
-        b.iter(|| fig2(Scale::Quick, &cfg()).unwrap().len());
+        b.iter(|| fig2(&pool()).unwrap().len());
     });
     g.finish();
 }
@@ -80,7 +87,7 @@ fn bench_fig8(c: &mut Criterion) {
     }
     g.bench_function("summary", |b| {
         b.iter(|| {
-            let (_, s) = fig8(Scale::Quick, &cfg()).unwrap();
+            let (_, s) = fig8(&pool()).unwrap();
             assert!(s.hmtx_all > 1.0, "HMTX must speed up overall");
             s.hmtx_all
         });
@@ -93,7 +100,7 @@ fn bench_fig9(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("all_rows", |b| {
         b.iter(|| {
-            let rows = fig9(Scale::Quick, &cfg()).unwrap();
+            let rows = fig9(&pool()).unwrap();
             assert_eq!(rows.len(), 8);
             rows.len()
         });
@@ -105,7 +112,7 @@ fn bench_table1(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_stats");
     g.sample_size(10);
     g.bench_function("all_rows", |b| {
-        b.iter(|| table1(Scale::Quick, &cfg()).unwrap().len());
+        b.iter(|| table1(&pool()).unwrap().len());
     });
     g.finish();
 }
@@ -114,7 +121,7 @@ fn bench_table3(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3_power");
     g.sample_size(10);
     g.bench_function("all_rows", |b| {
-        b.iter(|| table3(Scale::Quick, &cfg()).unwrap().len());
+        b.iter(|| table3(&pool()).unwrap().len());
     });
     g.finish();
 }
@@ -123,22 +130,22 @@ fn bench_ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     g.bench_function("ablation_lazy_commit", |b| {
-        b.iter(|| ablation_commit(Scale::Quick, &cfg()).unwrap().len());
+        b.iter(|| ablation_commit(&pool()).unwrap().len());
     });
     g.bench_function("ablation_sla", |b| {
-        b.iter(|| ablation_sla(Scale::Quick, &cfg()).unwrap().len());
+        b.iter(|| ablation_sla(&pool()).unwrap().len());
     });
     g.bench_function("ablation_vid_width", |b| {
-        b.iter(|| ablation_vid_width(Scale::Quick, &cfg()).unwrap().len());
+        b.iter(|| ablation_vid_width(&pool()).unwrap().len());
     });
     g.bench_function("ablation_victim", |b| {
-        b.iter(|| ablation_victim(Scale::Quick, &cfg()).unwrap().len());
+        b.iter(|| ablation_victim(&pool()).unwrap().len());
     });
     g.bench_function("ablation_unbounded", |b| {
-        b.iter(|| ablation_unbounded(Scale::Quick, &cfg()).unwrap().len());
+        b.iter(|| ablation_unbounded(&pool()).unwrap().len());
     });
     g.bench_function("extension_scaling", |b| {
-        b.iter(|| extension_scaling(Scale::Quick, &cfg()).unwrap().len());
+        b.iter(|| extension_scaling(&pool()).unwrap().len());
     });
     g.finish();
 }

@@ -3,107 +3,174 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [fig1|fig2|fig8|fig9|table1|table2|table3|ablations|all] [--quick]
+//! experiments [fig1|fig2|fig8|fig9|table1|table2|table3|ablations|extensions|all]
+//!             [--quick] [--jobs N] [--json PATH] [--progress]
 //! ```
 //!
 //! `--quick` uses the small test-scale workloads and caches (for smoke
 //! runs); the default is the standard benchmark scale on the paper's
 //! Table 2 configuration.
+//!
+//! `--jobs N` runs the requested sections' simulations on `N` host threads
+//! (a work-stealing queue over pure simulation jobs). The printed output is
+//! byte-identical for every `N`: sections render serially, in order, from
+//! the pool's memoized results. `--json PATH` additionally writes a
+//! machine-readable report (every row plus per-job wall-clock); `--progress`
+//! streams per-job status lines to stderr.
 
-use hmtx_bench::fig1::fig1;
+use hmtx_bench::runner::SimPool;
 use hmtx_bench::{
     ablation_commit, ablation_sla, ablation_unbounded, ablation_victim, ablation_vid_width,
-    experiment_config, extension_scaling, fig2, fig8, fig9, latency_sensitivity, render_ablation,
-    render_fig2, render_fig8, render_fig9, render_latency, render_scaling, render_table1,
-    render_table2, render_table3, table1, table3,
+    experiment_config, extension_scaling, fig1::fig1, fig2, fig8, fig9, latency_sensitivity, plan,
+    render_ablation, render_fig2, render_fig8, render_fig9, render_latency, render_scaling,
+    render_table1, render_table2, render_table3, report::build_report, table1, table3, Section,
 };
 use hmtx_types::MachineConfig;
 use hmtx_workloads::Scale;
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [fig1|fig2|fig8|fig9|table1|table2|table3|ablations|extensions|all] \
+         [--quick] [--jobs N] [--json PATH] [--progress]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or("all".to_string());
+    let mut quick = false;
+    let mut progress = false;
+    let mut jobs: usize = 1;
+    let mut json_path: Option<String> = None;
+    let mut what: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--progress" => progress = true,
+            "--jobs" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                jobs = n.parse().unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+            }
+            "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
+            s if s.starts_with("--") => usage(),
+            _ => {
+                if what.replace(a).is_some() {
+                    usage();
+                }
+            }
+        }
+    }
+    let what = what.unwrap_or_else(|| "all".to_string());
+
+    let sections: Vec<Section> = if what == "all" {
+        Section::ALL.to_vec()
+    } else {
+        match Section::from_name(&what) {
+            Some(s) => vec![s],
+            None => usage(),
+        }
+    };
+
     let scale = if quick { Scale::Quick } else { Scale::Standard };
     let cfg: MachineConfig = if quick {
         MachineConfig::test_default()
     } else {
         experiment_config()
     };
+    let mut pool = SimPool::new(scale, cfg.clone());
+    if progress {
+        pool = pool.with_progress();
+    }
 
-    let run = |name: &str| what == "all" || what == name;
+    // Simulate everything the sections need up front, across host threads.
+    // Rendering below then finds every result in the cache and stays
+    // byte-identical regardless of --jobs.
+    if let Err(e) = pool.prefetch(&plan(&sections, scale), jobs) {
+        eprintln!("experiments: simulation failed: {e:?}");
+        std::process::exit(1);
+    }
+
+    let run = |name: &str| sections.iter().any(|s| s.name() == name);
 
     if run("table2") {
         println!("{}", render_table2(&cfg));
     }
     if run("fig1") {
-        println!("{}", fig1(&cfg).expect("fig1"));
+        println!("{}", fig1(&pool).expect("fig1"));
     }
     if run("fig2") {
-        println!("{}", render_fig2(&fig2(scale, &cfg).expect("fig2")));
+        println!("{}", render_fig2(&fig2(&pool).expect("fig2")));
     }
     if run("fig8") {
-        let (rows, summary) = fig8(scale, &cfg).expect("fig8");
+        let (rows, summary) = fig8(&pool).expect("fig8");
         println!("{}", render_fig8(&rows, &summary));
     }
     if run("fig9") {
-        println!("{}", render_fig9(&fig9(scale, &cfg).expect("fig9")));
+        println!("{}", render_fig9(&fig9(&pool).expect("fig9")));
     }
     if run("table1") {
-        println!("{}", render_table1(&table1(scale, &cfg).expect("table1")));
+        println!("{}", render_table1(&table1(&pool).expect("table1")));
     }
     if run("table3") {
-        println!("{}", render_table3(&table3(scale, &cfg).expect("table3")));
+        println!("{}", render_table3(&table3(&pool).expect("table3")));
     }
     if run("ablations") {
         println!(
             "{}",
             render_ablation(
                 "Ablation A (5.3): lazy vs eager commit processing",
-                &ablation_commit(scale, &cfg).expect("ablation A"),
+                &ablation_commit(&pool).expect("ablation A"),
             )
         );
         println!(
             "{}",
             render_ablation(
                 "Ablation B (5.1): speculative load acknowledgments on/off",
-                &ablation_sla(scale, &cfg).expect("ablation B"),
+                &ablation_sla(&pool).expect("ablation B"),
             )
         );
         println!(
             "{}",
             render_ablation(
                 "Ablation C (4.6): VID width sweep",
-                &ablation_vid_width(scale, &cfg).expect("ablation C"),
+                &ablation_vid_width(&pool).expect("ablation C"),
             )
         );
         println!(
             "{}",
             render_ablation(
                 "Ablation D (5.4): LLC victim policy under cache pressure",
-                &ablation_victim(scale, &cfg).expect("ablation D"),
+                &ablation_victim(&pool).expect("ablation D"),
             )
         );
     }
-    if run("extensions") || what == "all" {
+    if run("extensions") {
         println!(
             "{}",
             render_ablation(
                 "Extension (8): unbounded read/write sets via memory-side overflow",
-                &ablation_unbounded(scale, &cfg).expect("extension unbounded"),
+                &ablation_unbounded(&pool).expect("extension unbounded"),
             )
         );
         println!(
             "{}",
-            render_scaling(&extension_scaling(scale, &cfg).expect("scaling"))
+            render_scaling(&extension_scaling(&pool).expect("scaling"))
         );
         println!(
             "{}",
-            render_latency(&latency_sensitivity(scale, &cfg).expect("latency sweep"))
+            render_latency(&latency_sensitivity(&pool).expect("latency sweep"))
         );
+    }
+
+    if let Some(path) = json_path {
+        let report = build_report(&pool, &sections).expect("json report");
+        if let Err(e) = std::fs::write(&path, report.pretty()) {
+            eprintln!("experiments: writing {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }

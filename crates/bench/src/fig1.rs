@@ -10,17 +10,27 @@
 use hmtx_isa::{ProgramBuilder, Reg};
 use hmtx_machine::Machine;
 use hmtx_runtime::env::{regs, LoopEnv};
-use hmtx_runtime::{run_loop, LoopBody, Paradigm};
-use hmtx_types::{MachineConfig, SimError};
+use hmtx_runtime::{LoopBody, Paradigm};
+use hmtx_types::SimError;
+
+use crate::runner::{Benchmark, ConfigVariant, JobParadigm, SimPool};
 
 const MARK_S1_BEGIN: u32 = 10;
 const MARK_S1_END: u32 = 11;
 const MARK_S2_BEGIN: u32 = 20;
 const MARK_S2_END: u32 = 21;
 
+/// The paradigms Figure 1 diagrams, in render order.
+pub const PARADIGMS: [Paradigm; 4] = [
+    Paradigm::Sequential,
+    Paradigm::Doacross,
+    Paradigm::Dswp,
+    Paradigm::PsDswp,
+];
+
 /// The instrumented linked-list-style loop used for the diagram.
-struct Fig1Loop {
-    iters: u64,
+pub(crate) struct Fig1Loop {
+    pub(crate) iters: u64,
 }
 
 impl LoopBody for Fig1Loop {
@@ -69,9 +79,13 @@ struct Interval {
 /// # Errors
 ///
 /// Propagates [`SimError`] from the simulation.
-pub fn render_paradigm(paradigm: Paradigm, cfg: &MachineConfig) -> Result<String, SimError> {
-    let body = Fig1Loop { iters: 5 };
-    let (machine, _) = run_loop(paradigm, &body, cfg, 50_000_000)?;
+pub fn render_paradigm(pool: &SimPool, paradigm: Paradigm) -> Result<String, SimError> {
+    let result = pool.get(&pool.job(
+        Benchmark::Fig1Loop,
+        JobParadigm::Explicit(paradigm),
+        ConfigVariant::Base,
+    ))?;
+    let machine = &result.machine;
 
     // Pair begin/end markers per core.
     let mut open: std::collections::HashMap<(usize, u32), u64> = std::collections::HashMap::new();
@@ -164,18 +178,13 @@ pub fn render_paradigm(paradigm: Paradigm, cfg: &MachineConfig) -> Result<String
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn fig1(cfg: &MachineConfig) -> Result<String, SimError> {
+pub fn fig1(pool: &SimPool) -> Result<String, SimError> {
     let mut out = String::from(
         "Figure 1: execution timing of the first 5 iterations\n\
          (n = stage-1 work, w = stage-2 work; '-'/'=' continue an interval)\n\n",
     );
-    for paradigm in [
-        Paradigm::Sequential,
-        Paradigm::Doacross,
-        Paradigm::Dswp,
-        Paradigm::PsDswp,
-    ] {
-        out.push_str(&render_paradigm(paradigm, cfg)?);
+    for paradigm in PARADIGMS {
+        out.push_str(&render_paradigm(pool, paradigm)?);
         out.push('\n');
     }
     Ok(out)
@@ -184,10 +193,16 @@ pub fn fig1(cfg: &MachineConfig) -> Result<String, SimError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hmtx_types::MachineConfig;
+    use hmtx_workloads::Scale;
+
+    fn pool() -> SimPool {
+        SimPool::new(Scale::Quick, MachineConfig::test_default())
+    }
 
     #[test]
     fn fig1_renders_all_paradigms() {
-        let text = fig1(&MachineConfig::test_default()).unwrap();
+        let text = fig1(&pool()).unwrap();
         for name in ["Sequential", "DOACROSS", "DSWP", "PS-DSWP"] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
@@ -197,9 +212,9 @@ mod tests {
 
     #[test]
     fn psdswp_uses_more_lanes_than_dswp() {
-        let cfg = MachineConfig::test_default();
-        let dswp = render_paradigm(Paradigm::Dswp, &cfg).unwrap();
-        let psdswp = render_paradigm(Paradigm::PsDswp, &cfg).unwrap();
+        let p = pool();
+        let dswp = render_paradigm(&p, Paradigm::Dswp).unwrap();
+        let psdswp = render_paradigm(&p, Paradigm::PsDswp).unwrap();
         let lanes = |s: &str| {
             s.lines()
                 .filter(|l| l.trim_start().starts_with("core"))
@@ -211,8 +226,7 @@ mod tests {
 
     #[test]
     fn sequential_is_one_lane() {
-        let cfg = MachineConfig::test_default();
-        let seq = render_paradigm(Paradigm::Sequential, &cfg).unwrap();
+        let seq = render_paradigm(&pool(), Paradigm::Sequential).unwrap();
         let lanes = seq
             .lines()
             .filter(|l| l.trim_start().starts_with("core"))

@@ -2,20 +2,30 @@
 //! paper's evaluation (§6) from fresh simulations, plus the ablations
 //! called out in `DESIGN.md`.
 //!
-//! Each `fig*`/`table*` function runs the required simulations and returns
-//! structured rows; `render_*` helpers format them as the text tables the
-//! `experiments` binary prints (and `EXPERIMENTS.md` records).
+//! Experiments are expressed as pure [`runner::SimJob`]s executed through a
+//! memoizing [`runner::SimPool`]: [`plan`] lists the jobs a set of sections
+//! needs, [`runner::SimPool::prefetch`] fans them out across host threads,
+//! and each `fig*`/`table*` function then *looks up* its results in stable
+//! job order and returns structured rows — so the rendered output is
+//! byte-identical whatever the thread count, and a simulation shared by
+//! several figures runs exactly once. `render_*` helpers format rows as the
+//! text tables the `experiments` binary prints (and `EXPERIMENTS.md`
+//! records); [`report`] serializes the same rows as JSON.
 
 #![warn(missing_docs)]
 
 use hmtx_machine::Machine;
 use hmtx_power::{geomean, PowerModel};
-use hmtx_runtime::{run_loop, Paradigm, RunReport};
-use hmtx_smtx::{run_smtx, RwSetMode};
+use hmtx_runtime::speedup;
+use hmtx_smtx::RwSetMode;
 use hmtx_types::{MachineConfig, SimError, VictimPolicy};
-use hmtx_workloads::{suite, Scale, Workload};
+use hmtx_workloads::{suite, Scale};
 
 pub mod fig1;
+pub mod report;
+pub mod runner;
+
+use runner::{Benchmark, ConfigVariant, JobParadigm, SimJob, SimPool};
 
 /// Instruction budget for harness runs (generous; guards livelock only).
 pub const BUDGET: u64 = 20_000_000_000;
@@ -25,16 +35,241 @@ pub fn experiment_config() -> MachineConfig {
     MachineConfig::paper_default()
 }
 
-/// Runs one workload sequentially, returning the hot-loop cycle count.
-fn sequential_cycles(w: &dyn Workload, cfg: &MachineConfig) -> Result<(Machine, u64), SimError> {
-    let (machine, report) = run_loop(Paradigm::Sequential, w, cfg, BUDGET)?;
-    Ok((machine, report.cycles))
+// -------------------------------------------------------------- the plan
+
+/// One printable section of the `experiments` output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// Table 2 (the architectural configuration; no simulations).
+    Table2,
+    /// Figure 1 timing diagrams.
+    Fig1,
+    /// Figure 2 SMTX speedups.
+    Fig2,
+    /// Figure 8 hot-loop speedups.
+    Fig8,
+    /// Figure 9 read/write set sizes.
+    Fig9,
+    /// Table 1 speculative execution statistics.
+    Table1,
+    /// Table 3 area/power/energy.
+    Table3,
+    /// Ablations A–D.
+    Ablations,
+    /// §8 extensions and the §2.1 latency sweep.
+    Extensions,
 }
 
-/// Runs one workload under its paper paradigm on HMTX.
-fn hmtx_run(w: &dyn Workload, cfg: &MachineConfig) -> Result<(Machine, RunReport), SimError> {
-    run_loop(w.meta().paradigm, w, cfg, BUDGET)
+impl Section {
+    /// Every section, in the canonical output order of `experiments all`.
+    pub const ALL: [Section; 9] = [
+        Section::Table2,
+        Section::Fig1,
+        Section::Fig2,
+        Section::Fig8,
+        Section::Fig9,
+        Section::Table1,
+        Section::Table3,
+        Section::Ablations,
+        Section::Extensions,
+    ];
+
+    /// The CLI name (`experiments <name>`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Section::Table2 => "table2",
+            Section::Fig1 => "fig1",
+            Section::Fig2 => "fig2",
+            Section::Fig8 => "fig8",
+            Section::Fig9 => "fig9",
+            Section::Table1 => "table1",
+            Section::Table3 => "table3",
+            Section::Ablations => "ablations",
+            Section::Extensions => "extensions",
+        }
+    }
+
+    /// Parses a CLI name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Section> {
+        Section::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// The simulation jobs this section's rows are computed from.
+    #[must_use]
+    pub fn jobs(&self, scale: Scale) -> Vec<SimJob> {
+        let job = |b, p, c| SimJob::new(b, p, c, scale);
+        let seq = |i| {
+            job(
+                Benchmark::Suite(i),
+                JobParadigm::Sequential,
+                ConfigVariant::Base,
+            )
+        };
+        let paper = |i| job(Benchmark::Suite(i), JobParadigm::Paper, ConfigVariant::Base);
+        let smtx = |i, m| {
+            job(
+                Benchmark::Suite(i),
+                JobParadigm::Smtx(m),
+                ConfigVariant::Base,
+            )
+        };
+        let ws = suite(scale);
+        let all = 0..ws.len();
+        let comparable: Vec<usize> = ws
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.meta().smtx_comparable)
+            .map(|(i, _)| i)
+            .collect();
+        match self {
+            Section::Table2 => Vec::new(),
+            Section::Fig1 => fig1::PARADIGMS
+                .into_iter()
+                .map(|p| {
+                    job(
+                        Benchmark::Fig1Loop,
+                        JobParadigm::Explicit(p),
+                        ConfigVariant::Base,
+                    )
+                })
+                .collect(),
+            Section::Fig2 => comparable
+                .iter()
+                .flat_map(|&i| {
+                    [
+                        seq(i),
+                        smtx(i, RwSetMode::Minimal),
+                        smtx(i, RwSetMode::Substantial),
+                    ]
+                })
+                .collect(),
+            Section::Fig8 => all
+                .flat_map(|i| {
+                    let mut jobs = vec![seq(i), paper(i)];
+                    if comparable.contains(&i) {
+                        jobs.push(smtx(i, RwSetMode::Minimal));
+                    }
+                    jobs
+                })
+                .collect(),
+            Section::Fig9 | Section::Table1 => all.map(paper).collect(),
+            Section::Table3 => all
+                .flat_map(|i| {
+                    let mut jobs = vec![seq(i), paper(i)];
+                    if comparable.contains(&i) {
+                        jobs.push(smtx(i, RwSetMode::Minimal));
+                    }
+                    jobs
+                })
+                .collect(),
+            Section::Ablations => {
+                let mut jobs = Vec::new();
+                for idx in ABLATION_COMMIT_BENCHES {
+                    for lazy in [true, false] {
+                        jobs.push(job(
+                            Benchmark::Suite(idx),
+                            JobParadigm::Paper,
+                            ConfigVariant::Commit { lazy },
+                        ));
+                    }
+                }
+                for idx in ABLATION_SLA_BENCHES {
+                    for enabled in [true, false] {
+                        jobs.push(job(
+                            Benchmark::Suite(idx),
+                            JobParadigm::Paper,
+                            ConfigVariant::Sla { enabled },
+                        ));
+                    }
+                }
+                for enabled in [true, false] {
+                    jobs.push(job(
+                        Benchmark::SlaStress,
+                        JobParadigm::Explicit(hmtx_runtime::Paradigm::PsDswp),
+                        ConfigVariant::Sla { enabled },
+                    ));
+                }
+                for bits in VID_WIDTH_SWEEP {
+                    jobs.push(job(
+                        Benchmark::Suite(VID_WIDTH_BENCH),
+                        JobParadigm::Paper,
+                        ConfigVariant::VidBits(bits),
+                    ));
+                }
+                for policy in [VictimPolicy::PreferSafeOverflow, VictimPolicy::PlainLru] {
+                    jobs.push(job(
+                        Benchmark::Suite(VICTIM_BENCH),
+                        JobParadigm::Paper,
+                        ConfigVariant::Victim(policy),
+                    ));
+                }
+                jobs
+            }
+            Section::Extensions => {
+                let mut jobs = Vec::new();
+                for unbounded in [false, true] {
+                    jobs.push(job(
+                        Benchmark::Suite(VICTIM_BENCH),
+                        JobParadigm::Paper,
+                        ConfigVariant::Bounded { unbounded },
+                    ));
+                }
+                jobs.push(job(
+                    Benchmark::ScalingLoop,
+                    JobParadigm::Sequential,
+                    ConfigVariant::ScalingBase,
+                ));
+                for cores in SCALING_CORES {
+                    for directory in [false, true] {
+                        jobs.push(job(
+                            Benchmark::ScalingLoop,
+                            JobParadigm::Explicit(hmtx_runtime::Paradigm::PsDswp),
+                            ConfigVariant::ScalingFabric { cores, directory },
+                        ));
+                    }
+                }
+                jobs.push(seq(LATENCY_BENCH));
+                for latency in LATENCY_SWEEP {
+                    for p in [
+                        hmtx_runtime::Paradigm::Doacross,
+                        hmtx_runtime::Paradigm::PsDswp,
+                    ] {
+                        jobs.push(job(
+                            Benchmark::Suite(LATENCY_BENCH),
+                            JobParadigm::Explicit(p),
+                            ConfigVariant::QueueLatency(latency),
+                        ));
+                    }
+                }
+                jobs
+            }
+        }
+    }
 }
+
+/// Every simulation job the given sections need, in section order.
+/// Feed this to [`runner::SimPool::prefetch`]; sections sharing a job list
+/// it more than once, and the pool simulates it once.
+#[must_use]
+pub fn plan(sections: &[Section], scale: Scale) -> Vec<SimJob> {
+    sections.iter().flat_map(|s| s.jobs(scale)).collect()
+}
+
+/// Suite indices the ablations run on (130.li and 256.bzip2 for commit
+/// processing; 130.li and 186.crafty for SLAs; see `suite()` ordering).
+const ABLATION_COMMIT_BENCHES: [usize; 2] = [1, 5];
+const ABLATION_SLA_BENCHES: [usize; 2] = [1, 3];
+/// 197.parser.
+const VID_WIDTH_BENCH: usize = 4;
+const VID_WIDTH_SWEEP: [u32; 5] = [3, 4, 5, 6, 8];
+/// 256.bzip2: the largest footprint.
+const VICTIM_BENCH: usize = 5;
+const SCALING_CORES: [usize; 4] = [4, 8, 16, 32];
+/// ispell: tiny iterations, so per-iteration communication dominates.
+const LATENCY_BENCH: usize = 7;
+const LATENCY_SWEEP: [u64; 4] = [10, 30, 100, 300];
 
 // ------------------------------------------------------------------ Figure 2
 
@@ -61,20 +296,32 @@ pub fn whole_program_speedup(hot_fraction: f64, hot_speedup: f64) -> f64 {
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn fig2(scale: Scale, cfg: &MachineConfig) -> Result<Vec<Fig2Row>, SimError> {
+pub fn fig2(pool: &SimPool) -> Result<Vec<Fig2Row>, SimError> {
     let mut rows = Vec::new();
-    for w in suite(scale) {
+    for (i, w) in suite(pool.scale()).iter().enumerate() {
         if !w.meta().smtx_comparable {
             continue;
         }
-        let (_, seq) = sequential_cycles(w.as_ref(), cfg)?;
-        let (_, min) = run_smtx(w.as_ref(), cfg, RwSetMode::Minimal, BUDGET)?;
-        let (_, sub) = run_smtx(w.as_ref(), cfg, RwSetMode::Substantial, BUDGET)?;
+        let seq = pool.get(&pool.job(
+            Benchmark::Suite(i),
+            JobParadigm::Sequential,
+            ConfigVariant::Base,
+        ))?;
+        let min = pool.get(&pool.job(
+            Benchmark::Suite(i),
+            JobParadigm::Smtx(RwSetMode::Minimal),
+            ConfigVariant::Base,
+        ))?;
+        let sub = pool.get(&pool.job(
+            Benchmark::Suite(i),
+            JobParadigm::Smtx(RwSetMode::Substantial),
+            ConfigVariant::Base,
+        ))?;
         let f = w.meta().paper.hot_loop_fraction;
         rows.push(Fig2Row {
             name: w.meta().name.to_string(),
-            minimal: whole_program_speedup(f, seq as f64 / min.cycles as f64),
-            substantial: whole_program_speedup(f, seq as f64 / sub.cycles as f64),
+            minimal: whole_program_speedup(f, speedup(seq.cycles, min.cycles)),
+            substantial: whole_program_speedup(f, speedup(seq.cycles, sub.cycles)),
         });
     }
     Ok(rows)
@@ -138,21 +385,30 @@ pub struct Fig8Summary {
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn fig8(scale: Scale, cfg: &MachineConfig) -> Result<(Vec<Fig8Row>, Fig8Summary), SimError> {
+pub fn fig8(pool: &SimPool) -> Result<(Vec<Fig8Row>, Fig8Summary), SimError> {
     let mut rows = Vec::new();
-    for w in suite(scale) {
-        let (_, seq) = sequential_cycles(w.as_ref(), cfg)?;
-        let (_, hmtx) = hmtx_run(w.as_ref(), cfg)?;
+    for (i, w) in suite(pool.scale()).iter().enumerate() {
+        let seq = pool.get(&pool.job(
+            Benchmark::Suite(i),
+            JobParadigm::Sequential,
+            ConfigVariant::Base,
+        ))?;
+        let hmtx =
+            pool.get(&pool.job(Benchmark::Suite(i), JobParadigm::Paper, ConfigVariant::Base))?;
         let smtx = if w.meta().smtx_comparable {
-            let (_, r) = run_smtx(w.as_ref(), cfg, RwSetMode::Minimal, BUDGET)?;
-            Some(seq as f64 / r.cycles as f64)
+            let r = pool.get(&pool.job(
+                Benchmark::Suite(i),
+                JobParadigm::Smtx(RwSetMode::Minimal),
+                ConfigVariant::Base,
+            ))?;
+            Some(speedup(seq.cycles, r.cycles))
         } else {
             None
         };
         rows.push(Fig8Row {
             name: w.meta().name.to_string(),
             smtx,
-            hmtx: seq as f64 / hmtx.cycles as f64,
+            hmtx: speedup(seq.cycles, hmtx.cycles),
         });
     }
     let hmtx_all: Vec<f64> = rows.iter().map(|r| r.hmtx).collect();
@@ -226,11 +482,12 @@ pub struct Fig9Row {
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn fig9(scale: Scale, cfg: &MachineConfig) -> Result<Vec<Fig9Row>, SimError> {
+pub fn fig9(pool: &SimPool) -> Result<Vec<Fig9Row>, SimError> {
     let mut rows = Vec::new();
-    for w in suite(scale) {
-        let (machine, _) = hmtx_run(w.as_ref(), cfg)?;
-        let t = machine.mem().stats().rw_totals();
+    for (i, w) in suite(pool.scale()).iter().enumerate() {
+        let r =
+            pool.get(&pool.job(Benchmark::Suite(i), JobParadigm::Paper, ConfigVariant::Base))?;
+        let t = r.machine.mem().stats().rw_totals();
         rows.push(Fig9Row {
             name: w.meta().name.to_string(),
             read_kb: t.avg_read_kb(),
@@ -297,12 +554,13 @@ pub struct Table1Row {
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn table1(scale: Scale, cfg: &MachineConfig) -> Result<Vec<Table1Row>, SimError> {
+pub fn table1(pool: &SimPool) -> Result<Vec<Table1Row>, SimError> {
     let mut rows = Vec::new();
-    for w in suite(scale) {
-        let (machine, _) = hmtx_run(w.as_ref(), cfg)?;
-        let mem = machine.mem().stats();
-        let ms = machine.stats();
+    for (i, w) in suite(pool.scale()).iter().enumerate() {
+        let r =
+            pool.get(&pool.job(Benchmark::Suite(i), JobParadigm::Paper, ConfigVariant::Base))?;
+        let mem = r.machine.mem().stats();
+        let ms = r.machine.stats();
         let txs = mem.commits.max(1) as f64;
         rows.push(Table1Row {
             name: w.meta().name.to_string(),
@@ -392,37 +650,48 @@ pub struct Table3Row {
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn table3(scale: Scale, cfg: &MachineConfig) -> Result<Vec<Table3Row>, SimError> {
+pub fn table3(pool: &SimPool) -> Result<Vec<Table3Row>, SimError> {
+    let cfg = pool.base_cfg();
     let commodity = PowerModel::commodity(cfg);
     let hmtx_hw = PowerModel::with_hmtx(cfg);
 
-    let mut seq_machines = Vec::new();
-    let mut smtx_machines = Vec::new();
-    let mut hmtx_machines = Vec::new();
+    let mut seq_runs = Vec::new();
+    let mut smtx_runs = Vec::new();
+    let mut hmtx_runs = Vec::new();
     let mut comparable = Vec::new();
-    for w in suite(scale) {
-        let (m, _) = run_loop(Paradigm::Sequential, w.as_ref(), cfg, BUDGET)?;
-        seq_machines.push(m);
+    for (i, w) in suite(pool.scale()).iter().enumerate() {
+        seq_runs.push(pool.get(&pool.job(
+            Benchmark::Suite(i),
+            JobParadigm::Sequential,
+            ConfigVariant::Base,
+        ))?);
         if w.meta().smtx_comparable {
-            let (m, _) = run_smtx(w.as_ref(), cfg, RwSetMode::Minimal, BUDGET)?;
-            smtx_machines.push(m);
+            smtx_runs.push(pool.get(&pool.job(
+                Benchmark::Suite(i),
+                JobParadigm::Smtx(RwSetMode::Minimal),
+                ConfigVariant::Base,
+            ))?);
         }
-        let (m, _) = hmtx_run(w.as_ref(), cfg)?;
-        hmtx_machines.push(m);
+        hmtx_runs.push(pool.get(&pool.job(
+            Benchmark::Suite(i),
+            JobParadigm::Paper,
+            ConfigVariant::Base,
+        ))?);
         comparable.push(w.meta().smtx_comparable);
     }
 
-    let eval = |model: &PowerModel, machines: &[Machine], mask: Option<&[bool]>| {
-        let reports: Vec<_> = machines
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| mask.is_none_or(|m| m[*i]))
-            .map(|(_, m)| model.evaluate(m))
-            .collect();
-        let dyn_w = geomean(&reports.iter().map(|r| r.dynamic_w).collect::<Vec<_>>());
-        let energy = geomean(&reports.iter().map(|r| r.energy_j).collect::<Vec<_>>());
-        (dyn_w, energy)
-    };
+    let eval =
+        |model: &PowerModel, runs: &[std::sync::Arc<runner::JobResult>], mask: Option<&[bool]>| {
+            let reports: Vec<_> = runs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask.is_none_or(|m| m[*i]))
+                .map(|(_, r)| model.evaluate(&r.machine))
+                .collect();
+            let dyn_w = geomean(&reports.iter().map(|r| r.dynamic_w).collect::<Vec<_>>());
+            let energy = geomean(&reports.iter().map(|r| r.energy_j).collect::<Vec<_>>());
+            (dyn_w, energy)
+        };
 
     let mut rows = Vec::new();
     for (model, hw) in [(&commodity, "Commodity"), (&hmtx_hw, "Commodity+HMTX")] {
@@ -436,16 +705,16 @@ pub fn table3(scale: Scale, cfg: &MachineConfig) -> Result<Vec<Table3Row>, SimEr
                 energy_j: e,
             });
         };
-        let (d, e) = eval(model, &seq_machines, None);
+        let (d, e) = eval(model, &seq_runs, None);
         push("Sequential (All)".into(), d, e);
-        let (d, e) = eval(model, &seq_machines, Some(&comparable));
+        let (d, e) = eval(model, &seq_runs, Some(&comparable));
         push("Sequential (Comp.)".into(), d, e);
-        let (d, e) = eval(model, &smtx_machines, None);
+        let (d, e) = eval(model, &smtx_runs, None);
         push("SMTX, Min R/W".into(), d, e);
         if model.is_hmtx() {
-            let (d, e) = eval(model, &hmtx_machines, None);
+            let (d, e) = eval(model, &hmtx_runs, None);
             push("HMTX, Max R/W (All)".into(), d, e);
-            let (d, e) = eval(model, &hmtx_machines, Some(&comparable));
+            let (d, e) = eval(model, &hmtx_runs, Some(&comparable));
             push("HMTX, Max R/W (Comp.)".into(), d, e);
         }
     }
@@ -486,25 +755,26 @@ pub struct AblationRow {
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn ablation_commit(scale: Scale, cfg: &MachineConfig) -> Result<Vec<AblationRow>, SimError> {
+pub fn ablation_commit(pool: &SimPool) -> Result<Vec<AblationRow>, SimError> {
+    let ws = suite(pool.scale());
     let mut rows = Vec::new();
-    for idx in [1usize, 5] {
-        // 130.li and 256.bzip2
+    for idx in ABLATION_COMMIT_BENCHES {
         for lazy in [true, false] {
-            let w = &suite(scale)[idx];
-            let mut c = cfg.clone();
-            c.hmtx.lazy_commit = lazy;
-            let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &c, BUDGET)?;
+            let r = pool.get(&pool.job(
+                Benchmark::Suite(idx),
+                JobParadigm::Paper,
+                ConfigVariant::Commit { lazy },
+            ))?;
             rows.push(AblationRow {
                 label: format!(
                     "{} / {} commit",
-                    w.meta().name,
+                    ws[idx].meta().name,
                     if lazy { "lazy" } else { "eager" }
                 ),
-                cycles: report.cycles,
+                cycles: r.cycles,
                 detail: format!(
                     "lines walked at commit: {}",
-                    machine.mem().stats().eager_commit_lines_walked
+                    r.machine.mem().stats().eager_commit_lines_walked
                 ),
             });
         }
@@ -522,8 +792,8 @@ pub fn ablation_commit(scale: Scale, cfg: &MachineConfig) -> Result<Vec<Ablation
 /// still writing. With SLAs those squashed loads never mark the line; with
 /// SLAs disabled they do, and the earlier transaction's store becomes a
 /// false RAW violation.
-struct SlaStress {
-    iters: u64,
+pub(crate) struct SlaStress {
+    pub(crate) iters: u64,
 }
 
 /// Top of the descending workspace stack.
@@ -582,40 +852,44 @@ impl hmtx_runtime::LoopBody for SlaStress {
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn ablation_sla(scale: Scale, cfg: &MachineConfig) -> Result<Vec<AblationRow>, SimError> {
+pub fn ablation_sla(pool: &SimPool) -> Result<Vec<AblationRow>, SimError> {
+    let ws = suite(pool.scale());
     let mut rows = Vec::new();
-    for idx in [1usize, 3] {
-        // 130.li and 186.crafty
+    for idx in ABLATION_SLA_BENCHES {
         for sla in [true, false] {
-            let w = &suite(scale)[idx];
-            let mut c = cfg.clone();
-            c.hmtx.sla_enabled = sla;
-            let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &c, BUDGET)?;
+            let r = pool.get(&pool.job(
+                Benchmark::Suite(idx),
+                JobParadigm::Paper,
+                ConfigVariant::Sla { enabled: sla },
+            ))?;
             rows.push(AblationRow {
-                label: format!("{} / SLA {}", w.meta().name, if sla { "on" } else { "off" }),
-                cycles: report.cycles,
+                label: format!(
+                    "{} / SLA {}",
+                    ws[idx].meta().name,
+                    if sla { "on" } else { "off" }
+                ),
+                cycles: r.cycles,
                 detail: format!(
                     "recoveries: {}, aborts avoided: {}",
-                    report.recoveries,
-                    machine.mem().stats().sla_aborts_avoided
+                    r.recoveries,
+                    r.machine.mem().stats().sla_aborts_avoided
                 ),
             });
         }
     }
-    let body = SlaStress {
-        iters: if scale == Scale::Quick { 24 } else { 96 },
-    };
     for sla in [true, false] {
-        let mut c = cfg.clone();
-        c.hmtx.sla_enabled = sla;
-        let (machine, report) = run_loop(Paradigm::PsDswp, &body, &c, BUDGET)?;
+        let r = pool.get(&pool.job(
+            Benchmark::SlaStress,
+            JobParadigm::Explicit(hmtx_runtime::Paradigm::PsDswp),
+            ConfigVariant::Sla { enabled: sla },
+        ))?;
         rows.push(AblationRow {
             label: format!("sla-stress / SLA {}", if sla { "on" } else { "off" }),
-            cycles: report.cycles,
+            cycles: r.cycles,
             detail: format!(
                 "recoveries: {}, aborts avoided: {}",
-                report.recoveries,
-                machine.mem().stats().sla_aborts_avoided
+                r.recoveries,
+                r.machine.mem().stats().sla_aborts_avoided
             ),
         });
     }
@@ -628,18 +902,19 @@ pub fn ablation_sla(scale: Scale, cfg: &MachineConfig) -> Result<Vec<AblationRow
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn ablation_vid_width(scale: Scale, cfg: &MachineConfig) -> Result<Vec<AblationRow>, SimError> {
+pub fn ablation_vid_width(pool: &SimPool) -> Result<Vec<AblationRow>, SimError> {
+    let ws = suite(pool.scale());
     let mut rows = Vec::new();
-    for bits in [3u32, 4, 5, 6, 8] {
-        let w = &suite(scale)[4]; // 197.parser
-        let mut c = cfg.clone();
-        c.hmtx.vid_bits = bits;
-        c.pipeline_window = c.pipeline_window.min((1 << bits) - 1);
-        let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &c, BUDGET)?;
+    for bits in VID_WIDTH_SWEEP {
+        let r = pool.get(&pool.job(
+            Benchmark::Suite(VID_WIDTH_BENCH),
+            JobParadigm::Paper,
+            ConfigVariant::VidBits(bits),
+        ))?;
         rows.push(AblationRow {
-            label: format!("197.parser / {bits}-bit VIDs"),
-            cycles: report.cycles,
-            detail: format!("VID resets: {}", machine.mem().stats().vid_resets),
+            label: format!("{} / {bits}-bit VIDs", ws[VID_WIDTH_BENCH].meta().name),
+            cycles: r.cycles,
+            detail: format!("VID resets: {}", r.machine.mem().stats().vid_resets),
         });
     }
     Ok(rows)
@@ -651,33 +926,23 @@ pub fn ablation_vid_width(scale: Scale, cfg: &MachineConfig) -> Result<Vec<Ablat
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn ablation_victim(scale: Scale, cfg: &MachineConfig) -> Result<Vec<AblationRow>, SimError> {
+pub fn ablation_victim(pool: &SimPool) -> Result<Vec<AblationRow>, SimError> {
+    let ws = suite(pool.scale());
     let mut rows = Vec::new();
     for policy in [VictimPolicy::PreferSafeOverflow, VictimPolicy::PlainLru] {
-        let w = &suite(scale)[5]; // 256.bzip2: the largest footprint
-        let mut c = cfg.clone();
-        // Constrain the hierarchy so overflow decisions actually matter.
-        c.l1 = hmtx_types::CacheConfig {
-            size_bytes: 8 * 1024,
-            ways: 4,
-            latency: 2,
-        };
-        c.l2 = hmtx_types::CacheConfig {
-            size_bytes: 64 * 1024,
-            ways: 8,
-            latency: 40,
-        };
-        c.pipeline_window = 4;
-        c.hmtx.victim_policy = policy;
-        let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &c, BUDGET)?;
+        let r = pool.get(&pool.job(
+            Benchmark::Suite(VICTIM_BENCH),
+            JobParadigm::Paper,
+            ConfigVariant::Victim(policy),
+        ))?;
         rows.push(AblationRow {
-            label: format!("256.bzip2 / {policy:?}"),
-            cycles: report.cycles,
+            label: format!("{} / {policy:?}", ws[VICTIM_BENCH].meta().name),
+            cycles: r.cycles,
             detail: format!(
                 "recoveries: {}, safe overflows: {}, refills: {}",
-                report.recoveries,
-                machine.mem().stats().safe_overflow_writebacks,
-                machine.mem().stats().overflow_refills
+                r.recoveries,
+                r.machine.mem().stats().safe_overflow_writebacks,
+                r.machine.mem().stats().overflow_refills
             ),
         });
     }
@@ -700,8 +965,8 @@ pub struct ScalingRow {
 /// A memory-streaming loop sized for many-core scaling studies: enough
 /// iterations to keep 31 workers busy for many waves, and a per-iteration
 /// footprint that misses the L1 (fabric traffic grows with core count).
-struct ScalingLoop {
-    iters: u64,
+pub(crate) struct ScalingLoop {
+    pub(crate) iters: u64,
 }
 
 const SCALING_REGION: u64 = hmtx_runtime::env::WORKLOAD_REGION_BASE + 0x10_0000;
@@ -745,53 +1010,24 @@ impl hmtx_runtime::LoopBody for ScalingLoop {
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn extension_scaling(scale: Scale, cfg: &MachineConfig) -> Result<Vec<ScalingRow>, SimError> {
-    let w = ScalingLoop {
-        iters: if scale == Scale::Quick { 96 } else { 512 },
-    };
-    let stress = |c: &mut MachineConfig| {
-        // Line-transfer-granularity bus occupancy (a 64 B line on a
-        // commodity bus) and small per-core L1s: miss traffic grows with
-        // core count and the fabric becomes the constraint.
-        c.bus_occupancy = 16;
-        c.l1 = hmtx_types::CacheConfig {
-            size_bytes: 8 * 1024,
-            ways: 4,
-            latency: 2,
-        };
-        // The in-flight window's produced-slot versions must fit the
-        // combined associativity (4 + 32 ways).
-        c.l2 = hmtx_types::CacheConfig {
-            size_bytes: 1024 * 1024,
-            ways: 32,
-            latency: 40,
-        };
-        c.pipeline_window = 32;
-    };
-    let mut seq_cfg = cfg.clone();
-    stress(&mut seq_cfg);
-    let (_, seq) = run_loop(Paradigm::Sequential, &w, &seq_cfg, BUDGET)?;
+pub fn extension_scaling(pool: &SimPool) -> Result<Vec<ScalingRow>, SimError> {
+    let seq = pool.get(&pool.job(
+        Benchmark::ScalingLoop,
+        JobParadigm::Sequential,
+        ConfigVariant::ScalingBase,
+    ))?;
     let mut rows = Vec::new();
-    for cores in [4usize, 8, 16, 32] {
-        for (label, interconnect) in [
-            ("snoopy bus", hmtx_types::Interconnect::SnoopyBus),
-            (
-                "directory",
-                hmtx_types::Interconnect::Directory {
-                    banks: 8,
-                    hop_latency: 6,
-                },
-            ),
-        ] {
-            let mut c = cfg.clone();
-            stress(&mut c);
-            c.num_cores = cores;
-            c.interconnect = interconnect;
-            let (_, r) = run_loop(Paradigm::PsDswp, &w, &c, BUDGET)?;
+    for cores in SCALING_CORES {
+        for (label, directory) in [("snoopy bus", false), ("directory", true)] {
+            let r = pool.get(&pool.job(
+                Benchmark::ScalingLoop,
+                JobParadigm::Explicit(hmtx_runtime::Paradigm::PsDswp),
+                ConfigVariant::ScalingFabric { cores, directory },
+            ))?;
             rows.push(ScalingRow {
                 interconnect: label,
                 cores,
-                speedup: seq.cycles as f64 / r.cycles as f64,
+                speedup: speedup(seq.cycles, r.cycles),
             });
         }
     }
@@ -803,7 +1039,7 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
     let mut out = String::from(
         "Extension (8): PS-DSWP scaling, snoopy bus vs banked directory\n         cores      snoopy bus       directory\n",
     );
-    for cores in [4usize, 8, 16, 32] {
+    for cores in SCALING_CORES {
         let get = |label: &str| {
             rows.iter()
                 .find(|r| r.cores == cores && r.interconnect == label)
@@ -826,35 +1062,27 @@ pub fn render_scaling(rows: &[ScalingRow]) -> String {
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn ablation_unbounded(scale: Scale, cfg: &MachineConfig) -> Result<Vec<AblationRow>, SimError> {
+pub fn ablation_unbounded(pool: &SimPool) -> Result<Vec<AblationRow>, SimError> {
+    let ws = suite(pool.scale());
     let mut rows = Vec::new();
     for unbounded in [false, true] {
-        let w = &suite(scale)[5]; // 256.bzip2
-        let mut c = cfg.clone();
-        c.l1 = hmtx_types::CacheConfig {
-            size_bytes: 8 * 1024,
-            ways: 4,
-            latency: 2,
-        };
-        c.l2 = hmtx_types::CacheConfig {
-            size_bytes: 32 * 1024,
-            ways: 8,
-            latency: 40,
-        };
-        c.pipeline_window = 6;
-        c.unbounded_sets = unbounded;
-        let (machine, report) = run_loop(w.meta().paradigm, w.as_ref(), &c, BUDGET)?;
+        let r = pool.get(&pool.job(
+            Benchmark::Suite(VICTIM_BENCH),
+            JobParadigm::Paper,
+            ConfigVariant::Bounded { unbounded },
+        ))?;
         rows.push(AblationRow {
             label: format!(
-                "256.bzip2 / {} sets",
+                "{} / {} sets",
+                ws[VICTIM_BENCH].meta().name,
                 if unbounded { "unbounded" } else { "bounded" }
             ),
-            cycles: report.cycles,
+            cycles: r.cycles,
             detail: format!(
                 "recoveries: {}, spills: {}, refills: {}",
-                report.recoveries,
-                machine.mem().stats().unbounded_spills,
-                machine.mem().stats().unbounded_fills
+                r.recoveries,
+                r.machine.mem().stats().unbounded_spills,
+                r.machine.mem().stats().unbounded_fills
             ),
         });
     }
@@ -881,21 +1109,28 @@ pub struct LatencyRow {
 /// # Errors
 ///
 /// Propagates [`SimError`] from any simulation run.
-pub fn latency_sensitivity(scale: Scale, cfg: &MachineConfig) -> Result<Vec<LatencyRow>, SimError> {
-    // ispell: tiny iterations, so per-iteration communication dominates —
-    // the regime where the paper's §2.1 argument bites hardest.
-    let w = &suite(scale)[7];
-    let (_, seq) = run_loop(Paradigm::Sequential, w.as_ref(), cfg, BUDGET)?;
+pub fn latency_sensitivity(pool: &SimPool) -> Result<Vec<LatencyRow>, SimError> {
+    let seq = pool.get(&pool.job(
+        Benchmark::Suite(LATENCY_BENCH),
+        JobParadigm::Sequential,
+        ConfigVariant::Base,
+    ))?;
     let mut rows = Vec::new();
-    for latency in [10u64, 30, 100, 300] {
-        let mut c = cfg.clone();
-        c.queue_latency = latency;
-        let (_, da) = run_loop(Paradigm::Doacross, w.as_ref(), &c, BUDGET)?;
-        let (_, ps) = run_loop(Paradigm::PsDswp, w.as_ref(), &c, BUDGET)?;
+    for latency in LATENCY_SWEEP {
+        let da = pool.get(&pool.job(
+            Benchmark::Suite(LATENCY_BENCH),
+            JobParadigm::Explicit(hmtx_runtime::Paradigm::Doacross),
+            ConfigVariant::QueueLatency(latency),
+        ))?;
+        let ps = pool.get(&pool.job(
+            Benchmark::Suite(LATENCY_BENCH),
+            JobParadigm::Explicit(hmtx_runtime::Paradigm::PsDswp),
+            ConfigVariant::QueueLatency(latency),
+        ))?;
         rows.push(LatencyRow {
             latency,
-            doacross: seq.cycles as f64 / da.cycles as f64,
-            psdswp: seq.cycles as f64 / ps.cycles as f64,
+            doacross: speedup(seq.cycles, da.cycles),
+            psdswp: speedup(seq.cycles, ps.cycles),
         });
     }
     Ok(rows)
@@ -931,6 +1166,10 @@ pub fn render_ablation(title: &str, rows: &[AblationRow]) -> String {
 mod tests {
     use super::*;
 
+    fn quick_pool() -> SimPool {
+        SimPool::new(Scale::Quick, MachineConfig::test_default())
+    }
+
     #[test]
     fn whole_program_speedup_amdahl() {
         assert!((whole_program_speedup(1.0, 2.0) - 2.0).abs() < 1e-12);
@@ -940,7 +1179,7 @@ mod tests {
 
     #[test]
     fn fig2_minimal_beats_substantial() {
-        let rows = fig2(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let rows = fig2(&quick_pool()).unwrap();
         assert_eq!(rows.len(), 6);
         for r in &rows {
             assert!(
@@ -957,7 +1196,7 @@ mod tests {
 
     #[test]
     fn fig9_bzip2_dominates_ispell() {
-        let rows = fig9(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let rows = fig9(&quick_pool()).unwrap();
         let bzip2 = rows.iter().find(|r| r.name == "256.bzip2").unwrap();
         let ispell = rows.iter().find(|r| r.name == "ispell").unwrap();
         assert!(bzip2.combined_kb > 5.0 * ispell.combined_kb);
@@ -966,7 +1205,7 @@ mod tests {
 
     #[test]
     fn table1_measures_plausible_shapes() {
-        let rows = table1(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let rows = table1(&quick_pool()).unwrap();
         assert_eq!(rows.len(), 8);
         let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
         // crafty must mispredict more than alvinn, like Table 1.
@@ -980,7 +1219,7 @@ mod tests {
 
     #[test]
     fn sla_ablation_shows_false_misspeculation_without_slas() {
-        let rows = ablation_sla(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let rows = ablation_sla(&quick_pool()).unwrap();
         let on = rows
             .iter()
             .find(|r| r.label == "sla-stress / SLA on")
@@ -1012,7 +1251,7 @@ mod tests {
 
     #[test]
     fn victim_ablation_shows_overflow_policy_matters() {
-        let rows = ablation_victim(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let rows = ablation_victim(&quick_pool()).unwrap();
         assert_eq!(rows.len(), 2);
         let safe = &rows[0];
         let lru = &rows[1];
@@ -1026,7 +1265,7 @@ mod tests {
 
     #[test]
     fn vid_width_ablation_narrower_vids_reset_more() {
-        let rows = ablation_vid_width(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let rows = ablation_vid_width(&quick_pool()).unwrap();
         let resets = |label_bits: &str| {
             rows.iter()
                 .find(|r| r.label.contains(label_bits))
@@ -1046,7 +1285,8 @@ mod tests {
     fn unbounded_sets_eliminate_overflow_recoveries() {
         // Standard-scale bzip2: its footprint genuinely exceeds the
         // ablation's constrained caches (the quick instance fits them).
-        let rows = ablation_unbounded(Scale::Standard, &MachineConfig::test_default()).unwrap();
+        let pool = SimPool::new(Scale::Standard, MachineConfig::test_default());
+        let rows = ablation_unbounded(&pool).unwrap();
         let bounded = &rows[0];
         let unbounded = &rows[1];
         assert!(
@@ -1067,7 +1307,7 @@ mod tests {
 
     #[test]
     fn directory_scales_past_the_snoopy_bus() {
-        let rows = extension_scaling(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let rows = extension_scaling(&quick_pool()).unwrap();
         let get = |label: &str, cores: usize| {
             rows.iter()
                 .find(|r| r.interconnect == label && r.cores == cores)
@@ -1089,7 +1329,7 @@ mod tests {
 
     #[test]
     fn doacross_is_latency_sensitive_and_psdswp_is_not() {
-        let rows = latency_sensitivity(Scale::Quick, &MachineConfig::test_default()).unwrap();
+        let rows = latency_sensitivity(&quick_pool()).unwrap();
         let first = &rows[0];
         let last = rows.last().unwrap();
         // DOACROSS degrades substantially across the sweep...
@@ -1115,5 +1355,34 @@ mod tests {
         assert!(text.contains("32 MB"));
         assert!(text.contains("64 KB"));
         assert!(text.contains("6 bits"));
+    }
+
+    /// The determinism guard for the planner: after prefetching `plan()`,
+    /// every section must find all its simulations in the cache — zero
+    /// on-demand misses — or parallel runs would silently degrade to
+    /// serial-with-extra-steps.
+    #[test]
+    fn plan_covers_every_section_lookup() {
+        let pool = quick_pool();
+        pool.prefetch(&plan(&Section::ALL, Scale::Quick), 4)
+            .unwrap();
+        fig1::fig1(&pool).unwrap();
+        fig2(&pool).unwrap();
+        fig8(&pool).unwrap();
+        fig9(&pool).unwrap();
+        table1(&pool).unwrap();
+        table3(&pool).unwrap();
+        ablation_commit(&pool).unwrap();
+        ablation_sla(&pool).unwrap();
+        ablation_vid_width(&pool).unwrap();
+        ablation_victim(&pool).unwrap();
+        ablation_unbounded(&pool).unwrap();
+        extension_scaling(&pool).unwrap();
+        latency_sensitivity(&pool).unwrap();
+        assert_eq!(
+            pool.demand_misses(),
+            0,
+            "plan() drifted from the sections' lookups"
+        );
     }
 }

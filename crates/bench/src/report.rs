@@ -1,0 +1,370 @@
+//! Machine-readable experiment reports (`experiments --json PATH`).
+//!
+//! The report mirrors the printed sections — every figure/table row, with
+//! its cycle counts and speedups — plus a `sim_jobs` array giving each
+//! underlying simulation's wall-clock seconds, so regressions in both
+//! *results* and *harness cost* diff cleanly across commits.
+//!
+//! JSON is emitted by a tiny handwritten serializer ([`Json`]): the
+//! container has no serde, and the report's needs (ordered objects, stable
+//! float formatting) are small enough that a dependency would be all cost.
+
+use hmtx_types::SimError;
+
+use crate::runner::SimPool;
+use crate::Section;
+
+/// A JSON value with insertion-ordered objects (deterministic output).
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// An unsigned integer (cycle counts and the like, kept exact).
+    Uint(u64),
+    /// A float; non-finite values serialize as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Serializes with 2-space indentation and a trailing newline.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Uint(n) => out.push_str(&n.to_string()),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // `{:?}` always keeps a decimal point or exponent, so
+                    // the value round-trips as a float.
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                    out.push('"');
+                    out.push_str(k);
+                    out.push_str("\": ");
+                    v.write(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn ablation_json(rows: &[crate::AblationRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("label", Json::Str(r.label.clone())),
+                    ("cycles", Json::Uint(r.cycles)),
+                    ("detail", Json::Str(r.detail.clone())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Assembles the JSON report for the given sections. Every simulation is a
+/// cache lookup — call this after the figures have been rendered (or after
+/// a [`SimPool::prefetch`] of [`crate::plan`]).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any simulation run.
+pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimError> {
+    let cfg = pool.base_cfg();
+    let mut top: Vec<(&'static str, Json)> = vec![
+        ("schema", Json::Str("hmtx-bench-report/1".into())),
+        (
+            "scale",
+            Json::Str(format!("{:?}", pool.scale()).to_lowercase()),
+        ),
+        (
+            "sections",
+            Json::Arr(
+                sections
+                    .iter()
+                    .map(|s| Json::Str(s.name().into()))
+                    .collect(),
+            ),
+        ),
+    ];
+
+    for section in sections {
+        let value = match section {
+            Section::Table2 => Json::Obj(vec![
+                ("num_cores", Json::Uint(cfg.num_cores as u64)),
+                ("l1_kb", Json::Uint(cfg.l1.size_bytes as u64 / 1024)),
+                ("l2_kb", Json::Uint(cfg.l2.size_bytes as u64 / 1024)),
+                ("mem_latency", Json::Uint(cfg.mem_latency)),
+                ("vid_bits", Json::Uint(u64::from(cfg.hmtx.vid_bits))),
+            ]),
+            Section::Fig1 => Json::Str(crate::fig1::fig1(pool)?),
+            Section::Fig2 => Json::Arr(
+                crate::fig2(pool)?
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name", Json::Str(r.name.clone())),
+                            ("minimal", Json::Num(r.minimal)),
+                            ("substantial", Json::Num(r.substantial)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Section::Fig8 => {
+                let (rows, summary) = crate::fig8(pool)?;
+                Json::Obj(vec![
+                    (
+                        "rows",
+                        Json::Arr(
+                            rows.iter()
+                                .map(|r| {
+                                    Json::Obj(vec![
+                                        ("name", Json::Str(r.name.clone())),
+                                        ("smtx", r.smtx.map_or(Json::Null, Json::Num)),
+                                        ("hmtx", Json::Num(r.hmtx)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "geomean",
+                        Json::Obj(vec![
+                            ("hmtx_all", Json::Num(summary.hmtx_all)),
+                            ("hmtx_comparable", Json::Num(summary.hmtx_comparable)),
+                            ("smtx_comparable", Json::Num(summary.smtx_comparable)),
+                        ]),
+                    ),
+                ])
+            }
+            Section::Fig9 => Json::Arr(
+                crate::fig9(pool)?
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name", Json::Str(r.name.clone())),
+                            ("read_kb", Json::Num(r.read_kb)),
+                            ("write_kb", Json::Num(r.write_kb)),
+                            ("combined_kb", Json::Num(r.combined_kb)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Section::Table1 => Json::Arr(
+                crate::table1(pool)?
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name", Json::Str(r.name.clone())),
+                            ("paradigm", Json::Str(r.paradigm.into())),
+                            ("spec_accesses_per_tx", Json::Num(r.spec_accesses_per_tx)),
+                            (
+                                "sla_aborts_avoided_per_tx",
+                                Json::Num(r.sla_aborts_avoided_per_tx),
+                            ),
+                            ("loads_needing_sla", Json::Num(r.loads_needing_sla)),
+                            ("branch_fraction", Json::Num(r.branch_fraction)),
+                            ("mispredict_rate", Json::Num(r.mispredict_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Section::Table3 => Json::Arr(
+                crate::table3(pool)?
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("hardware", Json::Str(r.hardware.into())),
+                            ("exec_model", Json::Str(r.exec_model.clone())),
+                            ("area_mm2", Json::Num(r.area_mm2)),
+                            ("leakage_w", Json::Num(r.leakage_w)),
+                            ("dynamic_w", Json::Num(r.dynamic_w)),
+                            ("energy_j", Json::Num(r.energy_j)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Section::Ablations => Json::Obj(vec![
+                ("commit", ablation_json(&crate::ablation_commit(pool)?)),
+                ("sla", ablation_json(&crate::ablation_sla(pool)?)),
+                (
+                    "vid_width",
+                    ablation_json(&crate::ablation_vid_width(pool)?),
+                ),
+                ("victim", ablation_json(&crate::ablation_victim(pool)?)),
+            ]),
+            Section::Extensions => Json::Obj(vec![
+                (
+                    "unbounded",
+                    ablation_json(&crate::ablation_unbounded(pool)?),
+                ),
+                (
+                    "scaling",
+                    Json::Arr(
+                        crate::extension_scaling(pool)?
+                            .iter()
+                            .map(|r| {
+                                Json::Obj(vec![
+                                    ("interconnect", Json::Str(r.interconnect.into())),
+                                    ("cores", Json::Uint(r.cores as u64)),
+                                    ("speedup", Json::Num(r.speedup)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "latency",
+                    Json::Arr(
+                        crate::latency_sensitivity(pool)?
+                            .iter()
+                            .map(|r| {
+                                Json::Obj(vec![
+                                    ("latency", Json::Uint(r.latency)),
+                                    ("doacross", Json::Num(r.doacross)),
+                                    ("psdswp", Json::Num(r.psdswp)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
+        top.push((section.name(), value));
+    }
+
+    let log = pool.job_log();
+    let total_wall: f64 = log.iter().map(|e| e.wall_seconds).sum();
+    top.push((
+        "sim_jobs",
+        Json::Arr(
+            log.iter()
+                .map(|e| {
+                    Json::Obj(vec![
+                        ("label", Json::Str(e.label.clone())),
+                        ("cycles", Json::Uint(e.cycles)),
+                        ("recoveries", Json::Uint(e.recoveries)),
+                        ("wall_seconds", Json::Num(e.wall_seconds)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    top.push((
+        "total",
+        Json::Obj(vec![
+            ("sim_jobs", Json::Uint(log.len() as u64)),
+            ("sim_wall_seconds", Json::Num(total_wall)),
+        ]),
+    ));
+    Ok(Json::Obj(top))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_types::MachineConfig;
+    use hmtx_workloads::Scale;
+
+    #[test]
+    fn json_serializer_escapes_and_formats() {
+        let v = Json::Obj(vec![
+            ("s", Json::Str("a\"b\\c\nd\u{1}".into())),
+            ("n", Json::Num(1.0)),
+            ("u", Json::Uint(u64::MAX)),
+            ("inf", Json::Num(f64::INFINITY)),
+            ("arr", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let text = v.pretty();
+        assert!(text.contains(r#""s": "a\"b\\c\nd\u0001""#), "{text}");
+        assert!(text.contains("\"n\": 1.0"), "{text}");
+        assert!(text.contains(&format!("\"u\": {}", u64::MAX)), "{text}");
+        assert!(text.contains("\"inf\": null"), "{text}");
+        assert!(text.contains("\"empty\": []"), "{text}");
+        assert!(text.ends_with("}\n"), "{text}");
+    }
+
+    #[test]
+    fn report_covers_sections_and_jobs() {
+        let pool = SimPool::new(Scale::Quick, MachineConfig::test_default());
+        let sections = [Section::Table2, Section::Fig2];
+        let report = build_report(&pool, &sections).unwrap();
+        let text = report.pretty();
+        assert!(text.contains("\"fig2\""), "{text}");
+        assert!(text.contains("\"minimal\""), "{text}");
+        assert!(text.contains("\"vid_bits\""), "{text}");
+        // Every simulation the section ran appears with its wall-clock.
+        assert!(text.contains("\"wall_seconds\""), "{text}");
+        assert!(text.contains("130.li:seq:base:quick"), "{text}");
+    }
+}

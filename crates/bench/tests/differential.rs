@@ -1,0 +1,85 @@
+//! Differential test for the parallel harness: the `experiments` binary
+//! must print byte-identical output whatever `--jobs` is, and `--json`
+//! must capture the same rows plus per-job wall-clock.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn experiments(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("spawning experiments binary")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = experiments(args);
+    assert!(
+        out.status.success(),
+        "experiments {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    let serial = stdout_of(&["fig2", "--quick", "--jobs", "1"]);
+    let parallel = stdout_of(&["fig2", "--quick", "--jobs", "4"]);
+    assert!(serial.contains("Figure 2"), "unexpected output:\n{serial}");
+    assert_eq!(serial, parallel, "--jobs 4 output differs from --jobs 1");
+}
+
+#[test]
+fn ablations_are_deterministic_across_job_counts() {
+    let serial = stdout_of(&["ablations", "--quick", "--jobs", "1"]);
+    let parallel = stdout_of(&["ablations", "--quick", "--jobs", "4"]);
+    assert!(
+        serial.contains("Ablation A"),
+        "unexpected output:\n{serial}"
+    );
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn json_report_has_rows_and_wall_clock() {
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("hmtx_bench_diff_{}.json", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let stdout = stdout_of(&["fig2", "--quick", "--jobs", "2", "--json", path_str]);
+    assert!(stdout.contains("Figure 2"));
+    let json = std::fs::read_to_string(&path).expect("json report written");
+    std::fs::remove_file(&path).ok();
+    // Every figure row and the per-job wall-clock log are present.
+    assert!(json.contains("\"fig2\""), "{json}");
+    assert!(json.contains("\"minimal\""), "{json}");
+    assert!(json.contains("\"sim_jobs\""), "{json}");
+    assert!(json.contains("\"wall_seconds\""), "{json}");
+    assert!(json.contains("130.li:smtx-min:base:quick"), "{json}");
+    assert!(
+        json.contains("\"schema\": \"hmtx-bench-report/1\""),
+        "{json}"
+    );
+}
+
+#[test]
+fn progress_lines_go_to_stderr_not_stdout() {
+    let out = experiments(&["fig2", "--quick", "--jobs", "2", "--progress"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stdout.contains("[runner]"), "progress leaked to stdout");
+    assert!(
+        stderr.contains("[runner] start"),
+        "no progress lines on stderr:\n{stderr}"
+    );
+    assert!(stderr.contains("[runner] done"), "{stderr}");
+}
+
+#[test]
+fn bad_flags_exit_with_usage() {
+    let out = experiments(&["--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = experiments(&["no-such-section", "--quick"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -67,5 +67,15 @@ pub use stats::{MemStats, RwSetTotals};
 pub use trace::{render_trace, ServedFrom, TraceEvent, Tracer};
 pub use transitions::{apply_abort, apply_commit, apply_vid_reset, version_hits, Outcome};
 
+// The parallel experiment runner moves whole memory systems (inside
+// `Machine`) across host threads; keep the simulation state `Send + Sync`
+// by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<MemorySystem>();
+    assert_send_sync::<MemStats>();
+    assert_send_sync::<RwSetTotals>();
+};
+
 #[cfg(test)]
 mod protocol_tests;

@@ -50,5 +50,17 @@ pub use machine::{CoreStats, Machine, MachineStats, MarkerEvent, RunEvent, Threa
 pub use predictor::{BranchPredictor, Gshare};
 pub use queue::{ConsumeOutcome, ProduceOutcome, QueueSet};
 
+// The bench harness fans complete simulations out across host threads
+// (`hmtx_bench::runner`), moving machines and their statistics between
+// workers and the result pool. Keep them thread-safe by construction: no
+// `Rc`, no interior mutability, no borrowed lifetimes in simulation state.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<Machine>();
+    assert_send_sync::<MachineStats>();
+    assert_send_sync::<CoreStats>();
+    assert_send_sync::<MarkerEvent>();
+};
+
 #[cfg(test)]
 mod machine_tests;

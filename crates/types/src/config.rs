@@ -81,7 +81,7 @@ impl CacheConfig {
 
 /// Policy used by the last-level cache when choosing an eviction victim
 /// among speculative lines (paper §5.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum VictimPolicy {
     /// Prefer non-speculative lines, then overflow-safe `S-O(0,·)` lines,
     /// and only then lines whose eviction forces an abort (the paper's
@@ -99,7 +99,7 @@ pub enum VictimPolicy {
 /// efficient scaling to many more cores". Both are implemented; the
 /// protocol *state machine* is identical, only request routing and timing
 /// differ.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Interconnect {
     /// A single shared snoopy bus: every miss broadcasts; requests
     /// serialize on bus occupancy.

@@ -4,7 +4,7 @@ use crate::meta::{paper_table1, WorkloadMeta};
 use hmtx_runtime::LoopBody;
 
 /// How large to build a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Small instances for unit/integration tests (seconds).
     Quick,

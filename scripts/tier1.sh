@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the checks every PR must keep green (see ROADMAP.md), plus a
+# parallel smoke run of the full experiment harness. Fails on any nonzero
+# exit or panic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+# Full harness at quick scale across all host cores; the JSON report lands
+# next to the sources as a regenerated artifact (see EXPERIMENTS.md).
+cargo run --release -p hmtx-bench --bin experiments -- \
+  all --quick --jobs "$(nproc)" --json BENCH_pr1.json >/dev/null
+
+echo "tier-1 green"

@@ -1,0 +1,128 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The build container has no network access and no crates.io mirror, so the
+//! workspace vendors the subset of `criterion` its benches use: benchmark
+//! groups, `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical machinery it
+//! runs each benchmark `sample_size` times and prints mean wall-clock per
+//! iteration — enough to eyeball regressions and to keep `cargo bench`
+//! compiling; real statistics come from the `experiments --json` reports.
+
+use std::time::Instant;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), 10, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_bench(&full, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed_ns: 0,
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let per_iter = b.elapsed_ns.checked_div(b.iters).unwrap_or(0);
+    println!(
+        "bench {name:<40} {per_iter:>12} ns/iter ({} iters)",
+        b.iters
+    );
+}
+
+pub struct Bencher {
+    iters: u128,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times one execution of `f` per call (no warmup or outlier rejection).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += 1;
+    }
+}
+
+/// Identity function that defeats constant-propagation of its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,738 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build container has no network access and no crates.io mirror, so the
+//! workspace vendors the subset of `proptest` its tests use:
+//!
+//! - the [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`
+//! - integer-range, tuple, [`Just`], regex-string and `any::<T>()` strategies
+//! - `prop::collection::vec`
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros
+//! - [`ProptestConfig`] with a `cases` knob (plus the `PROPTEST_CASES`
+//!   environment variable)
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports the full generated input
+//!   (every bound variable, `Debug`-formatted) instead of a minimized one.
+//! - **No persistence.** `*.proptest-regressions` files are neither read nor
+//!   written; their `cc` seed hashes are meaningless to this generator.
+//!   Regressions found by the real proptest must be pinned as named unit
+//!   tests (see `crates/core/src/protocol_tests.rs`).
+//! - **Deterministic seeding.** Case `i` of test `t` is seeded from
+//!   `hash(t) ⊕ mix(i)`, so runs are reproducible across invocations and
+//!   hosts, and different tests explore different sequences.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic SplitMix64-based generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG for one test case: stable across runs, distinct per
+    /// test name and case index.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ Self::mix(case as u64 + 1),
+        }
+    }
+
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        Self::mix(self.state)
+    }
+
+    /// Uniform value in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty sampling domain");
+        self.next_u64() % n
+    }
+}
+
+/// Number of cases to actually run: the configured count, unless the
+/// `PROPTEST_CASES` environment variable overrides it (smaller wins).
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        Some(env) => configured.min(env.max(1)),
+        None => configured,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Subset of `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A generator of random values (subset of `proptest::strategy::Strategy`:
+/// generation only, no shrink trees).
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe generation, so heterogeneous strategies can be unioned.
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy (subset of `proptest::strategy::BoxedStrategy`).
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// Uniform choice between boxed alternatives (behind [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Mild bias toward the range edges, like real proptest.
+                let pick = match rng.below(8) {
+                    0 => 0,
+                    1 => span - 1,
+                    _ => (rng.next_u64() as u128) % span,
+                };
+                (self.start as i128 + pick as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `any::<T>()`: the whole domain of a primitive type.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(PhantomData)
+}
+
+pub trait Arbitrary: Debug + Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+pub struct ArbitraryStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                // Bias toward the edge values that break arithmetic.
+                match rng.below(8) {
+                    0 => 0 as $t,
+                    1 => 1 as $t,
+                    2 => <$t>::MAX,
+                    3 => <$t>::MIN,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        char::from_u32((0x20 + rng.below(0x5E)) as u32).unwrap()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Size specification for [`vec()`]: an exact length or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-string strategies
+// ---------------------------------------------------------------------------
+
+/// `&str` is a strategy producing strings matching the pattern, supporting
+/// the subset of regex syntax the in-repo tests use: literals, `[...]`
+/// classes (ranges and literal members), `(...)` groups, `\PC` (any
+/// printable), and the `{m,n}` / `{m}` / `?` / `*` / `+` quantifiers.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = regex_lite::parse(self);
+        let mut out = String::new();
+        regex_lite::emit(&nodes, rng, &mut out);
+        out
+    }
+}
+
+mod regex_lite {
+    use super::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub enum Atom {
+        Lit(char),
+        /// Inclusive char ranges; single members are `(c, c)`.
+        Class(Vec<(char, char)>),
+        /// `\PC` and friends: any printable, non-control character.
+        AnyPrintable,
+        Group(Vec<Node>),
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Node {
+        pub atom: Atom,
+        pub min: u32,
+        pub max: u32, // inclusive
+    }
+
+    pub fn parse(pattern: &str) -> Vec<Node> {
+        let mut chars = pattern.chars().peekable();
+        parse_seq(&mut chars, None)
+    }
+
+    fn parse_seq(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+        until: Option<char>,
+    ) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if Some(c) == until {
+                chars.next();
+                break;
+            }
+            chars.next();
+            let atom = match c {
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape");
+                    match esc {
+                        'P' | 'p' => {
+                            // Unicode property: consume the one-letter class.
+                            chars.next();
+                            Atom::AnyPrintable
+                        }
+                        'd' => Atom::Class(vec![('0', '9')]),
+                        'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                        's' => Atom::Lit(' '),
+                        other => Atom::Lit(other),
+                    }
+                }
+                '[' => Atom::Class(parse_class(chars)),
+                '(' => Atom::Group(parse_seq(chars, Some(')'))),
+                '.' => Atom::AnyPrintable,
+                lit => Atom::Lit(lit),
+            };
+            let (min, max) = parse_quantifier(chars);
+            nodes.push(Node { atom, min, max });
+        }
+        nodes
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<(char, char)> {
+        let mut members = Vec::new();
+        let mut prev: Option<char> = None;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => break,
+                '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let lo = prev.take().unwrap();
+                    let hi = chars.next().unwrap();
+                    // `prev` was already pushed as a single member; replace it.
+                    members.pop();
+                    members.push((lo, hi));
+                }
+                c => {
+                    members.push((c, c));
+                    prev = Some(c);
+                }
+            }
+        }
+        assert!(!members.is_empty(), "empty character class");
+        members
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (u32, u32) {
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} lower bound"),
+                        hi.trim().parse().expect("bad {m,n} upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n} count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    pub fn emit(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in nodes {
+            let reps = node.min + rng.below((node.max - node.min + 1) as u64) as u32;
+            for _ in 0..reps {
+                match &node.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(members) => {
+                        let (lo, hi) = members[rng.below(members.len() as u64) as usize];
+                        let span = hi as u32 - lo as u32 + 1;
+                        out.push(
+                            char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap(),
+                        );
+                    }
+                    Atom::AnyPrintable => {
+                        // Mostly ASCII printable, sometimes a wider char to
+                        // exercise non-ASCII handling.
+                        let c = if rng.below(8) == 0 {
+                            char::from_u32(0xA1 + rng.below(0x1000) as u32).unwrap_or('¿')
+                        } else {
+                            char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+                        };
+                        out.push(c);
+                    }
+                    Atom::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Runs each contained `#[test] fn name(binding in strategy, ...)` as a
+/// property test: `cases` deterministic random cases per property. On
+/// failure, every generated binding is printed (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let cases = $crate::resolve_cases(config.cases);
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..cases {
+                    let mut __proptest_rng = $crate::TestRng::for_case(test_name, case);
+                    $(let $arg =
+                        $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                    let __proptest_inputs = format!(
+                        concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                        $(&$arg),+
+                    );
+                    let __proptest_result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(panic) = __proptest_result {
+                        eprintln!(
+                            "proptest case {}/{} of {} failed; inputs (no shrinking):{}",
+                            case + 1, cases, test_name, __proptest_inputs,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Like `assert!` (the stub runs test bodies on the harness thread, so a
+/// plain panic is the failure channel — no `TestCaseError` plumbing).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Like `assert_eq!`; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Like `assert_ne!`; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..500 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (-9i64..9).generate(&mut rng);
+            assert!((-9..9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u64..5, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let exact = prop::collection::vec(0u64..5, 4usize).generate(&mut rng);
+        assert_eq!(exact.len(), 4);
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::for_case("regex", 0);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}( [r@a-z0-9,()#x-]{0,20})?".generate(&mut rng);
+            let head_len = s.split(' ').next().unwrap().len();
+            assert!((1..=8).contains(&head_len), "bad head in {s:?}");
+            let t = "\\PC{0,200}".generate(&mut rng);
+            assert!(t.chars().count() <= 200);
+            assert!(!t.chars().any(|c| c.is_control()), "control char in {t:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_alternative() {
+        let mut rng = TestRng::for_case("oneof", 0);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_name_sensitive() {
+        let a: u64 = any::<u64>().generate(&mut TestRng::for_case("t1", 0));
+        let b: u64 = any::<u64>().generate(&mut TestRng::for_case("t1", 0));
+        let c: u64 = any::<u64>().generate(&mut TestRng::for_case("t2", 0));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        /// The macro itself: bindings, config, tuple + map strategies.
+        #[test]
+        fn macro_smoke(x in 0u64..10, pair in (0usize..3, any::<bool>())) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 3);
+        }
+    }
+}
