@@ -25,13 +25,13 @@ use hmtx_bench::{
     render_ablation, render_fig2, render_fig8, render_fig9, render_latency, render_scaling,
     render_table1, render_table2, render_table3, report::build_report, table1, table3, Section,
 };
-use hmtx_types::MachineConfig;
+use hmtx_types::{FaultConfig, MachineConfig};
 use hmtx_workloads::Scale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [fig1|fig2|fig8|fig9|table1|table2|table3|ablations|extensions|all] \
-         [--quick] [--jobs N] [--json PATH] [--progress]"
+         [--quick] [--jobs N] [--json PATH] [--progress] [--faults SEED] [--fault-rate PPM]"
     );
     std::process::exit(2);
 }
@@ -43,6 +43,8 @@ fn main() {
     let mut jobs: usize = 1;
     let mut json_path: Option<String> = None;
     let mut what: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_rate_ppm: u32 = 200;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -54,6 +56,14 @@ fn main() {
                 if jobs == 0 {
                     usage();
                 }
+            }
+            "--faults" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                fault_seed = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--fault-rate" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                fault_rate_ppm = n.parse().unwrap_or_else(|_| usage());
             }
             "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
             s if s.starts_with("--") => usage(),
@@ -76,11 +86,18 @@ fn main() {
     };
 
     let scale = if quick { Scale::Quick } else { Scale::Standard };
-    let cfg: MachineConfig = if quick {
+    let mut cfg: MachineConfig = if quick {
         MachineConfig::test_default()
     } else {
         experiment_config()
     };
+    if let Some(seed) = fault_seed {
+        cfg.faults = Some(FaultConfig::chaos(seed, fault_rate_ppm));
+        eprintln!(
+            "experiments: chaos mode on (seed {seed}, rate {fault_rate_ppm} ppm); \
+             results measure degraded-mode performance, not the paper's numbers"
+        );
+    }
     let mut pool = SimPool::new(scale, cfg.clone());
     if progress {
         pool = pool.with_progress();

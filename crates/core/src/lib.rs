@@ -55,12 +55,14 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod invariants;
 pub mod protocol;
 pub mod stats;
 pub mod trace;
 pub mod transitions;
 
+pub use faults::{FaultPlan, FaultSite};
 pub use invariants::Violation;
 pub use protocol::{AccessKind, AccessRequest, AccessResponse, MemorySystem, MisspecCause};
 pub use stats::{MemStats, RwSetTotals};

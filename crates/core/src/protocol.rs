@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use hmtx_mem::{Bus, Cache, CacheLine, LineData, LineState, MainMemory};
 use hmtx_types::{Addr, CoreId, Cycle, Interconnect, LineAddr, MachineConfig, SimError, Vid};
 
+use crate::faults::{FaultPlan, FaultSite};
 use crate::stats::MemStats;
 use crate::trace::{ServedFrom, TraceEvent, Tracer};
 use crate::transitions::{apply_abort, apply_commit, apply_vid_reset, version_hits, Outcome};
@@ -103,6 +104,14 @@ pub enum MisspecCause {
         /// The VID passed to `abortMTX`.
         vid: Vid,
     },
+    /// A deterministic fault plan injected a spurious conflict on a
+    /// speculative access (chaos testing; no cache state was touched).
+    InjectedConflict {
+        /// Address of the faulted access.
+        addr: Addr,
+        /// VID of the faulted access.
+        vid: Vid,
+    },
 }
 
 /// Result of a memory access.
@@ -139,6 +148,7 @@ pub struct MemorySystem {
     banks: Vec<Bus>,
     overflow: HashMap<(LineAddr, Vid), CacheLine>,
     stats: MemStats,
+    faults: Option<FaultPlan>,
     tracer: Tracer,
     last_served: ServedFrom,
     last_committed: Vid,
@@ -169,6 +179,7 @@ impl MemorySystem {
             bus: Bus::new(cfg.bus_occupancy),
             banks,
             overflow: HashMap::new(),
+            faults: cfg.faults.map(FaultPlan::new),
             tracer: Tracer::default(),
             last_served: ServedFrom::L1,
             l1s,
@@ -231,6 +242,36 @@ impl MemorySystem {
     /// Returns [`SimError::UnalignedAccess`] if the 8-byte word crosses a
     /// cache-line boundary — a guest program bug, not a modeled event.
     pub fn access(&mut self, now: Cycle, req: &AccessRequest) -> Result<AccessResponse, SimError> {
+        // Deterministic fault injection: a spurious conflict answers the
+        // access with a misspeculation *before* any cache state is touched,
+        // so recovery needs nothing beyond the ordinary abort path. Only
+        // speculative correct-path accesses are eligible — non-speculative
+        // execution (including the runtime's sequential fallback rung and
+        // its control-block resync stores) is immune by construction, which
+        // is what guarantees every fault schedule terminates.
+        if req.vid.is_speculative() && !req.wrong_path {
+            if let Some(plan) = self.faults.as_mut() {
+                if plan.fire(FaultSite::SpuriousConflict) {
+                    self.stats.injected_conflicts += 1;
+                    let cause = MisspecCause::InjectedConflict {
+                        addr: req.addr,
+                        vid: req.vid,
+                    };
+                    let latency = self.cfg.l1.latency;
+                    if self.tracer.enabled() {
+                        self.tracer.record(TraceEvent::FaultInjected {
+                            cycle: now,
+                            site: FaultSite::SpuriousConflict.name(),
+                        });
+                        self.tracer.record(TraceEvent::Misspec {
+                            cycle: now,
+                            cause: format!("{cause:?}"),
+                        });
+                    }
+                    return Ok(AccessResponse::Misspec { cause, latency });
+                }
+            }
+        }
         let response = self.access_impl(now, req)?;
         if self.tracer.enabled() {
             match &response {
@@ -264,6 +305,13 @@ impl MemorySystem {
     /// Takes the buffered trace events (the tracer stays enabled).
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
         self.tracer.take()
+    }
+
+    /// Records a machine-level injected fault (queue delay, wrong-path
+    /// storm) in the protocol trace, so one trace shows the full schedule.
+    pub fn note_fault(&mut self, now: Cycle, site: &'static str) {
+        self.tracer
+            .record(TraceEvent::FaultInjected { cycle: now, site });
     }
 
     fn access_impl(&mut self, now: Cycle, req: &AccessRequest) -> Result<AccessResponse, SimError> {
@@ -1092,11 +1140,55 @@ impl MemorySystem {
         for (a, d) in dirty {
             self.memory.write_line(a, d);
         }
+        self.restore_coherence_after_abort();
         self.tracer.record(TraceEvent::Abort { cycle: now });
         self.stats.aborts += 1;
         self.stats.discard_uncommitted();
         self.abort_seen_since_reset = true;
         latency
+    }
+
+    /// Restores single-owner MOESI coherence after abort processing.
+    ///
+    /// Figure 7 restores each surviving version in isolation, which is
+    /// correct for the sole copy of a line but not once uncommitted value
+    /// forwarding has replicated version-0 data: the forwarding head
+    /// `S-E(0,h)`/`S-M(0,h)` reverts to E/M while its `S-S(0,h)` residues in
+    /// peer caches revert to S. An E or M copy coexisting with S copies
+    /// breaks the exclusivity assumption of every upgrade path (they only
+    /// purge *non-speculative* peers), which lets a later speculative
+    /// upgrade mint a second `S-E` head — and the next abort then leaves two
+    /// Exclusive copies of one line. All replicas hold identical version-0
+    /// bytes, so demoting E to S and keeping a single dirty owner (extra
+    /// dirty replicas become S) loses no data.
+    fn restore_coherence_after_abort(&mut self) {
+        let mut copies: HashMap<LineAddr, u32> = HashMap::new();
+        for cache in self.l1s.iter().chain(std::iter::once(&self.l2)) {
+            for set in 0..cache.config().num_sets() {
+                for l in cache.set_lines(set) {
+                    *copies.entry(l.addr).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut owner_seen: std::collections::HashSet<LineAddr> = std::collections::HashSet::new();
+        for cache in self.l1s.iter_mut().chain(std::iter::once(&mut self.l2)) {
+            cache.for_each_line_mut(|l| {
+                if copies.get(&l.addr).copied().unwrap_or(0) > 1 {
+                    match l.state {
+                        LineState::Exclusive => l.state = LineState::Shared,
+                        LineState::Modified | LineState::Owned => {
+                            l.state = if owner_seen.insert(l.addr) {
+                                LineState::Owned
+                            } else {
+                                LineState::Shared
+                            };
+                        }
+                        _ => {}
+                    }
+                }
+                hmtx_mem::cache::LineFate::Keep
+            });
+        }
     }
 
     /// VID reset (§4.6): requires every outstanding transaction to have

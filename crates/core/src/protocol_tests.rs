@@ -526,6 +526,37 @@ fn vid_reset_after_abort_clears_everything_speculative() {
     assert_eq!(mem.peek_word(Addr(0x140), Vid(0)), 44);
 }
 
+#[test]
+fn abort_demotes_forwarding_replicas_to_a_coherent_state() {
+    // Uncommitted value forwarding replicates version-0 data: after core 1
+    // reads core 0's S-E(0,1) head, core 0 keeps an S-S residue. Figure 7
+    // applied per line would restore E beside S — and that broken
+    // exclusivity let a later speculative upgrade mint a *second* S-E head,
+    // so the next abort left two Exclusive copies of one line.
+    let a = 0x200u64;
+    let mut mem = MemorySystem::new(cfg());
+    ok(&mut mem, 0, read(0, a, 1));
+    assert_eq!(states(&mem, a), vec![("L1[0]".into(), "S-E(0,1)".into())]);
+    ok(&mut mem, 10, read(1, a, 2));
+    mem.abort_all(20);
+    assert_eq!(
+        states(&mem, a),
+        vec![
+            ("L1[0]".into(), "S(0,0)".into()),
+            ("L1[1]".into(), "S(0,0)".into()),
+        ],
+        "no replica may keep exclusivity after abort"
+    );
+
+    // Replay the historical failure: re-speculate on the warm copies, abort
+    // again, and demand a clean protocol state.
+    ok(&mut mem, 30, read(1, a, 1));
+    ok(&mut mem, 40, read(0, a, 2));
+    mem.abort_all(50);
+    let violations = mem.check_invariants();
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
 // ---------------------------------------------------------------- misc
 
 #[test]

@@ -100,6 +100,9 @@ pub struct MemStats {
     pub unbounded_spills: u64,
     /// Speculative versions retrieved from the overflow table.
     pub unbounded_fills: u64,
+    /// Spurious conflict misspeculations injected by the fault plan
+    /// (chaos testing; zero unless `MachineConfig::faults` is set).
+    pub injected_conflicts: u64,
 
     rw_totals: RwSetTotals,
     live_read_sets: HashMap<Vid, HashSet<LineAddr>>,

@@ -92,6 +92,13 @@ pub enum TraceEvent {
         /// Cycle of the reset.
         cycle: Cycle,
     },
+    /// The deterministic fault plan injected a fault (chaos testing).
+    FaultInjected {
+        /// Cycle of the injection.
+        cycle: Cycle,
+        /// Site name, e.g. `spurious-conflict`.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -125,6 +132,9 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Commit { cycle, vid } => write!(f, "[{cycle:>8}] commit {vid}"),
             TraceEvent::Abort { cycle } => write!(f, "[{cycle:>8}] abort-all"),
             TraceEvent::VidReset { cycle } => write!(f, "[{cycle:>8}] vid-reset"),
+            TraceEvent::FaultInjected { cycle, site } => {
+                write!(f, "[{cycle:>8}] FAULT {site}")
+            }
         }
     }
 }

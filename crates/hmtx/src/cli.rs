@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use hmtx_isa::assemble;
 use hmtx_machine::{Machine, RunEvent, ThreadContext};
-use hmtx_types::{Addr, MachineConfig, SimError, ThreadId, Vid};
+use hmtx_types::{Addr, FaultConfig, MachineConfig, SimError, ThreadId, Vid};
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -24,6 +24,10 @@ pub struct Options {
     pub budget: u64,
     /// Use the small test configuration instead of Table 2's.
     pub quick: bool,
+    /// Deterministic fault-injection seed (`None` = no injection).
+    pub fault_seed: Option<u64>,
+    /// Fault probability per decision point, in parts per million.
+    pub fault_rate_ppm: u32,
 }
 
 impl Default for Options {
@@ -36,6 +40,8 @@ impl Default for Options {
             trace: 0,
             budget: 100_000_000,
             quick: false,
+            fault_seed: None,
+            fault_rate_ppm: 200,
         }
     }
 }
@@ -107,6 +113,20 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Si
                 opts.dump.push(parse_u64(&v)?);
             }
             "--quick" => opts.quick = true,
+            "--faults" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| bad("--faults needs a seed".into()))?;
+                opts.fault_seed = Some(parse_u64(&v)?);
+            }
+            "--fault-rate" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| bad("--fault-rate needs parts-per-million".into()))?;
+                opts.fault_rate_ppm = v
+                    .parse()
+                    .map_err(|_| bad(format!("bad fault rate `{v}`")))?;
+            }
             path => {
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| bad(format!("cannot read `{path}`: {e}")))?;
@@ -117,6 +137,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Si
     if opts.programs.is_empty() {
         return Err(bad(
             "usage: hmtx-run [--cores N] [--trace N] [--budget N] [--quick] \
+             [--faults SEED] [--fault-rate PPM] \
              [--mem addr=value]... [--dump addr]... thread0.asm [thread1.asm ...]"
                 .into(),
         ));
@@ -146,6 +167,9 @@ pub fn run(opts: &Options) -> Result<CliReport, SimError> {
         MachineConfig::paper_default()
     };
     cfg.num_cores = opts.cores.unwrap_or_else(|| opts.programs.len().max(2));
+    if let Some(seed) = opts.fault_seed {
+        cfg.faults = Some(FaultConfig::chaos(seed, opts.fault_rate_ppm));
+    }
     if cfg.num_cores < opts.programs.len() {
         return Err(SimError::BadProgram(format!(
             "{} programs need at least that many cores (got --cores {})",
@@ -178,7 +202,7 @@ pub fn run(opts: &Options) -> Result<CliReport, SimError> {
     };
 
     let mem_stats = machine.mem().stats();
-    let stats = format!(
+    let mut stats = format!(
         "instructions: {}\nbranches: {} ({:.2}% mispredicted)\n\
          loads/stores: {}/{} (speculative {}/{})\n\
          L1 hits/misses: {}/{}\ncommits: {}  aborts: {}  vid resets: {}\nSLAs sent: {}",
@@ -196,6 +220,14 @@ pub fn run(opts: &Options) -> Result<CliReport, SimError> {
         mem_stats.vid_resets,
         mem_stats.slas_sent,
     );
+    if opts.fault_seed.is_some() {
+        stats.push_str(&format!(
+            "\ninjected faults: {} conflicts, {} queue delays, {} wrong-path storms",
+            mem_stats.injected_conflicts,
+            machine.stats().injected_queue_delays,
+            machine.stats().injected_wrong_path_storms,
+        ));
+    }
     let trace = if opts.trace > 0 {
         hmtx_core::render_trace(&machine.mem_mut().take_trace())
     } else {
@@ -313,6 +345,38 @@ mod tests {
         assert!(err.to_string().contains("--cores"));
         let err = parse_args(vec!["--mem".to_string(), "nope".to_string()]).unwrap_err();
         assert!(err.to_string().contains("addr=value"));
+        let err = parse_args(vec!["--faults".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("--faults"));
+        let err = parse_args(vec!["--fault-rate".to_string(), "abc".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("fault rate"));
+    }
+
+    #[test]
+    fn fault_injection_flags_reach_the_machine() {
+        let mut opts = opts_with(
+            r"
+                li r10, 1
+                beginMTX r10
+                li r1, 0x100000
+                li r2, 9
+                st r2, (r1)
+                commitMTX r10
+                halt
+            ",
+        );
+        opts.fault_seed = Some(7);
+        opts.fault_rate_ppm = 1_000_000; // every eligible access faults
+        let report = run(&opts).unwrap();
+        assert!(
+            report.outcome.contains("misspeculation"),
+            "a certain-fire fault plan must abort the transaction: {}",
+            report.outcome
+        );
+        assert!(
+            report.stats.contains("injected faults"),
+            "{}",
+            report.stats
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use hmtx_core::{AccessKind, AccessRequest, AccessResponse, MemorySystem, MisspecCause};
+use hmtx_core::{
+    AccessKind, AccessRequest, AccessResponse, FaultPlan, FaultSite, MemorySystem, MisspecCause,
+};
 use hmtx_isa::{Instr, Operand, Program, Reg};
 use hmtx_types::{Addr, CoreId, Cycle, MachineConfig, SimError, ThreadId, Vid};
 
@@ -118,6 +120,11 @@ pub struct MachineStats {
     pub interrupts: u64,
     /// Explicit `abortMTX` executions.
     pub explicit_aborts: u64,
+    /// Extra-latency faults injected into queue operations (chaos testing).
+    pub injected_queue_delays: u64,
+    /// Forced wrong-path load storms injected on retired branches (chaos
+    /// testing).
+    pub injected_wrong_path_storms: u64,
 }
 
 impl MachineStats {
@@ -191,6 +198,7 @@ pub struct Machine {
     stats: MachineStats,
     core_stats: Vec<CoreStats>,
     high_water: Cycle,
+    faults: Option<FaultPlan>,
 }
 
 impl Machine {
@@ -219,6 +227,9 @@ impl Machine {
             stats: MachineStats::default(),
             core_stats: vec![CoreStats::default(); n],
             high_water: 0,
+            // The machine draws from its own fault plan, independent of the
+            // memory system's: both are deterministic in the shared seed.
+            faults: cfg.faults.map(FaultPlan::new),
             cfg,
         }
     }
@@ -518,6 +529,24 @@ impl Machine {
                     if let Some(cause) = self.run_wrong_path(core, wrong_pc, vid, now)? {
                         return Ok(StepOutcome::Misspec(cause));
                     }
+                } else if vid.is_speculative()
+                    && self
+                        .faults
+                        .as_mut()
+                        .is_some_and(|p| p.fire(FaultSite::WrongPathStorm))
+                {
+                    // Injected wrong-path storm: squash a correctly
+                    // predicted branch as if mispredicted, forcing the §5.1
+                    // SLA machinery to absorb a burst of squashed loads.
+                    // Speculative contexts only: the non-speculative
+                    // fallback rung stays immune by construction.
+                    self.stats.injected_wrong_path_storms += 1;
+                    self.mem.note_fault(now, FaultSite::WrongPathStorm.name());
+                    self.bump(core, self.cfg.mispredict_penalty);
+                    let wrong_pc = if taken { pc + 1 } else { target };
+                    if let Some(cause) = self.run_wrong_path(core, wrong_pc, vid, now)? {
+                        return Ok(StepOutcome::Misspec(cause));
+                    }
                 }
             }
             Instr::Jump { target } => {
@@ -576,7 +605,10 @@ impl Machine {
             Instr::Produce { q, rs } => {
                 let value = self.reg(core, rs);
                 match self.queues.produce(now, q, value) {
-                    ProduceOutcome::Accepted => self.bump(core, 1),
+                    ProduceOutcome::Accepted => {
+                        self.bump(core, 1);
+                        self.inject_queue_delay(core, now)?;
+                    }
                     ProduceOutcome::Full => {
                         next_pc = pc; // retry the same instruction
                         self.stats.instructions -= 1;
@@ -590,6 +622,7 @@ impl Machine {
                 ConsumeOutcome::Ready(v) => {
                     self.set_reg(core, rd, v);
                     self.bump(core, 1);
+                    self.inject_queue_delay(core, now)?;
                 }
                 ConsumeOutcome::NotYet(at) => {
                     next_pc = pc;
@@ -631,6 +664,23 @@ impl Machine {
         }
         self.threads[core].as_mut().unwrap().pc = next_pc;
         Ok(StepOutcome::Continue)
+    }
+
+    /// Chaos fault: charge a completed queue operation deterministic extra
+    /// latency. Pure timing — never affects committed results.
+    fn inject_queue_delay(&mut self, core: usize, now: Cycle) -> Result<(), SimError> {
+        let Some(plan) = self.faults.as_mut() else {
+            return Ok(());
+        };
+        if !plan.fire(FaultSite::QueueDelay) {
+            return Ok(());
+        }
+        let extra = plan.magnitude(FaultSite::QueueDelay, self.cfg.queue_latency.max(8));
+        self.stats.injected_queue_delays += 1;
+        self.mem.note_fault(now, FaultSite::QueueDelay.name());
+        self.core_stats[core].queue_stall_cycles += extra;
+        self.bump(core, extra);
+        Ok(())
     }
 
     /// Interprets up to `wrong_path_depth` instructions down the mispredicted

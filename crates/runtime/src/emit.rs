@@ -134,12 +134,20 @@ fn emit_leave_tx(b: &mut ProgramBuilder) {
     b.begin_mtx(regs::T0);
 }
 
-/// Builds the single-threaded non-transactional baseline.
-pub fn build_sequential(body: &dyn LoopBody, env: &LoopEnv) -> Result<GeneratedThreads, SimError> {
+/// Builds the single-threaded non-transactional baseline, starting at
+/// iteration `n0` (1 for a whole-loop run). The runner's last recovery rung
+/// uses `n0 > 1` to finish a partially committed loop fully
+/// non-speculatively: iterations `1..n0` already committed, so their state
+/// is ordinary committed memory the sequential program reads directly.
+pub fn build_sequential(
+    body: &dyn LoopBody,
+    env: &LoopEnv,
+    n0: u64,
+) -> Result<GeneratedThreads, SimError> {
     let mut b = ProgramBuilder::new();
     let head = b.new_label();
     let done = b.new_label();
-    emit_prologue(&mut b, env, 1);
+    emit_prologue(&mut b, env, n0);
     b.bind(head)?;
     b.branch_imm(Cond::GeU, regs::N, body.iterations() as i64 + 1, done);
     b.li(regs::STOP, 0);
@@ -358,7 +366,7 @@ pub fn build_paradigm(
     n0: u64,
 ) -> Result<GeneratedThreads, SimError> {
     match paradigm {
-        Paradigm::Sequential => build_sequential(body, env),
+        Paradigm::Sequential => build_sequential(body, env, n0),
         Paradigm::Doall => build_doall(body, env, n0),
         Paradigm::Doacross => build_doacross(body, env, n0),
         Paradigm::Dswp | Paradigm::PsDswp => build_psdswp(body, env, n0),

@@ -48,7 +48,7 @@ pub mod runner;
 pub use body::LoopBody;
 pub use emit::{build_paradigm, GeneratedThread, GeneratedThreads, Paradigm};
 pub use env::LoopEnv;
-pub use runner::{run_loop, speedup, RunReport};
+pub use runner::{run_loop, speedup, RecoveryRecord, RecoveryRung, RunReport};
 
 #[cfg(test)]
 mod emit_tests;

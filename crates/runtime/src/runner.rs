@@ -1,7 +1,32 @@
 //! The run harness: dispatches a parallelized loop onto a machine, handles
 //! misspeculation recovery, and reports timing/statistics.
+//!
+//! # The recovery ladder
+//!
+//! Misspeculation is a modeled architectural event, never a fatal error. On
+//! each abort the runtime re-synchronizes the control block and climbs an
+//! escalation ladder keyed on how often the *same* transaction `n0` has
+//! already failed:
+//!
+//! 1. **Parallel re-dispatch** ([`RecoveryRung::Parallel`]) — optimistically
+//!    restart the paradigm from the first uncommitted transaction, up to
+//!    `MachineConfig::recovery_parallel_retries` times per stuck `n0`.
+//! 2. **Serialized re-execution** ([`RecoveryRung::SingleTx`]) — run `n0`
+//!    alone with the full begin/commit protocol; a genuine cross-iteration
+//!    conflict cannot recur with no concurrent transactions, so this rung
+//!    normally guarantees one transaction of forward progress.
+//! 3. **Non-speculative sequential fallback** ([`RecoveryRung::NonSpec`]) —
+//!    if even the serialized rung misspeculates (possible under injected
+//!    faults), execute the rest of the loop as plain sequential code with no
+//!    transactions at all. Fault injection only targets speculative
+//!    accesses, so this rung is immune by construction and the run always
+//!    terminates.
+//!
+//! Exceeding `MachineConfig::max_recoveries` reports
+//! [`SimError::Livelock`]; `SimError::BadProgram` is reserved for genuine
+//! bugs (e.g. misspeculation *during* non-speculative execution).
 
-use hmtx_core::{AccessKind, AccessRequest, AccessResponse, MisspecCause};
+use hmtx_core::{faults, AccessKind, AccessRequest, AccessResponse, MisspecCause};
 use hmtx_machine::{Machine, MachineStats, RunEvent, ThreadContext};
 use hmtx_types::{CoreId, Cycle, MachineConfig, SimError, ThreadId, Vid};
 
@@ -9,8 +34,55 @@ use crate::body::LoopBody;
 use crate::emit::{build_paradigm, Paradigm};
 use crate::env::{rcb, LoopEnv};
 
-/// Safety valve: a run that recovers this many times is considered livelocked.
-const MAX_RECOVERIES: u64 = 1_000;
+/// Attempts to rewrite the runtime control block before giving up; each
+/// failed attempt drains all speculative state first, so in a correct
+/// protocol the second attempt already cannot conflict.
+const RCB_RESYNC_ATTEMPTS: u32 = 8;
+
+/// Stream tag for the deterministic VID-space squeeze (chaos testing).
+const VID_SQUEEZE_STREAM: u64 = 0x5649_4453_5155_455A;
+
+/// Stream tag for the deterministic cache-capacity squeeze (chaos testing).
+const CACHE_SQUEEZE_STREAM: u64 = 0x4341_4348_4553_515A;
+
+/// Which rung of the recovery ladder a recovery used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryRung {
+    /// Parallel re-dispatch of the paradigm from the first uncommitted
+    /// transaction.
+    Parallel,
+    /// Serialized re-execution of the first uncommitted transaction alone,
+    /// then parallel re-dispatch from the next one.
+    SingleTx,
+    /// Fully non-speculative sequential execution of the remaining
+    /// iterations (terminal: the run finishes on this rung).
+    NonSpec,
+}
+
+impl RecoveryRung {
+    /// Short display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryRung::Parallel => "parallel",
+            RecoveryRung::SingleTx => "single-tx",
+            RecoveryRung::NonSpec => "non-spec",
+        }
+    }
+}
+
+/// One recovery, as recorded in [`RunReport::recovery_log`].
+#[derive(Debug, Clone)]
+pub struct RecoveryRecord {
+    /// The architectural cause of the abort.
+    pub cause: MisspecCause,
+    /// Cycle at which the misspeculation was detected.
+    pub cycle: Cycle,
+    /// How many times the same first-uncommitted transaction had failed when
+    /// this recovery ran (1 = first failure at this point).
+    pub depth: u64,
+    /// The ladder rung the runtime chose.
+    pub rung: RecoveryRung,
+}
 
 /// Result of running a parallelized loop to completion.
 #[derive(Debug, Clone)]
@@ -23,8 +95,11 @@ pub struct RunReport {
     pub instructions: u64,
     /// Times the machine aborted and the runtime re-dispatched.
     pub recoveries: u64,
-    /// Causes of each recovery (the runtime aborts after 1,000 recoveries).
+    /// Causes of each recovery (the run fails with [`SimError::Livelock`]
+    /// after `MachineConfig::max_recoveries` recoveries).
     pub recovery_causes: Vec<MisspecCause>,
+    /// Every recovery's cause, depth, and chosen ladder rung, in order.
+    pub recovery_log: Vec<RecoveryRecord>,
     /// Committed program output.
     pub outputs: Vec<u64>,
     /// Machine statistics snapshot.
@@ -53,6 +128,35 @@ pub fn speedup(baseline_cycles: Cycle, cycles: Cycle) -> f64 {
     baseline_cycles as f64 / cycles.max(1) as f64
 }
 
+/// Applies the deterministic pre-run squeezes of the fault configuration:
+/// a shrunk usable VID space (forcing §4.6 overflow/reset traffic) and
+/// halved L1 ways/capacity (forcing §5.4 overflow traffic). Both are pure
+/// functions of the fault seed. Returns the (possibly modified) machine
+/// configuration and the usable VID ceiling for the loop environment.
+fn squeezed_config(cfg: &MachineConfig) -> (MachineConfig, u16) {
+    let mut run_cfg = cfg.clone();
+    let mut max_vid = cfg.hmtx.max_vid().0;
+    if let Some(f) = cfg.faults {
+        if f.vid_squeeze && max_vid > 4 {
+            let span = (max_vid - 4) as u64 + 1;
+            max_vid = 4 + faults::derive(f.seed, VID_SQUEEZE_STREAM, span) as u16;
+        }
+        if f.cache_squeeze {
+            // One or two halvings of the L1, seed-chosen. Ways and size
+            // shrink together so the set count (and its power-of-two
+            // validation) is preserved.
+            let halvings = 1 + faults::derive(f.seed, CACHE_SQUEEZE_STREAM, 2);
+            for _ in 0..halvings {
+                if run_cfg.l1.ways > 1 {
+                    run_cfg.l1.ways /= 2;
+                    run_cfg.l1.size_bytes /= 2;
+                }
+            }
+        }
+    }
+    (run_cfg, max_vid)
+}
+
 /// Runs `body` under `paradigm` on a fresh machine built from `cfg`.
 ///
 /// Returns the machine (for memory verification and statistics) together
@@ -60,8 +164,9 @@ pub fn speedup(baseline_cycles: Cycle, cycles: Cycle) -> f64 {
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] for guest-program bugs or when the instruction
-/// budget/recovery limit is exceeded.
+/// Returns [`SimError`] for guest-program bugs, when the instruction budget
+/// is exceeded, or — as [`SimError::Livelock`] — when the run recovers
+/// `cfg.max_recoveries` times without completing.
 pub fn run_loop(
     paradigm: Paradigm,
     body: &dyn LoopBody,
@@ -74,14 +179,19 @@ pub fn run_loop(
         Paradigm::Dswp => 1,
         Paradigm::PsDswp => cfg.num_cores.saturating_sub(1).max(1),
     };
-    let env = LoopEnv::new(cfg.hmtx.max_vid().0, workers).with_pipeline_window(cfg.pipeline_window);
-    let mut machine = Machine::new(cfg.clone());
+    let (run_cfg, max_vid) = squeezed_config(cfg);
+    let env = LoopEnv::new(max_vid, workers).with_pipeline_window(run_cfg.pipeline_window);
+    let mut machine = Machine::new(run_cfg);
     body.build_image(&mut machine, &env);
 
     dispatch(paradigm, body, &env, &mut machine, 1)?;
 
-    let mut recoveries = 0;
+    let mut recoveries = 0u64;
     let mut recovery_causes = Vec::new();
+    let mut recovery_log: Vec<RecoveryRecord> = Vec::new();
+    let mut stuck_n0 = 0u64;
+    let mut depth = 0u64;
+    let mut nonspec = false;
     let mut spent = 0u64;
     loop {
         let before = machine.stats().instructions;
@@ -94,18 +204,57 @@ pub fn run_loop(
             }
             RunEvent::Misspeculation { cause, cycle } => {
                 recoveries += 1;
-                if recoveries > MAX_RECOVERIES {
+                if recoveries > cfg.max_recoveries {
+                    return Err(SimError::Livelock {
+                        recoveries,
+                        last_cause: format!("{cause:?}"),
+                    });
+                }
+                if nonspec {
+                    // Fault injection never targets non-speculative
+                    // execution, so this is a genuine simulator/program bug.
                     return Err(SimError::BadProgram(format!(
-                        "{} recoveries without progress (last cause: {cause:?})",
-                        MAX_RECOVERIES
+                        "misspeculation during non-speculative fallback: {cause:?}"
                     )));
                 }
+                // The machine already aborted all speculative state; the
+                // hierarchy is quiescent, so fault schedules can be
+                // validated against the protocol invariants here.
+                chaos_invariant_check(cfg, &machine)?;
+
+                let committed = machine.mem().stats().commits;
+                let n0 = committed + 1;
+                if n0 == stuck_n0 {
+                    depth += 1;
+                } else {
+                    stuck_n0 = n0;
+                    depth = 1;
+                }
+                let rung = recover(
+                    paradigm,
+                    body,
+                    &env,
+                    &mut machine,
+                    cycle,
+                    n0,
+                    depth,
+                    cfg.recovery_parallel_retries,
+                )?;
+                if rung == RecoveryRung::NonSpec {
+                    nonspec = true;
+                }
                 recovery_causes.push(cause);
-                recover(paradigm, body, &env, &mut machine, cycle)?;
+                recovery_log.push(RecoveryRecord {
+                    cause,
+                    cycle,
+                    depth,
+                    rung,
+                });
             }
         }
     }
 
+    chaos_invariant_check(cfg, &machine)?;
     if let Some(expected) = body.expected_outputs() {
         let got = machine.committed_output().len() as u64;
         debug_assert_eq!(expected, got, "workload output count mismatch");
@@ -117,10 +266,28 @@ pub fn run_loop(
         instructions: machine.stats().instructions,
         recoveries,
         recovery_causes,
+        recovery_log,
         outputs: machine.committed_output().to_vec(),
         machine_stats: *machine.stats(),
     };
     Ok((machine, report))
+}
+
+/// When the fault configuration asks for it, scan the hierarchy for
+/// protocol invariant violations (quiescent points only).
+fn chaos_invariant_check(cfg: &MachineConfig, machine: &Machine) -> Result<(), SimError> {
+    if !cfg.faults.is_some_and(|f| f.check_invariants) {
+        return Ok(());
+    }
+    let violations = machine.mem().check_invariants();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(SimError::BadProgram(format!(
+            "protocol invariant violated after recovery: {:?}",
+            violations[0]
+        )))
+    }
 }
 
 /// Loads the generated thread programs onto their cores.
@@ -138,73 +305,130 @@ fn dispatch(
     Ok(())
 }
 
+/// Re-synchronizes the runtime control block with the true commit count via
+/// plain non-speculative stores, charging normal memory latency. A store
+/// that hits lingering speculative marks retries after draining all
+/// speculative state (a conflict here means some cache still holds
+/// speculative versions — exactly what an abort flush removes).
+pub(crate) fn resync_rcb(
+    machine: &mut Machine,
+    env: &LoopEnv,
+    committed: u64,
+    cycle: Cycle,
+) -> Result<(), SimError> {
+    let mut attempts = 0u32;
+    'resync: loop {
+        let now = machine.cycles().max(cycle);
+        for (offset, value) in [(rcb::LAST_COMMITTED, committed), (rcb::VID_BASE, committed)] {
+            let req = AccessRequest {
+                core: CoreId(0),
+                addr: env.rcb.offset(offset),
+                kind: AccessKind::Write(value),
+                vid: Vid::NON_SPECULATIVE,
+                wrong_path: false,
+            };
+            match machine.mem_mut().access(now, &req)? {
+                AccessResponse::Done { .. } => {}
+                AccessResponse::Misspec { .. } => {
+                    attempts += 1;
+                    if attempts >= RCB_RESYNC_ATTEMPTS {
+                        return Err(SimError::BadProgram(
+                            "runtime control block still conflicting after draining \
+                             speculative state"
+                                .into(),
+                        ));
+                    }
+                    machine.machine_abort(now);
+                    continue 'resync;
+                }
+            }
+        }
+        return Ok(());
+    }
+}
+
+/// Runs transaction `n0` alone (both stages inline, full begin/commit
+/// protocol). Returns `None` on success or the misspeculation that stopped
+/// it; either way every core is left unloaded.
+pub(crate) fn run_single_tx(
+    machine: &mut Machine,
+    body: &dyn LoopBody,
+    env: &LoopEnv,
+    n0: u64,
+) -> Result<Option<(MisspecCause, Cycle)>, SimError> {
+    for core in 0..machine.config().num_cores {
+        machine.unload_thread(core);
+    }
+    let single = crate::emit::build_single_tx(body, env, n0)?;
+    for (i, t) in single.threads.into_iter().enumerate() {
+        machine.load_thread(t.core, ThreadContext::new(ThreadId(i), t.program));
+    }
+    let outcome = match machine.run(u64::MAX)? {
+        RunEvent::AllHalted => None,
+        RunEvent::Misspeculation { cause, cycle } => Some((cause, cycle)),
+        RunEvent::BudgetExhausted => unreachable!("unlimited budget"),
+    };
+    for core in 0..machine.config().num_cores {
+        machine.unload_thread(core);
+    }
+    Ok(outcome)
+}
+
 /// Recovery after an abort: the machine has already flushed all speculative
-/// state and queues. Re-synchronize the runtime control block with the true
-/// commit count and restart every thread from the first uncommitted
-/// transaction (the paper's recovery-code path, hosted here).
+/// state and queues. Free the VID space, re-synchronize the runtime control
+/// block, and climb the recovery ladder (see the module docs): parallel
+/// re-dispatch while `depth` is within the retry budget, then serialized
+/// re-execution of the stuck transaction, then — if even that misspeculates
+/// — fully non-speculative sequential execution of the remaining loop.
+#[allow(clippy::too_many_arguments)]
 fn recover(
     paradigm: Paradigm,
     body: &dyn LoopBody,
     env: &LoopEnv,
     machine: &mut Machine,
     cycle: Cycle,
-) -> Result<(), SimError> {
-    // Total commits is monotonic across VID resets; every transaction
-    // 1..=commits committed exactly once.
-    let committed = machine.mem().stats().commits;
-    let n0 = committed + 1;
-
+    n0: u64,
+    depth: u64,
+    parallel_retries: u64,
+) -> Result<RecoveryRung, SimError> {
     // Free the VID space: everything uncommitted was just aborted, so every
     // outstanding VID is either committed or gone.
     if machine.mem().last_committed() > Vid::NON_SPECULATIVE {
         machine.vid_reset();
     }
-
-    // Fix the runtime control block through the coherence protocol (plain
-    // non-speculative stores), charging normal memory latency.
-    let now = machine.cycles().max(cycle);
-    for (offset, value) in [(rcb::LAST_COMMITTED, committed), (rcb::VID_BASE, committed)] {
-        let req = AccessRequest {
-            core: CoreId(0),
-            addr: env.rcb.offset(offset),
-            kind: AccessKind::Write(value),
-            vid: Vid::NON_SPECULATIVE,
-            wrong_path: false,
-        };
-        match machine.mem_mut().access(now, &req)? {
-            AccessResponse::Done { .. } => {}
-            AccessResponse::Misspec { cause, .. } => {
-                return Err(SimError::BadProgram(format!(
-                    "runtime control block conflicted during recovery: {cause:?}"
-                )));
-            }
-        }
-    }
-
-    // Guarantee forward progress: re-execute the first uncommitted
-    // transaction alone (a true cross-iteration conflict would otherwise
-    // recur forever), then go parallel again from n0 + 1.
+    resync_rcb(machine, env, n0 - 1, cycle)?;
     for core in 0..machine.config().num_cores {
         machine.unload_thread(core);
     }
-    if n0 <= body.iterations() {
-        let single = crate::emit::build_single_tx(body, env, n0)?;
-        for (i, t) in single.threads.into_iter().enumerate() {
-            machine.load_thread(t.core, ThreadContext::new(ThreadId(i), t.program));
-        }
-        match machine.run(u64::MAX)? {
-            RunEvent::AllHalted => {}
-            RunEvent::Misspeculation { cause, .. } => {
-                return Err(SimError::BadProgram(format!(
-                    "transaction {n0} misspeculated while running alone: {cause:?}"
-                )));
-            }
-            RunEvent::BudgetExhausted => unreachable!("unlimited budget"),
-        }
-        for core in 0..machine.config().num_cores {
-            machine.unload_thread(core);
-        }
-        return dispatch(paradigm, body, env, machine, n0 + 1);
+
+    // Rung 1: optimistic parallel re-dispatch (also used when every
+    // iteration already committed and only the epilogue needs to re-run).
+    if n0 > body.iterations() || depth <= parallel_retries {
+        dispatch(paradigm, body, env, machine, n0)?;
+        return Ok(RecoveryRung::Parallel);
     }
-    dispatch(paradigm, body, env, machine, n0)
+
+    // Rung 2: serialized re-execution of the stuck transaction.
+    match run_single_tx(machine, body, env, n0)? {
+        None => {
+            dispatch(paradigm, body, env, machine, n0 + 1)?;
+            Ok(RecoveryRung::SingleTx)
+        }
+        Some((_cause, misspec_cycle)) => {
+            // Rung 3: even a lone transaction misspeculated (an injected
+            // fault, or cache pressure no re-execution can relieve). Finish
+            // the loop fully non-speculatively; injection never targets
+            // non-speculative accesses, so this always terminates.
+            let committed = machine.mem().stats().commits;
+            if machine.mem().last_committed() > Vid::NON_SPECULATIVE {
+                machine.vid_reset();
+            }
+            resync_rcb(machine, env, committed, misspec_cycle)?;
+            let seq = crate::emit::build_sequential(body, env, committed + 1)?;
+            for (i, t) in seq.threads.into_iter().enumerate() {
+                machine.load_thread(t.core, ThreadContext::new(ThreadId(i), t.program));
+            }
+            Ok(RecoveryRung::NonSpec)
+        }
+    }
 }

@@ -2,14 +2,15 @@
 //! result, VID wraparound must reset cleanly, and true conflicts must
 //! recover with forward progress.
 
+use hmtx_core::{AccessKind, AccessRequest};
 use hmtx_isa::{Cond, ProgramBuilder, Reg};
 use hmtx_machine::Machine;
-use hmtx_types::{Addr, MachineConfig, Vid};
+use hmtx_types::{Addr, CoreId, MachineConfig, SimError, Vid};
 
 use crate::body::LoopBody;
 use crate::emit::Paradigm;
-use crate::env::{regs, LoopEnv};
-use crate::runner::run_loop;
+use crate::env::{rcb, regs, LoopEnv};
+use crate::runner::{resync_rcb, run_loop, run_single_tx, RecoveryRung};
 
 const CELLS: u64 = 0x0010_0000;
 
@@ -231,6 +232,119 @@ fn committed_transactions_match_iterations() {
     let body = FillCells { iters: 40 };
     let (machine, _) = run_loop(Paradigm::PsDswp, &body, &cfg(), 10_000_000).unwrap();
     assert_eq!(machine.mem().stats().commits, 40);
+}
+
+#[test]
+fn recovery_frees_vid_space_after_abort() {
+    // A 4-bit VID space (15 usable VIDs) cannot cover 40 iterations plus
+    // the re-executions that conflicts force unless every recovery actually
+    // returns aborted VIDs to the allocator via a reset.
+    let mut c = cfg();
+    c.hmtx.vid_bits = 4;
+    let body = SharedAccum { iters: 40 };
+    let (machine, report) = run_loop(Paradigm::PsDswp, &body, &c, 100_000_000).unwrap();
+    assert!(report.recoveries > 0, "shared accumulator must conflict");
+    assert!(
+        machine.mem().stats().vid_resets > 0,
+        "recovery must free the VID space"
+    );
+    assert_eq!(
+        machine.mem().peek_word(Addr(CELLS), Vid(0)),
+        (1..=40).sum::<u64>(),
+        "serializable final value despite conflicts in a tiny VID space"
+    );
+}
+
+#[test]
+fn rcb_resync_drains_speculative_pollution_and_writes_true_values() {
+    let c = cfg();
+    let env = LoopEnv::new(c.hmtx.max_vid().0, 2).with_pipeline_window(c.pipeline_window);
+    let mut machine = Machine::new(c);
+    // Pollute the control block line with a lingering speculative store, as
+    // a crashed worker would leave behind.
+    let req = AccessRequest {
+        core: CoreId(1),
+        addr: env.rcb.offset(rcb::LAST_COMMITTED),
+        kind: AccessKind::Write(99),
+        vid: Vid(3),
+        wrong_path: false,
+    };
+    machine.mem_mut().access(0, &req).unwrap();
+    resync_rcb(&mut machine, &env, 7, 0).unwrap();
+    assert_eq!(
+        machine.mem().peek_word(env.rcb.offset(rcb::LAST_COMMITTED), Vid(0)),
+        7,
+        "last-committed slot must hold the true commit count"
+    );
+    assert_eq!(
+        machine.mem().peek_word(env.rcb.offset(rcb::VID_BASE), Vid(0)),
+        7,
+        "VID base must match the commit count after a reset"
+    );
+}
+
+#[test]
+fn serialized_rung_commits_the_stuck_transaction_exactly_once() {
+    let c = cfg();
+    let env = LoopEnv::new(c.hmtx.max_vid().0, 2).with_pipeline_window(c.pipeline_window);
+    let mut machine = Machine::new(c);
+    let body = ChainSum { iters: 5 };
+    body.build_image(&mut machine, &env);
+    let before = machine.mem().stats().commits;
+    let outcome = run_single_tx(&mut machine, &body, &env, 1).unwrap();
+    assert!(outcome.is_none(), "a lone transaction cannot conflict");
+    assert_eq!(
+        machine.mem().stats().commits,
+        before + 1,
+        "exactly one commit"
+    );
+    assert_eq!(
+        machine.committed_output(),
+        &[1],
+        "transaction 1 emits its output exactly once"
+    );
+    check_cells(&machine, 1, |n| n * (n + 1) / 2);
+}
+
+#[test]
+fn ladder_escalates_to_single_tx_when_parallel_retries_exhausted() {
+    let mut c = cfg();
+    c.recovery_parallel_retries = 0;
+    let body = SharedAccum { iters: 10 };
+    let (machine, report) = run_loop(Paradigm::PsDswp, &body, &c, 50_000_000).unwrap();
+    assert_eq!(
+        machine.mem().peek_word(Addr(CELLS), Vid(0)),
+        (1..=10).sum::<u64>()
+    );
+    assert!(report.recoveries > 0);
+    assert_eq!(report.recovery_log.len() as u64, report.recoveries);
+    assert!(
+        report
+            .recovery_log
+            .iter()
+            .all(|r| r.rung == RecoveryRung::SingleTx || r.rung == RecoveryRung::Parallel),
+        "no injected faults, so the non-speculative rung must never engage"
+    );
+    assert!(
+        report
+            .recovery_log
+            .iter()
+            .any(|r| r.rung == RecoveryRung::SingleTx),
+        "zero parallel retries must escalate straight to the serialized rung"
+    );
+}
+
+#[test]
+fn livelock_reported_after_max_recoveries() {
+    let mut c = cfg();
+    c.max_recoveries = 1;
+    c.recovery_parallel_retries = 1_000_000; // never escalate, so conflicts recur
+    let body = SharedAccum { iters: 20 };
+    let err = run_loop(Paradigm::PsDswp, &body, &c, 500_000_000).unwrap_err();
+    match err {
+        SimError::Livelock { recoveries, .. } => assert_eq!(recoveries, 2),
+        other => panic!("expected Livelock, got {other:?}"),
+    }
 }
 
 #[test]

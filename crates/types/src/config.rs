@@ -218,6 +218,63 @@ impl Default for SmtxConfig {
     }
 }
 
+/// Deterministic fault-injection configuration (chaos testing).
+///
+/// When attached to a [`MachineConfig`], the memory system, the machine, and
+/// the runtime consult a seeded fault plan at well-defined points and inject
+/// the paper's adversarial events on purpose: spurious conflict
+/// misspeculations, forced VID overflow/reset pressure, cache capacity
+/// squeezes, wrong-path load storms, and delayed queue operations. Every
+/// decision is a pure function of `(seed, site, per-site counter)`, so a
+/// given `(config, seed)` pair replays the exact same fault schedule on
+/// every run and host.
+///
+/// # Examples
+///
+/// ```
+/// use hmtx_types::{FaultConfig, MachineConfig};
+/// let mut cfg = MachineConfig::test_default();
+/// cfg.faults = Some(FaultConfig::chaos(42, 300));
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed of the deterministic fault plan.
+    pub seed: u64,
+    /// Probability, in parts per million, that an eligible injection point
+    /// fires (applied independently per site).
+    pub rate_ppm: u32,
+    /// Inject spurious conflict misspeculations on speculative accesses.
+    pub spurious_conflicts: bool,
+    /// Force extra wrong-path load storms on retired branches (§5.1 stress).
+    pub wrong_path_storms: bool,
+    /// Add random extra latency to hardware queue operations.
+    pub queue_delays: bool,
+    /// Shrink the usable VID space so §4.6 overflow/reset traffic is forced.
+    pub vid_squeeze: bool,
+    /// Halve L1 ways/capacity so §5.4 overflow traffic is forced.
+    pub cache_squeeze: bool,
+    /// Run [`check_invariants`](../hmtx_core/struct.MemorySystem.html) after
+    /// every injected fault and every recovery (slow; chaos tests only).
+    pub check_invariants: bool,
+}
+
+impl FaultConfig {
+    /// Everything enabled: the configuration the chaos suite runs.
+    pub fn chaos(seed: u64, rate_ppm: u32) -> Self {
+        FaultConfig {
+            seed,
+            rate_ppm,
+            spurious_conflicts: true,
+            wrong_path_storms: true,
+            queue_delays: true,
+            vid_squeeze: true,
+            cache_squeeze: true,
+            check_invariants: true,
+        }
+    }
+}
+
 /// Full machine configuration (Table 2 plus simulator knobs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineConfig {
@@ -262,6 +319,16 @@ pub struct MachineConfig {
     pub hmtx: HmtxConfig,
     /// SMTX baseline cost model.
     pub smtx: SmtxConfig,
+    /// Deterministic fault injection (`None` = no faults, the default).
+    pub faults: Option<FaultConfig>,
+    /// Safety valve: a run that recovers this many times without completing
+    /// is reported as [`SimError::Livelock`](crate::SimError).
+    pub max_recoveries: u64,
+    /// Recovery-ladder rung 1 budget: how many times the runtime re-dispatches
+    /// the paradigm in parallel from the same stuck transaction before
+    /// serializing it (rung 2) and, if that also misspeculates, falling back
+    /// to fully non-speculative sequential execution (rung 3).
+    pub recovery_parallel_retries: u64,
 }
 
 impl MachineConfig {
@@ -285,6 +352,9 @@ impl MachineConfig {
             interrupt_handler_instrs: 200,
             hmtx: HmtxConfig::paper_default(),
             smtx: SmtxConfig::paper_default(),
+            faults: None,
+            max_recoveries: 1_000,
+            recovery_parallel_retries: 1,
         }
     }
 
@@ -324,6 +394,14 @@ impl MachineConfig {
         }
         if self.queue_capacity == 0 {
             return Err(ConfigError::new("queue capacity must be nonzero"));
+        }
+        if self.max_recoveries == 0 {
+            return Err(ConfigError::new("max_recoveries must be nonzero"));
+        }
+        if let Some(f) = &self.faults {
+            if f.rate_ppm > 1_000_000 {
+                return Err(ConfigError::new("fault rate_ppm must be <= 1,000,000"));
+            }
         }
         Ok(())
     }
@@ -401,6 +479,31 @@ mod tests {
         assert_eq!(h.max_vid().0, 63);
         h.vid_bits = 4;
         assert_eq!(h.max_vid().0, 15);
+    }
+
+    #[test]
+    fn fault_rate_bounds_enforced() {
+        let mut cfg = MachineConfig::test_default();
+        cfg.faults = Some(FaultConfig::chaos(1, 1_000_001));
+        assert!(cfg.validate().is_err());
+        cfg.faults = Some(FaultConfig::chaos(1, 1_000_000));
+        assert!(cfg.validate().is_ok());
+        cfg.max_recoveries = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn chaos_config_enables_every_fault_class() {
+        let f = FaultConfig::chaos(7, 250);
+        assert_eq!((f.seed, f.rate_ppm), (7, 250));
+        assert!(
+            f.spurious_conflicts
+                && f.wrong_path_storms
+                && f.queue_delays
+                && f.vid_squeeze
+                && f.cache_squeeze
+                && f.check_invariants
+        );
     }
 
     #[test]

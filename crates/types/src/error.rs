@@ -48,6 +48,9 @@ pub enum SimError {
     BadProgram(String),
     /// A transaction commit was requested out of consecutive VID order.
     NonConsecutiveCommit { expected: u16, got: u16 },
+    /// The runtime recovered `recoveries` times without completing the run
+    /// (see `MachineConfig::max_recoveries`): the program is livelocked.
+    Livelock { recoveries: u64, last_cause: String },
 }
 
 impl fmt::Display for SimError {
@@ -67,6 +70,15 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "commit of v{got} violates consecutive order (expected v{expected})"
+                )
+            }
+            SimError::Livelock {
+                recoveries,
+                last_cause,
+            } => {
+                write!(
+                    f,
+                    "livelock: {recoveries} recoveries without completing (last cause: {last_cause})"
                 )
             }
         }
@@ -104,6 +116,12 @@ mod tests {
         assert!(SimError::BadProgram("no label".into())
             .to_string()
             .contains("no label"));
+        let e = SimError::Livelock {
+            recoveries: 1_000,
+            last_cause: "StoreBelowHighVid".into(),
+        };
+        assert!(e.to_string().contains("1000 recoveries"));
+        assert!(e.to_string().contains("StoreBelowHighVid"));
     }
 
     #[test]

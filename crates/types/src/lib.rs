@@ -26,8 +26,8 @@ pub mod error;
 pub mod ids;
 
 pub use config::{
-    CacheConfig, HmtxConfig, Interconnect, MachineConfig, SmtxConfig, VictimPolicy, LINE_SIZE,
-    LINE_SIZE_BITS,
+    CacheConfig, FaultConfig, HmtxConfig, Interconnect, MachineConfig, SmtxConfig, VictimPolicy,
+    LINE_SIZE, LINE_SIZE_BITS,
 };
 pub use error::{ConfigError, SimError};
 pub use ids::{Addr, CoreId, Cycle, LineAddr, QueueId, ThreadId, Vid};

@@ -148,7 +148,7 @@ impl LoopBody for Alvinn {
 
 impl Workload for Alvinn {
     fn meta(&self) -> WorkloadMeta {
-        meta_for("052.alvinn")
+        meta_for("052.alvinn").expect("registered benchmark")
     }
 }
 

@@ -175,7 +175,7 @@ impl LoopBody for Bzip2 {
 
 impl Workload for Bzip2 {
     fn meta(&self) -> WorkloadMeta {
-        meta_for("256.bzip2")
+        meta_for("256.bzip2").expect("registered benchmark")
     }
 }
 

@@ -146,7 +146,7 @@ impl LoopBody for Crafty {
 
 impl Workload for Crafty {
     fn meta(&self) -> WorkloadMeta {
-        meta_for("186.crafty")
+        meta_for("186.crafty").expect("registered benchmark")
     }
 }
 

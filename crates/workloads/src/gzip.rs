@@ -137,7 +137,7 @@ impl LoopBody for Gzip {
 
 impl Workload for Gzip {
     fn meta(&self) -> WorkloadMeta {
-        meta_for("164.gzip")
+        meta_for("164.gzip").expect("registered benchmark")
     }
 }
 

@@ -168,7 +168,7 @@ impl LoopBody for Hmmer {
 
 impl Workload for Hmmer {
     fn meta(&self) -> WorkloadMeta {
-        meta_for("456.hmmer")
+        meta_for("456.hmmer").expect("registered benchmark")
     }
 }
 

@@ -126,7 +126,7 @@ impl LoopBody for Ispell {
 
 impl Workload for Ispell {
     fn meta(&self) -> WorkloadMeta {
-        meta_for("ispell")
+        meta_for("ispell").expect("registered benchmark")
     }
 }
 

@@ -180,7 +180,7 @@ impl LoopBody for Li {
 
 impl Workload for Li {
     fn meta(&self) -> WorkloadMeta {
-        meta_for("130.li")
+        meta_for("130.li").expect("registered benchmark")
     }
 }
 

@@ -138,7 +138,7 @@ impl LoopBody for Parser {
 
 impl Workload for Parser {
     fn meta(&self) -> WorkloadMeta {
-        meta_for("197.parser")
+        meta_for("197.parser").expect("registered benchmark")
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::meta::{paper_table1, WorkloadMeta};
 use hmtx_runtime::LoopBody;
+use hmtx_types::SimError;
 
 /// How large to build a workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,14 +24,23 @@ pub trait Workload: LoopBody {
 
 /// Looks up the paper metadata row by benchmark name.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the name is not one of the 8 benchmarks.
-pub fn meta_for(name: &str) -> WorkloadMeta {
-    paper_table1()
-        .into_iter()
+/// Returns [`SimError::BadProgram`] listing the valid names when `name` is
+/// not one of the 8 benchmarks.
+pub fn meta_for(name: &str) -> Result<WorkloadMeta, SimError> {
+    let table = paper_table1();
+    table
+        .iter()
         .find(|m| m.name == name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+        .copied()
+        .ok_or_else(|| {
+            let valid: Vec<&str> = table.iter().map(|m| m.name).collect();
+            SimError::BadProgram(format!(
+                "unknown benchmark `{name}` (valid benchmarks: {})",
+                valid.join(", ")
+            ))
+        })
 }
 
 /// Builds the full 8-benchmark suite at the given scale, in Table 1 order.
@@ -79,8 +89,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn meta_for_unknown_name_panics() {
-        let _ = meta_for("999.nonesuch");
+    fn meta_for_unknown_name_lists_valid_benchmarks() {
+        let err = meta_for("999.nonesuch").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("999.nonesuch"), "{msg}");
+        for m in paper_table1() {
+            assert!(msg.contains(m.name), "missing {} in: {msg}", m.name);
+        }
+    }
+
+    #[test]
+    fn meta_for_known_names_resolve() {
+        for m in paper_table1() {
+            assert_eq!(meta_for(m.name).unwrap().name, m.name);
+        }
     }
 }

@@ -8,6 +8,13 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 
+# Chaos differential: committed outputs under any seeded fault schedule
+# (including the pinned regression seeds) must match the fault-free run.
+cargo test -q -p hmtx --test chaos
+
+# Lint gate: warnings are errors across the workspace.
+cargo clippy --workspace --all-targets -- -D warnings
+
 # Full harness at quick scale across all host cores; the JSON report lands
 # next to the sources as a regenerated artifact (see EXPERIMENTS.md).
 cargo run --release -p hmtx-bench --bin experiments -- \
