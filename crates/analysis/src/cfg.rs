@@ -1,0 +1,311 @@
+//! Control-flow graph construction over [`hmtx_isa::Program`].
+//!
+//! Blocks are maximal straight-line runs of instructions. Leaders are pc 0,
+//! every branch/jump target, every `initMTX` handler, and the instruction
+//! after any control-flow instruction or `abortMTX`. `abortMTX` terminates a
+//! block with no successors: architecturally the core squashes and the
+//! *host* restarts it at the recovery pc, so in-program control never falls
+//! through (see `crates/machine`'s `StepOutcome::Misspec`).
+//!
+//! Jumping or falling through to `program.len()` is an implicit halt; such
+//! blocks are flagged [`Block::implicit_exit`].
+
+use hmtx_isa::{Instr, Program};
+
+/// One basic block: instructions `start..end` (end exclusive).
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Block id (index into [`Cfg::blocks`]).
+    pub id: usize,
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Control can leave the program from this block without an explicit
+    /// `halt` (falls off the end, or jumps/branches to `program.len()`).
+    pub implicit_exit: bool,
+}
+
+/// The control-flow graph of one program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in ascending `start` order (block 0 is the entry).
+    pub blocks: Vec<Block>,
+    /// `block_of[pc]` = id of the block containing `pc`.
+    pub block_of: Vec<usize>,
+    /// `scc_of[block]` = id of the block's strongly connected component.
+    /// Ids are a reverse-topological order of the condensation (every edge
+    /// goes from a higher scc id to a lower one).
+    pub scc_of: Vec<usize>,
+    /// Number of strongly connected components.
+    pub scc_count: usize,
+    /// `in_cycle[block]` = the block lies on some CFG cycle (its SCC has
+    /// more than one block, or it has a self edge).
+    pub in_cycle: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`. An empty program yields an empty CFG.
+    pub fn build(program: &Program) -> Cfg {
+        let code = program.instrs();
+        let len = code.len();
+        if len == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+                scc_of: Vec::new(),
+                scc_count: 0,
+                in_cycle: Vec::new(),
+            };
+        }
+
+        let mut leader = vec![false; len + 1];
+        leader[0] = true;
+        for (pc, i) in code.iter().enumerate() {
+            match *i {
+                Instr::Branch { target, .. } => {
+                    leader[target.min(len)] = true;
+                    leader[pc + 1] = true;
+                }
+                Instr::Jump { target } => {
+                    leader[target.min(len)] = true;
+                    leader[pc + 1] = true;
+                }
+                Instr::Halt | Instr::AbortMtx { .. } => leader[pc + 1] = true,
+                Instr::InitMtx { handler } => leader[handler.min(len)] = true,
+                _ => {}
+            }
+        }
+
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_of = vec![0usize; len];
+        let mut start = 0;
+        for (pc, &is_leader) in leader.iter().enumerate().skip(1).take(len) {
+            if pc == len || is_leader {
+                let id = blocks.len();
+                for slot in block_of.iter_mut().take(pc).skip(start) {
+                    *slot = id;
+                }
+                blocks.push(Block {
+                    id,
+                    start,
+                    end: pc,
+                    succs: Vec::new(),
+                    implicit_exit: false,
+                });
+                start = pc;
+            }
+        }
+
+        for block in &mut blocks {
+            let last_pc = block.end - 1;
+            let mut succs = Vec::new();
+            let mut implicit_exit = false;
+            let edge = |target: usize, succs: &mut Vec<usize>, exit: &mut bool| {
+                if target >= len {
+                    *exit = true;
+                } else {
+                    let t = block_of[target];
+                    if !succs.contains(&t) {
+                        succs.push(t);
+                    }
+                }
+            };
+            match code[last_pc] {
+                Instr::Branch { target, .. } => {
+                    edge(target, &mut succs, &mut implicit_exit);
+                    edge(last_pc + 1, &mut succs, &mut implicit_exit);
+                }
+                Instr::Jump { target } => edge(target, &mut succs, &mut implicit_exit),
+                Instr::Halt | Instr::AbortMtx { .. } => {}
+                _ => edge(last_pc + 1, &mut succs, &mut implicit_exit),
+            }
+            block.succs = succs;
+            block.implicit_exit = implicit_exit;
+        }
+
+        let adj: Vec<Vec<usize>> = blocks.iter().map(|b| b.succs.clone()).collect();
+        let (scc_of, scc_count) = scc(&adj);
+        let mut in_cycle = vec![false; blocks.len()];
+        let mut scc_size = vec![0usize; scc_count];
+        for &s in &scc_of {
+            scc_size[s] += 1;
+        }
+        for b in &blocks {
+            in_cycle[b.id] = scc_size[scc_of[b.id]] > 1 || b.succs.contains(&b.id);
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            scc_of,
+            scc_count,
+            in_cycle,
+        }
+    }
+
+    /// Whether the instruction at `pc` lies on a CFG cycle.
+    pub fn pc_in_cycle(&self, pc: usize) -> bool {
+        self.in_cycle[self.block_of[pc]]
+    }
+}
+
+/// Iterative Tarjan SCC over an adjacency list. Returns `(scc_of,
+/// scc_count)`; scc ids come out in reverse topological order of the
+/// condensation (successors get lower ids). Also used by the set-level
+/// queue-deadlock check on the core wait-for graph.
+pub(crate) fn scc(adj: &[Vec<usize>]) -> (Vec<usize>, usize) {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc_of = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut scc_count = 0usize;
+
+    // Explicit DFS stack: (node, next-successor-position).
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        work.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut i)) = work.last_mut() {
+            if *i < adj[v].len() {
+                let w = adj[v][*i];
+                *i += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc_of[w] = scc_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+            }
+        }
+    }
+    (scc_of, scc_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_isa::{Cond, ProgramBuilder, Reg};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1).li(Reg::R2, 2).halt();
+        let cfg = Cfg::build(&b.build().unwrap());
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+        assert!(!cfg.blocks[0].implicit_exit);
+        assert!(!cfg.in_cycle[0]);
+    }
+
+    #[test]
+    fn loop_blocks_are_in_cycle() {
+        let mut b = ProgramBuilder::new();
+        let head = b.new_label();
+        let done = b.new_label();
+        b.li(Reg::R1, 0);
+        b.bind(head).unwrap();
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::GeU, Reg::R1, 10, done);
+        b.jump(head);
+        b.bind(done).unwrap();
+        b.halt();
+        let cfg = Cfg::build(&b.build().unwrap());
+        // blocks: [li], [addi, branch], [jump], [halt]
+        assert_eq!(cfg.blocks.len(), 4);
+        assert!(!cfg.in_cycle[0]);
+        assert!(cfg.in_cycle[cfg.block_of[1]], "loop body in cycle");
+        assert!(cfg.in_cycle[cfg.block_of[3]], "back edge block in cycle");
+        assert!(!cfg.in_cycle[cfg.block_of[4]], "exit not in cycle");
+        assert!(cfg.pc_in_cycle(2));
+    }
+
+    #[test]
+    fn falling_off_the_end_is_an_implicit_exit() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1);
+        let cfg = Cfg::build(&b.build().unwrap());
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].implicit_exit);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn abort_terminates_a_block_with_no_successors() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1);
+        b.abort_mtx(Reg::R1);
+        b.halt(); // unreachable continuation
+        let cfg = Cfg::build(&b.build().unwrap());
+        let abort_block = cfg.block_of[1];
+        assert!(cfg.blocks[abort_block].succs.is_empty());
+        assert!(!cfg.blocks[abort_block].implicit_exit);
+        // The halt after the abort starts its own (unreachable) block.
+        assert_ne!(cfg.block_of[2], abort_block);
+    }
+
+    #[test]
+    fn scc_ids_are_reverse_topological() {
+        let mut b = ProgramBuilder::new();
+        let head = b.new_label();
+        let done = b.new_label();
+        b.bind(head).unwrap();
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::GeU, Reg::R1, 4, done);
+        b.jump(head);
+        b.bind(done).unwrap();
+        b.halt();
+        let cfg = Cfg::build(&b.build().unwrap());
+        // Every edge must go from a higher scc id to a lower-or-equal one.
+        for blk in &cfg.blocks {
+            for &s in &blk.succs {
+                assert!(
+                    cfg.scc_of[blk.id] >= cfg.scc_of[s],
+                    "edge {} -> {} violates reverse topo order",
+                    blk.id,
+                    s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_program_yields_empty_cfg() {
+        let cfg = Cfg::build(&ProgramBuilder::new().build().unwrap());
+        assert!(cfg.blocks.is_empty());
+        assert_eq!(cfg.scc_count, 0);
+    }
+}

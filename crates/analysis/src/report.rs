@@ -1,0 +1,164 @@
+//! The verifier's result type: diagnostics plus the CFGs they were computed
+//! over, with text/JSON rendering and CFG-annotated disassembly.
+
+use hmtx_isa::Program;
+use hmtx_types::{Diagnostic, Severity};
+
+use crate::cfg::Cfg;
+
+/// Result of verifying a program set (see [`crate::verify_set`]).
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// All diagnostics, sorted by `(core, pc, severity, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    cfgs: Vec<Cfg>,
+}
+
+impl VerifyReport {
+    pub(crate) fn new(mut diagnostics: Vec<Diagnostic>, cfgs: Vec<Cfg>) -> VerifyReport {
+        diagnostics.sort_by(|a, b| {
+            (a.core, a.pc, a.severity, a.rule).cmp(&(b.core, b.pc, b.severity, b.rule))
+        });
+        VerifyReport { diagnostics, cfgs }
+    }
+
+    /// No diagnostics at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of [`Severity::Error`] diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of [`Severity::Warning`] diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Number of programs (cores) verified.
+    pub fn program_count(&self) -> usize {
+        self.cfgs.len()
+    }
+
+    /// Diagnostics re-sorted errors-first, for [`hmtx_types::SimError::Verification`].
+    pub fn into_error_payload(self) -> Vec<Diagnostic> {
+        let mut v = self.diagnostics;
+        v.sort_by(|a, b| {
+            (std::cmp::Reverse(a.severity), a.core, a.pc, a.rule).cmp(&(
+                std::cmp::Reverse(b.severity),
+                b.core,
+                b.pc,
+                b.rule,
+            ))
+        });
+        v
+    }
+
+    /// CFG block id containing `pc` on `core`, if both are in range.
+    pub fn block_of(&self, core: usize, pc: usize) -> Option<usize> {
+        self.cfgs.get(core)?.block_of.get(pc).copied()
+    }
+
+    /// One line per diagnostic (empty string when clean).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The whole report as one JSON object (handwritten; the workspace has
+    /// no serde).
+    pub fn render_json(&self) -> String {
+        let body: Vec<String> = self.diagnostics.iter().map(|d| d.render_json()).collect();
+        format!(
+            "{{\"programs\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":[{}]}}",
+            self.program_count(),
+            self.error_count(),
+            self.warning_count(),
+            body.join(",")
+        )
+    }
+
+    /// Disassembles `program` (which must be the one verified as `core`)
+    /// with each instruction annotated by its CFG block id and any
+    /// diagnostics anchored at that pc.
+    pub fn annotated_disassembly(&self, core: usize, program: &Program) -> String {
+        program.disassemble_annotated(|pc| {
+            let block = self.block_of(core, pc)?;
+            let mut note = format!("B{block}");
+            for d in self
+                .diagnostics
+                .iter()
+                .filter(|d| d.core == core && d.pc == pc)
+            {
+                note.push_str(&format!(" <- {}[{}]", d.severity, d.rule));
+            }
+            Some(note)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_set;
+    use hmtx_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn report_counts_and_renders() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1);
+        b.begin_mtx(Reg::R1);
+        b.halt(); // error: halt while speculative
+        let p = b.build().unwrap();
+        let report = verify_set(&[&p]);
+        assert!(!report.is_clean());
+        // Two errors: halting while speculative, and (set-level) nobody in
+        // the set ever commits.
+        assert_eq!(report.error_count(), 2);
+        assert_eq!(report.program_count(), 1);
+        let json = report.render_json();
+        assert!(json.contains("\"errors\":2"), "{json}");
+        assert!(json.contains("mtx-halt-speculative"), "{json}");
+        let text = report.render_text();
+        assert!(text.contains("core 0 pc 2"), "{text}");
+    }
+
+    #[test]
+    fn annotated_disassembly_marks_blocks_and_findings() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.li(Reg::R1, 1);
+        b.branch_imm(hmtx_isa::Cond::Eq, Reg::R1, 0, l);
+        b.begin_mtx(Reg::R1);
+        b.bind(l).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        let report = verify_set(&[&p]);
+        let text = report.annotated_disassembly(0, &p);
+        assert!(text.contains("; B0"), "{text}");
+        assert!(text.lines().count() == p.len());
+        // The divergent merge at the halt block shows up inline.
+        assert!(text.contains("error[mtx-state-divergence]"), "{text}");
+    }
+
+    #[test]
+    fn error_payload_sorts_errors_first() {
+        let mut b = ProgramBuilder::new();
+        b.mov(Reg::R2, Reg::R5); // warning at pc 0
+        b.li(Reg::R1, 1);
+        b.begin_mtx(Reg::R1);
+        b.halt(); // error at pc 3
+        let p = b.build().unwrap();
+        let payload = verify_set(&[&p]).into_error_payload();
+        assert_eq!(payload.first().map(|d| d.severity), Some(Severity::Error));
+    }
+}

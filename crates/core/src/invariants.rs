@@ -211,4 +211,112 @@ mod tests {
         mem.abort_all(10);
         assert_eq!(mem.check_invariants(), vec![]);
     }
+
+    // -----------------------------------------------------------------------
+    // Negative coverage: every invariant rule, planted directly into an L1
+    // (the protocol itself never produces these states, so the scanner is
+    // the only line of defense).
+    // -----------------------------------------------------------------------
+
+    use hmtx_mem::{CacheLine, LineData, LineState};
+    use hmtx_types::LineAddr;
+
+    /// Plants a raw line version into `core`'s L1, bypassing the protocol.
+    fn plant(mem: &mut MemorySystem, core: usize, addr: u64, state: LineState, m: u16, h: u16) {
+        let addr = LineAddr(addr);
+        let epoch = mem.l1_mut(core).commit_epoch();
+        let line = CacheLine {
+            addr,
+            state,
+            mod_vid: Vid(m),
+            high_vid: Vid(h),
+            phantom_high: Vid(0),
+            shared_hint: false,
+            commit_epoch: epoch,
+            last_used: 0,
+            data: LineData::zeroed(),
+        };
+        let set = mem.l1_mut(core).set_index(addr);
+        mem.l1_mut(core).set_lines_mut(set).push(line);
+    }
+
+    #[track_caller]
+    fn expect_rule(mem: &MemorySystem, rule: &str) {
+        let violations = mem.check_invariants();
+        assert!(
+            violations.iter().any(|v| v.rule == rule),
+            "expected violation of `{rule}`, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn violation_mod_vid_above_high_vid() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        plant(&mut mem, 0, 0x10, LineState::SpecOwned, 3, 1);
+        let violations = mem.check_invariants();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "modVID <= highVID");
+        assert!(violations[0].detail.contains("L1[0]"), "{violations:?}");
+    }
+
+    #[test]
+    fn violation_spec_exclusive_with_nonzero_mod_vid() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        plant(&mut mem, 1, 0x10, LineState::SpecExclusive, 2, 5);
+        let violations = mem.check_invariants();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "S-E implies modVID == 0");
+        assert!(violations[0].detail.contains("L1[1]"), "{violations:?}");
+    }
+
+    #[test]
+    fn violation_two_responders_hit_one_vid() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        // M responds and hits every VID; S-M responds and hits every a >= 1,
+        // so they collide on VIDs 1.. without tripping the writable, S-M
+        // uniqueness, or dirty-owner rules.
+        plant(&mut mem, 0, 0x10, LineState::Modified, 0, 0);
+        plant(&mut mem, 1, 0x10, LineState::SpecModified, 1, 1);
+        let violations = mem.check_invariants();
+        assert!(
+            violations
+                .iter()
+                .all(|v| v.rule == "at most one responding version hits per VID"),
+            "{violations:?}"
+        );
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn violation_two_writable_copies() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        plant(&mut mem, 0, 0x10, LineState::Modified, 0, 0);
+        plant(&mut mem, 1, 0x10, LineState::Exclusive, 0, 0);
+        expect_rule(&mem, "at most one writable non-speculative copy");
+    }
+
+    #[test]
+    fn violation_two_live_spec_modified() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        plant(&mut mem, 0, 0x10, LineState::SpecModified, 2, 2);
+        plant(&mut mem, 1, 0x10, LineState::SpecModified, 2, 2);
+        expect_rule(&mem, "at most one S-M version per address");
+    }
+
+    #[test]
+    fn violation_two_dirty_nonspeculative_owners() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        plant(&mut mem, 0, 0x10, LineState::Modified, 0, 0);
+        plant(&mut mem, 1, 0x10, LineState::Owned, 0, 0);
+        expect_rule(&mem, "at most one dirty non-speculative owner");
+    }
+
+    #[test]
+    fn planted_healthy_line_stays_clean() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        plant(&mut mem, 0, 0x10, LineState::Modified, 0, 0);
+        plant(&mut mem, 1, 0x20, LineState::Owned, 0, 0);
+        plant(&mut mem, 2, 0x20, LineState::Shared, 0, 0);
+        assert_eq!(mem.check_invariants(), vec![]);
+    }
 }

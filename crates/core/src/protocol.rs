@@ -235,6 +235,13 @@ impl MemorySystem {
         v
     }
 
+    /// Test-only mutable access to a core's private L1, so invariant tests
+    /// can plant line states the protocol itself refuses to produce.
+    #[cfg(test)]
+    pub(crate) fn l1_mut(&mut self, core: usize) -> &mut Cache {
+        &mut self.l1s[core]
+    }
+
     /// Performs one memory access at cycle `now`.
     ///
     /// # Errors

@@ -26,9 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod vcli;
 
 /// Shared vocabulary types and configuration ([`hmtx_types`]).
 pub use hmtx_types as types;
+
+/// Static MTX well-formedness and race analysis ([`hmtx_analysis`]).
+pub use hmtx_analysis as analysis;
 
 /// The mini-ISA and program builder ([`hmtx_isa`]).
 pub use hmtx_isa as isa;

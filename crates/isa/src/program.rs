@@ -53,9 +53,20 @@ impl Program {
 
     /// A human-readable listing of the whole program.
     pub fn disassemble(&self) -> String {
+        self.disassemble_annotated(|_| None)
+    }
+
+    /// A listing with a per-instruction annotation column, e.g. the analysis
+    /// CFG block id and diagnostics from a verify report (see
+    /// `hmtx_analysis::VerifyReport::annotated_disassembly`). `annotate`
+    /// receives each pc; `None` leaves the column blank.
+    pub fn disassemble_annotated(&self, annotate: impl Fn(usize) -> Option<String>) -> String {
         let mut out = String::new();
         for (pc, i) in self.instrs.iter().enumerate() {
-            out.push_str(&format!("{pc:>5}: {i}\n"));
+            match annotate(pc) {
+                Some(note) => out.push_str(&format!("{pc:>5}: {i:<28} ; {note}\n")),
+                None => out.push_str(&format!("{pc:>5}: {i}\n")),
+            }
         }
         out
     }
@@ -107,16 +118,18 @@ impl ProgramBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::BadProgram`] if the label was already bound.
+    /// Returns [`SimError::BadProgram`] if the label was already bound; the
+    /// message names the label index and both bind sites.
     pub fn bind(&mut self, label: Label) -> Result<(), SimError> {
+        let here = self.instrs.len();
         let slot = &mut self.labels[label.0];
-        if slot.is_some() {
+        if let Some(first) = *slot {
             return Err(SimError::BadProgram(format!(
-                "label {} bound twice",
+                "label {} bound twice: first at @{first}, again at @{here}",
                 label.0
             )));
         }
-        *slot = Some(self.instrs.len());
+        *slot = Some(here);
         Ok(())
     }
 
@@ -322,9 +335,16 @@ impl ProgramBuilder {
     pub fn build(mut self) -> Result<Program, SimError> {
         for fixup in &self.fixups {
             let target = self.labels[fixup.label.0].ok_or_else(|| {
+                let sites: Vec<String> = self
+                    .fixups
+                    .iter()
+                    .filter(|f| f.label == fixup.label)
+                    .map(|f| format!("@{}", f.instr_index))
+                    .collect();
                 SimError::BadProgram(format!(
-                    "label {} referenced at @{} but never bound",
-                    fixup.label.0, fixup.instr_index
+                    "label {} referenced at {} but never bound",
+                    fixup.label.0,
+                    sites.join(", ")
                 ))
             })?;
             match &mut self.instrs[fixup.instr_index] {
@@ -382,11 +402,41 @@ mod tests {
     }
 
     #[test]
+    fn unbound_label_error_lists_every_reference_site() {
+        let mut b = ProgramBuilder::new();
+        let bound = b.new_label();
+        let dangling = b.new_label();
+        b.jump(dangling); // @0
+        b.bind(bound).unwrap();
+        b.li(Reg::R1, 1); // @1
+        b.branch_imm(Cond::Ne, Reg::R1, 0, dangling); // @2
+        b.jump(bound); // @3
+        let msg = b.build().unwrap_err().to_string();
+        assert!(msg.contains("label 1"), "{msg}");
+        assert!(msg.contains("@0, @2"), "{msg}");
+        assert!(msg.contains("never bound"), "{msg}");
+    }
+
+    #[test]
     fn double_bind_is_an_error() {
         let mut b = ProgramBuilder::new();
         let l = b.new_label();
         b.bind(l).unwrap();
         assert!(b.bind(l).is_err());
+    }
+
+    #[test]
+    fn double_bind_error_names_both_sites() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.li(Reg::R1, 1);
+        b.bind(l).unwrap(); // @1
+        b.li(Reg::R2, 2);
+        b.li(Reg::R3, 3);
+        let msg = b.bind(l).unwrap_err().to_string(); // @3
+        assert!(msg.contains("label 0"), "{msg}");
+        assert!(msg.contains("first at @1"), "{msg}");
+        assert!(msg.contains("again at @3"), "{msg}");
     }
 
     #[test]

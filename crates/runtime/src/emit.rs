@@ -372,3 +372,41 @@ pub fn build_paradigm(
         Paradigm::Dswp | Paradigm::PsDswp => build_psdswp(body, env, n0),
     }
 }
+
+/// Like [`build_paradigm`], but statically verifies the generated set with
+/// `hmtx-analysis` (the full rule set: MTX protocol, queue matching and
+/// deadlock, store escape) and rejects it with
+/// [`SimError::Verification`] on *any* diagnostic. Opt-in: emission-time
+/// cost is a few passes over each program, so hot recovery paths keep
+/// calling [`build_paradigm`].
+pub fn build_paradigm_verified(
+    paradigm: Paradigm,
+    body: &dyn LoopBody,
+    env: &LoopEnv,
+    n0: u64,
+) -> Result<GeneratedThreads, SimError> {
+    let generated = build_paradigm(paradigm, body, env, n0)?;
+    let report = verify_generated(&generated);
+    if report.is_clean() {
+        Ok(generated)
+    } else {
+        Err(SimError::Verification(report.into_error_payload()))
+    }
+}
+
+/// Verifies an already-generated thread set, mapping each thread onto its
+/// target core the way `run_loop` will launch it (gaps are empty programs).
+pub fn verify_generated(generated: &GeneratedThreads) -> hmtx_analysis::VerifyReport {
+    let ncores = generated
+        .threads
+        .iter()
+        .map(|t| t.core + 1)
+        .max()
+        .unwrap_or(0);
+    let empty = Program::default();
+    let mut per_core: Vec<&Program> = vec![&empty; ncores];
+    for t in &generated.threads {
+        per_core[t.core] = &t.program;
+    }
+    hmtx_analysis::verify_set(&per_core)
+}

@@ -46,7 +46,10 @@ pub mod env;
 pub mod runner;
 
 pub use body::LoopBody;
-pub use emit::{build_paradigm, GeneratedThread, GeneratedThreads, Paradigm};
+pub use emit::{
+    build_paradigm, build_paradigm_verified, verify_generated, GeneratedThread, GeneratedThreads,
+    Paradigm,
+};
 pub use env::LoopEnv;
 pub use runner::{run_loop, speedup, RecoveryRecord, RecoveryRung, RunReport};
 

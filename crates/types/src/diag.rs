@@ -1,0 +1,149 @@
+//! Machine-readable diagnostics emitted by the static MTX verifier
+//! (`hmtx-analysis` / the `hmtx-verify` tool).
+//!
+//! The type lives here — rather than in the analysis crate — so that
+//! producers (`hmtx-analysis`), consumers (tests, the CLI, the runtime's
+//! verified-build hooks), and [`SimError`](crate::SimError) can all share it
+//! without dependency cycles.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// `Error` diagnostics describe programs the verifier believes will
+/// misbehave at run time (deadlock, halt inside a transaction, commit the
+/// wrong VID). `Warning` diagnostics describe suspicious-but-possibly-
+/// intentional constructs (reads of never-written registers, stores that
+/// may alias transactional data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious construct; the program may still be correct.
+    Warning,
+    /// The verifier believes the program is wrong.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase display name (`"warning"` / `"error"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding of the static verifier.
+///
+/// # Examples
+///
+/// ```
+/// use hmtx_types::{Diagnostic, Severity};
+/// let d = Diagnostic {
+///     severity: Severity::Error,
+///     rule: "mtx-halt-speculative",
+///     core: 0,
+///     pc: 7,
+///     message: "halt while speculative (MTX begun at pc 2 never ended)".into(),
+/// };
+/// assert!(d.to_string().contains("core 0 pc 7"));
+/// assert!(d.render_json().contains("\"rule\":\"mtx-halt-speculative\""));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable rule identifier (e.g. `"queue-no-producer"`); tests and CI
+    /// match on this, so it never carries formatted detail.
+    pub rule: &'static str,
+    /// Index of the program within the verified set (one program per core).
+    pub core: usize,
+    /// Instruction index the diagnostic anchors to.
+    pub pc: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic as a single JSON object (handwritten, like
+    /// the bench harness's report writer — the workspace has no serde).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"severity\":\"{}\",\"rule\":\"{}\",\"core\":{},\"pc\":{},\"message\":\"{}\"}}",
+            self.severity,
+            self.rule,
+            self.core,
+            self.pc,
+            json_escape(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] core {} pc {}: {}",
+            self.severity, self.rule, self.core, self.pc, self.message
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            rule: "reg-use-before-def",
+            core: 2,
+            pc: 13,
+            message: "r4 read before any definition".into(),
+        }
+    }
+
+    #[test]
+    fn display_is_greppable() {
+        let s = diag().to_string();
+        assert!(s.contains("warning"));
+        assert!(s.contains("[reg-use-before-def]"));
+        assert!(s.contains("core 2 pc 13"));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let mut d = diag();
+        d.message = "a \"quoted\"\nline\\".into();
+        let j = d.render_json();
+        assert!(j.contains("a \\\"quoted\\\"\\nline\\\\"), "{j}");
+    }
+
+    #[test]
+    fn severity_orders_error_above_warning() {
+        assert!(Severity::Error > Severity::Warning);
+        assert_eq!(Severity::Error.name(), "error");
+    }
+}

@@ -51,6 +51,10 @@ pub enum SimError {
     /// The runtime recovered `recoveries` times without completing the run
     /// (see `MachineConfig::max_recoveries`): the program is livelocked.
     Livelock { recoveries: u64, last_cause: String },
+    /// Static verification rejected the program before it ran (see the
+    /// `hmtx-analysis` crate). Carries every diagnostic the verifier
+    /// produced, errors first.
+    Verification(Vec<crate::Diagnostic>),
 }
 
 impl fmt::Display for SimError {
@@ -80,6 +84,21 @@ impl fmt::Display for SimError {
                     f,
                     "livelock: {recoveries} recoveries without completing (last cause: {last_cause})"
                 )
+            }
+            SimError::Verification(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == crate::Severity::Error)
+                    .count();
+                write!(
+                    f,
+                    "static verification failed: {} diagnostic(s), {errors} error(s)",
+                    diags.len()
+                )?;
+                if let Some(first) = diags.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -122,6 +141,29 @@ mod tests {
         };
         assert!(e.to_string().contains("1000 recoveries"));
         assert!(e.to_string().contains("StoreBelowHighVid"));
+    }
+
+    #[test]
+    fn verification_error_counts_errors_and_shows_first() {
+        let e = SimError::Verification(vec![
+            crate::Diagnostic {
+                severity: crate::Severity::Error,
+                rule: "mtx-halt-speculative",
+                core: 0,
+                pc: 4,
+                message: "halt inside MTX".into(),
+            },
+            crate::Diagnostic {
+                severity: crate::Severity::Warning,
+                rule: "reg-use-before-def",
+                core: 1,
+                pc: 2,
+                message: "r3 read before def".into(),
+            },
+        ]);
+        let s = e.to_string();
+        assert!(s.contains("2 diagnostic(s), 1 error(s)"), "{s}");
+        assert!(s.contains("mtx-halt-speculative"), "{s}");
     }
 
     #[test]

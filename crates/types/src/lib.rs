@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod diag;
 pub mod error;
 pub mod ids;
 
@@ -29,5 +30,6 @@ pub use config::{
     CacheConfig, FaultConfig, HmtxConfig, Interconnect, MachineConfig, SmtxConfig, VictimPolicy,
     LINE_SIZE, LINE_SIZE_BITS,
 };
+pub use diag::{Diagnostic, Severity};
 pub use error::{ConfigError, SimError};
 pub use ids::{Addr, CoreId, Cycle, LineAddr, QueueId, ThreadId, Vid};

@@ -98,6 +98,10 @@ impl LoopBody for Alvinn {
 
     fn emit_stage1(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {
         b.mov(regs::ITEM, regs::N);
+        // Stage 1 performs no speculative memory accesses; say so explicitly
+        // so the SMTX log-shipping code reads defined counts.
+        b.li(regs::SPEC_LOADS, 0);
+        b.li(regs::SPEC_STORES, 0);
     }
 
     fn emit_stage2(&self, b: &mut ProgramBuilder, _env: &LoopEnv) {

@@ -15,6 +15,11 @@ cargo test -q -p hmtx --test chaos
 # Lint gate: warnings are errors across the workspace.
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Static verification gate: every workload emitter, under every paradigm and
+# SMTX mode, must produce programs the analyzer certifies clean (MTX
+# protocol, register dataflow, queue matching/deadlock, store escape).
+cargo run --release -p hmtx --bin hmtx-verify -- --all-workloads
+
 # Full harness at quick scale across all host cores; the JSON report lands
 # next to the sources as a regenerated artifact (see EXPERIMENTS.md).
 cargo run --release -p hmtx-bench --bin experiments -- \
