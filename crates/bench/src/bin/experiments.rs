@@ -17,6 +17,15 @@
 //! the pool's memoized results. `--json PATH` additionally writes a
 //! machine-readable report (every row plus per-job wall-clock); `--progress`
 //! streams per-job status lines to stderr.
+//!
+//! ```text
+//! experiments job SPEC.json
+//! ```
+//!
+//! runs a single wire-format job spec (the same `hmtx_types::JobSpec` the
+//! `hmtx-serve` server accepts; pass `-` to read it from stdin) through
+//! `hmtx_bench::run_job` and prints the deterministic report to stdout —
+//! byte-identical to what the server would cache and serve for that spec.
 
 use hmtx_bench::runner::SimPool;
 use hmtx_bench::{
@@ -25,19 +34,63 @@ use hmtx_bench::{
     render_ablation, render_fig2, render_fig8, render_fig9, render_latency, render_scaling,
     render_table1, render_table2, render_table3, report::build_report, table1, table3, Section,
 };
-use hmtx_types::{FaultConfig, MachineConfig};
+use hmtx_types::{FaultConfig, JobSpec, Json, MachineConfig};
 use hmtx_workloads::Scale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [fig1|fig2|fig8|fig9|table1|table2|table3|ablations|extensions|all] \
-         [--quick] [--jobs N] [--json PATH] [--progress] [--faults SEED] [--fault-rate PPM]"
+         [--quick] [--jobs N] [--json PATH] [--progress] [--faults SEED] [--fault-rate PPM]\n\
+         \x20      experiments job SPEC.json   (run one wire-format job spec; `-` = stdin)"
     );
     std::process::exit(2);
 }
 
+/// `experiments job SPEC.json` — one spec through the shared
+/// `hmtx_bench::run_job` path, report on stdout.
+fn run_single_job(args: &[String]) -> ! {
+    let [path] = args else { usage() };
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("experiments: reading stdin: {e}");
+            std::process::exit(1);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("experiments: reading {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let spec = Json::parse(&text)
+        .map_err(|e| e.to_string())
+        .and_then(|v| JobSpec::from_json(&v).map_err(|e| e.to_string()))
+        .unwrap_or_else(|e| {
+            eprintln!("experiments: bad job spec: {e}");
+            std::process::exit(1);
+        });
+    match hmtx_bench::run_job_report(&spec) {
+        Ok(report) => {
+            println!("{}", report.compact());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("experiments: job failed: {e:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("job") {
+        run_single_job(&args[1..]);
+    }
     let mut quick = false;
     let mut progress = false;
     let mut jobs: usize = 1;

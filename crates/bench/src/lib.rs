@@ -22,8 +22,11 @@ use hmtx_types::{MachineConfig, SimError, VictimPolicy};
 use hmtx_workloads::{suite, Scale};
 
 pub mod fig1;
+pub mod jobspec;
 pub mod report;
 pub mod runner;
+
+pub use jobspec::{materialize, render_report, run_job, run_job_report, standard_sweep};
 
 use runner::{Benchmark, ConfigVariant, JobParadigm, SimJob, SimPool};
 

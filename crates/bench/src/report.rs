@@ -9,119 +9,16 @@
 //! container has no serde, and the report's needs (ordered objects, stable
 //! float formatting) are small enough that a dependency would be all cost.
 
-use hmtx_types::SimError;
+use hmtx_types::{Json, SimError};
 
 use crate::runner::SimPool;
 use crate::Section;
-
-/// A JSON value with insertion-ordered objects (deterministic output).
-#[derive(Debug, Clone)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true`/`false`.
-    Bool(bool),
-    /// An unsigned integer (cycle counts and the like, kept exact).
-    Uint(u64),
-    /// A float; non-finite values serialize as `null`.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; keys keep insertion order.
-    Obj(Vec<(&'static str, Json)>),
-}
-
-impl Json {
-    /// Serializes with 2-space indentation and a trailing newline.
-    #[must_use]
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Uint(n) => out.push_str(&n.to_string()),
-            Json::Num(x) => {
-                if x.is_finite() {
-                    // `{:?}` always keeps a decimal point or exponent, so
-                    // the value round-trips as a float.
-                    out.push_str(&format!("{x:?}"));
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            out.push_str(&format!("\\u{:04x}", c as u32));
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(depth + 1));
-                    item.write(out, depth + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(depth));
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(depth + 1));
-                    out.push('"');
-                    out.push_str(k);
-                    out.push_str("\": ");
-                    v.write(out, depth + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(depth));
-                out.push('}');
-            }
-        }
-    }
-}
 
 fn ablation_json(rows: &[crate::AblationRow]) -> Json {
     Json::Arr(
         rows.iter()
             .map(|r| {
-                Json::Obj(vec![
+                Json::obj(vec![
                     ("label", Json::Str(r.label.clone())),
                     ("cycles", Json::Uint(r.cycles)),
                     ("detail", Json::Str(r.detail.clone())),
@@ -159,7 +56,7 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
 
     for section in sections {
         let value = match section {
-            Section::Table2 => Json::Obj(vec![
+            Section::Table2 => Json::obj(vec![
                 ("num_cores", Json::Uint(cfg.num_cores as u64)),
                 ("l1_kb", Json::Uint(cfg.l1.size_bytes as u64 / 1024)),
                 ("l2_kb", Json::Uint(cfg.l2.size_bytes as u64 / 1024)),
@@ -171,7 +68,7 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
                 crate::fig2(pool)?
                     .iter()
                     .map(|r| {
-                        Json::Obj(vec![
+                        Json::obj(vec![
                             ("name", Json::Str(r.name.clone())),
                             ("minimal", Json::Num(r.minimal)),
                             ("substantial", Json::Num(r.substantial)),
@@ -181,13 +78,13 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
             ),
             Section::Fig8 => {
                 let (rows, summary) = crate::fig8(pool)?;
-                Json::Obj(vec![
+                Json::obj(vec![
                     (
                         "rows",
                         Json::Arr(
                             rows.iter()
                                 .map(|r| {
-                                    Json::Obj(vec![
+                                    Json::obj(vec![
                                         ("name", Json::Str(r.name.clone())),
                                         ("smtx", r.smtx.map_or(Json::Null, Json::Num)),
                                         ("hmtx", Json::Num(r.hmtx)),
@@ -198,7 +95,7 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
                     ),
                     (
                         "geomean",
-                        Json::Obj(vec![
+                        Json::obj(vec![
                             ("hmtx_all", Json::Num(summary.hmtx_all)),
                             ("hmtx_comparable", Json::Num(summary.hmtx_comparable)),
                             ("smtx_comparable", Json::Num(summary.smtx_comparable)),
@@ -210,7 +107,7 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
                 crate::fig9(pool)?
                     .iter()
                     .map(|r| {
-                        Json::Obj(vec![
+                        Json::obj(vec![
                             ("name", Json::Str(r.name.clone())),
                             ("read_kb", Json::Num(r.read_kb)),
                             ("write_kb", Json::Num(r.write_kb)),
@@ -223,7 +120,7 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
                 crate::table1(pool)?
                     .iter()
                     .map(|r| {
-                        Json::Obj(vec![
+                        Json::obj(vec![
                             ("name", Json::Str(r.name.clone())),
                             ("paradigm", Json::Str(r.paradigm.into())),
                             ("spec_accesses_per_tx", Json::Num(r.spec_accesses_per_tx)),
@@ -242,7 +139,7 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
                 crate::table3(pool)?
                     .iter()
                     .map(|r| {
-                        Json::Obj(vec![
+                        Json::obj(vec![
                             ("hardware", Json::Str(r.hardware.into())),
                             ("exec_model", Json::Str(r.exec_model.clone())),
                             ("area_mm2", Json::Num(r.area_mm2)),
@@ -253,7 +150,7 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
                     })
                     .collect(),
             ),
-            Section::Ablations => Json::Obj(vec![
+            Section::Ablations => Json::obj(vec![
                 ("commit", ablation_json(&crate::ablation_commit(pool)?)),
                 ("sla", ablation_json(&crate::ablation_sla(pool)?)),
                 (
@@ -262,7 +159,7 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
                 ),
                 ("victim", ablation_json(&crate::ablation_victim(pool)?)),
             ]),
-            Section::Extensions => Json::Obj(vec![
+            Section::Extensions => Json::obj(vec![
                 (
                     "unbounded",
                     ablation_json(&crate::ablation_unbounded(pool)?),
@@ -273,7 +170,7 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
                         crate::extension_scaling(pool)?
                             .iter()
                             .map(|r| {
-                                Json::Obj(vec![
+                                Json::obj(vec![
                                     ("interconnect", Json::Str(r.interconnect.into())),
                                     ("cores", Json::Uint(r.cores as u64)),
                                     ("speedup", Json::Num(r.speedup)),
@@ -288,7 +185,7 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
                         crate::latency_sensitivity(pool)?
                             .iter()
                             .map(|r| {
-                                Json::Obj(vec![
+                                Json::obj(vec![
                                     ("latency", Json::Uint(r.latency)),
                                     ("doacross", Json::Num(r.doacross)),
                                     ("psdswp", Json::Num(r.psdswp)),
@@ -309,7 +206,7 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
         Json::Arr(
             log.iter()
                 .map(|e| {
-                    Json::Obj(vec![
+                    Json::obj(vec![
                         ("label", Json::Str(e.label.clone())),
                         ("cycles", Json::Uint(e.cycles)),
                         ("recoveries", Json::Uint(e.recoveries)),
@@ -321,12 +218,12 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
     ));
     top.push((
         "total",
-        Json::Obj(vec![
+        Json::obj(vec![
             ("sim_jobs", Json::Uint(log.len() as u64)),
             ("sim_wall_seconds", Json::Num(total_wall)),
         ]),
     ));
-    Ok(Json::Obj(top))
+    Ok(Json::obj(top))
 }
 
 #[cfg(test)]
@@ -337,7 +234,7 @@ mod tests {
 
     #[test]
     fn json_serializer_escapes_and_formats() {
-        let v = Json::Obj(vec![
+        let v = Json::obj(vec![
             ("s", Json::Str("a\"b\\c\nd\u{1}".into())),
             ("n", Json::Num(1.0)),
             ("u", Json::Uint(u64::MAX)),

@@ -65,7 +65,7 @@ pub mod transitions;
 pub use faults::{FaultPlan, FaultSite};
 pub use invariants::Violation;
 pub use protocol::{AccessKind, AccessRequest, AccessResponse, MemorySystem, MisspecCause};
-pub use stats::{MemStats, RwSetTotals};
+pub use stats::{LatencyHistogram, MemStats, RwSetTotals};
 pub use trace::{render_trace, ServedFrom, TraceEvent, Tracer};
 pub use transitions::{apply_abort, apply_commit, apply_vid_reset, version_hits, Outcome};
 

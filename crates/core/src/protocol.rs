@@ -259,7 +259,7 @@ impl MemorySystem {
         if req.vid.is_speculative() && !req.wrong_path {
             if let Some(plan) = self.faults.as_mut() {
                 if plan.fire(FaultSite::SpuriousConflict) {
-                    self.stats.injected_conflicts += 1;
+                    crate::stats::inc(&mut self.stats.injected_conflicts);
                     let cause = MisspecCause::InjectedConflict {
                         addr: req.addr,
                         vid: req.vid,
@@ -337,16 +337,16 @@ impl MemorySystem {
         );
 
         if req.wrong_path {
-            self.stats.wrong_path_loads += 1;
+            crate::stats::inc(&mut self.stats.wrong_path_loads);
         } else if is_write {
-            self.stats.stores += 1;
+            crate::stats::inc(&mut self.stats.stores);
             if req.vid.is_speculative() {
-                self.stats.spec_stores += 1;
+                crate::stats::inc(&mut self.stats.spec_stores);
             }
         } else {
-            self.stats.loads += 1;
+            crate::stats::inc(&mut self.stats.loads);
             if req.vid.is_speculative() {
-                self.stats.spec_loads += 1;
+                crate::stats::inc(&mut self.stats.spec_loads);
             }
         }
 
@@ -375,12 +375,12 @@ impl MemorySystem {
         self.count_compares(c, line, lookup);
 
         if let Some(way) = find_hit(&self.l1s[c], line, lookup) {
-            self.stats.l1_hits += 1;
+            crate::stats::inc(&mut self.stats.l1_hits);
             let set = self.l1s[c].set_index(line);
             self.l1s[c].touch(set, way);
             return Ok(self.local_access(now, req, lookup, way, 0));
         }
-        self.stats.l1_misses += 1;
+        crate::stats::inc(&mut self.stats.l1_misses);
         self.miss(now, req, lookup)
     }
 
@@ -434,7 +434,7 @@ impl MemorySystem {
                         // acquiring exclusive access", Figure 4).
                         let done = self.fabric_acquire(now, line);
                         latency += done.saturating_sub(now);
-                        self.stats.upgrades += 1;
+                        crate::stats::inc(&mut self.stats.upgrades);
                         let dirty = self.invalidate_nonspec_copies(line, Some(c));
                         let v = &mut self.l1s[c].set_lines_mut(set)[way];
                         v.state = if dirty || state == LineState::Owned {
@@ -524,7 +524,7 @@ impl MemorySystem {
         if !state.is_writable() {
             let done = self.fabric_acquire(now, line);
             latency += done.saturating_sub(now);
-            self.stats.upgrades += 1;
+            crate::stats::inc(&mut self.stats.upgrades);
             self.invalidate_nonspec_copies(line, Some(c));
         }
         let v = &mut self.l1s[c].set_lines_mut(set)[way];
@@ -638,7 +638,7 @@ impl MemorySystem {
                 if !state.is_writable() {
                     let done = self.fabric_acquire(now, line);
                     latency += done.saturating_sub(now);
-                    self.stats.upgrades += 1;
+                    crate::stats::inc(&mut self.stats.upgrades);
                     self.invalidate_nonspec_copies(line, Some(c));
                 }
                 self.note_phantom_store(c, set, way, y);
@@ -684,7 +684,7 @@ impl MemorySystem {
         let v = &mut self.l1s[c].set_lines_mut(set)[way];
         if v.phantom_high > y {
             v.phantom_high = Vid::NON_SPECULATIVE;
-            self.stats.sla_aborts_avoided += 1;
+            crate::stats::inc(&mut self.stats.sla_aborts_avoided);
         }
     }
 
@@ -734,7 +734,7 @@ impl MemorySystem {
         }
 
         if let Some((p, way)) = supplier {
-            self.stats.peer_transfers += 1;
+            crate::stats::inc(&mut self.stats.peer_transfers);
             self.last_served = ServedFrom::Peer;
             let latency = bus_latency + peer_hop + self.cfg.l1.latency;
             return Ok(self.supply_from_peer(now, req, lookup, p, way, latency));
@@ -744,7 +744,7 @@ impl MemorySystem {
         Self::process_addr(&mut self.l2, line);
         spec_mod_assert |= asserts_spec_modified(&self.l2, line);
         if let Some(way) = find_hit(&self.l2, line, lookup) {
-            self.stats.l2_hits += 1;
+            crate::stats::inc(&mut self.stats.l2_hits);
             self.last_served = ServedFrom::L2;
             let set = self.l2.set_index(line);
             let mut version = self.l2.take(set, way);
@@ -755,7 +755,7 @@ impl MemorySystem {
                 if is_write || req.vid.is_speculative() && !req.wrong_path {
                     // Exclusive access required: purge other non-spec copies.
                     if shared_seen {
-                        self.stats.upgrades += 1;
+                        crate::stats::inc(&mut self.stats.upgrades);
                         let dirty = self.invalidate_nonspec_copies(line, Some(c));
                         if dirty {
                             version.state = LineState::Modified;
@@ -787,7 +787,7 @@ impl MemorySystem {
                 .map(|(k, _)| *k);
             if let Some(key) = key {
                 let mut version = self.overflow.remove(&key).unwrap();
-                self.stats.unbounded_fills += 1;
+                crate::stats::inc(&mut self.stats.unbounded_fills);
                 self.last_served = ServedFrom::OverflowTable;
                 version.commit_epoch = self.l1s[c].commit_epoch();
                 // Full memory round-trip plus the software table lookup.
@@ -797,7 +797,7 @@ impl MemorySystem {
         }
 
         // Main memory.
-        self.stats.mem_fills += 1;
+        crate::stats::inc(&mut self.stats.mem_fills);
         self.last_served = ServedFrom::Memory;
         let data = self.memory.read_line(line);
         let latency = bus_latency + self.cfg.l2.latency + self.cfg.mem_latency;
@@ -808,7 +808,7 @@ impl MemorySystem {
         // S copies peers may hold (they never answer snoops, so reaching
         // memory does not mean the line is uncached).
         if shared_seen && (is_write || (req.vid.is_speculative() && !req.wrong_path)) {
-            self.stats.upgrades += 1;
+            crate::stats::inc(&mut self.stats.upgrades);
             if self.invalidate_nonspec_copies(line, Some(c)) {
                 version.state = LineState::Modified;
             }
@@ -817,7 +817,7 @@ impl MemorySystem {
             // §5.4: the line was speculatively modified somewhere, so the
             // memory copy is the pre-speculative image: wrap it in
             // S-O(0, vid+1) so exactly the VIDs it is valid for can hit it.
-            self.stats.overflow_refills += 1;
+            crate::stats::inc(&mut self.stats.overflow_refills);
             version.state = LineState::SpecOwned;
             version.high_vid = lookup.next();
             // Merge with any local non-hitting S-O(0, h') to preserve hit
@@ -861,7 +861,7 @@ impl MemorySystem {
                 // Exclusive access: migrate the version, invalidating every
                 // non-speculative copy in the system.
                 let mut version = self.l1s[p].take(set, way);
-                self.stats.upgrades += 1;
+                crate::stats::inc(&mut self.stats.upgrades);
                 let dirty = self.invalidate_nonspec_copies(line, Some(c));
                 version.state = if version.state.is_dirty() || dirty {
                     LineState::Modified
@@ -1013,7 +1013,7 @@ impl MemorySystem {
                 // S-O(0,·): holds the committed pre-speculative image, safe
                 // to spill; the S-M assertion will reconstruct its state on
                 // a future miss (§5.4).
-                self.stats.safe_overflow_writebacks += 1;
+                crate::stats::inc(&mut self.stats.safe_overflow_writebacks);
                 self.memory.write_line(victim.addr, victim.data);
             } else if victim.state == LineState::SpecShared {
                 // A replica; the owner version still answers. Dropping it
@@ -1021,7 +1021,7 @@ impl MemorySystem {
             } else if self.cfg.unbounded_sets {
                 // §8 extension: spill the speculative version into the
                 // memory-side overflow table instead of aborting.
-                self.stats.unbounded_spills += 1;
+                crate::stats::inc(&mut self.stats.unbounded_spills);
                 self.overflow.insert((victim.addr, victim.mod_vid), victim);
             } else {
                 return Err(MisspecCause::SpecOverflow {
@@ -1071,11 +1071,11 @@ impl MemorySystem {
                 });
             }
         }
-        self.stats.eager_commit_lines_walked += walked;
+        crate::stats::add(&mut self.stats.eager_commit_lines_walked, walked);
         latency += walked * self.cfg.hmtx.eager_commit_per_line_cost;
         latency += self.process_overflow_commit(vid);
         self.tracer.record(TraceEvent::Commit { cycle: now, vid });
-        self.stats.commits += 1;
+        crate::stats::inc(&mut self.stats.commits);
         self.stats.finalize_committed(vid);
         Ok(latency)
     }
@@ -1149,7 +1149,7 @@ impl MemorySystem {
         }
         self.restore_coherence_after_abort();
         self.tracer.record(TraceEvent::Abort { cycle: now });
-        self.stats.aborts += 1;
+        crate::stats::inc(&mut self.stats.aborts);
         self.stats.discard_uncommitted();
         self.abort_seen_since_reset = true;
         latency
@@ -1229,7 +1229,7 @@ impl MemorySystem {
         self.tracer.record(TraceEvent::VidReset { cycle: now });
         self.last_committed = Vid::NON_SPECULATIVE;
         self.abort_seen_since_reset = false;
-        self.stats.vid_resets += 1;
+        crate::stats::inc(&mut self.stats.vid_resets);
         latency
     }
 
@@ -1454,7 +1454,7 @@ impl MemorySystem {
             Interconnect::SnoopyBus => self.bus.acquire(now),
             Interconnect::Directory { hop_latency, .. } => {
                 let bank = (line.0 as usize) & (self.banks.len() - 1);
-                self.stats.directory_lookups += 1;
+                crate::stats::inc(&mut self.stats.directory_lookups);
                 // Requester -> home bank -> (owner handled by caller).
                 self.banks[bank].acquire(now) + 2 * hop_latency
             }
@@ -1463,9 +1463,9 @@ impl MemorySystem {
 
     fn record_sla(&mut self, required: bool) {
         if required {
-            self.stats.slas_sent += 1;
+            crate::stats::inc(&mut self.stats.slas_sent);
         } else {
-            self.stats.slas_skipped += 1;
+            crate::stats::inc(&mut self.stats.slas_skipped);
         }
     }
 }

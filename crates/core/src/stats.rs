@@ -1,10 +1,30 @@
 //! Memory-system statistics: hit/miss counters, SLA accounting, per-VID
-//! read/write set tracking (Figure 9, Table 1), and VID-comparator activity
-//! counts for the §4.5 energy model.
+//! read/write set tracking (Figure 9, Table 1), VID-comparator activity
+//! counts for the §4.5 energy model, and the [`LatencyHistogram`] long-run
+//! service-time accounting used by `hmtx-serve`.
+//!
+//! Counter hygiene: everything that accumulates over a run is `u64`, and
+//! every accumulation in this module saturates. Per-simulation counters are
+//! bounded by the instruction budget, but the serving layer keeps
+//! histograms and totals alive for the lifetime of a multi-hour process —
+//! a counter that wraps (or panics in debug builds) is a worse outcome
+//! than one that pins at `u64::MAX`.
 
 use std::collections::{HashMap, HashSet};
 
 use hmtx_types::{LineAddr, Vid};
+
+/// Saturating in-place increment for long-run `u64` counters.
+#[inline]
+pub fn inc(counter: &mut u64) {
+    *counter = counter.saturating_add(1);
+}
+
+/// Saturating in-place add for long-run `u64` counters.
+#[inline]
+pub fn add(counter: &mut u64, n: u64) {
+    *counter = counter.saturating_add(n);
+}
 
 /// Aggregate sizes of the read/write sets of completed transactions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -140,10 +160,13 @@ impl MemStats {
         for vid in vids {
             let reads = self.live_read_sets.remove(&vid).unwrap_or_default();
             let writes = self.live_write_sets.remove(&vid).unwrap_or_default();
-            self.rw_totals.transactions += 1;
-            self.rw_totals.read_lines += reads.len() as u64;
-            self.rw_totals.write_lines += writes.len() as u64;
-            self.rw_totals.combined_lines += reads.union(&writes).count() as u64;
+            inc(&mut self.rw_totals.transactions);
+            add(&mut self.rw_totals.read_lines, reads.len() as u64);
+            add(&mut self.rw_totals.write_lines, writes.len() as u64);
+            add(
+                &mut self.rw_totals.combined_lines,
+                reads.union(&writes).count() as u64,
+            );
         }
     }
 
@@ -171,10 +194,119 @@ impl MemStats {
     pub fn record_vid_compare(&mut self, a: Vid, b: Vid, vid_bits: u32) {
         let low_bits = vid_bits / 2;
         if (a.0 >> low_bits) == (b.0 >> low_bits) {
-            self.short_vid_compares += 1;
+            inc(&mut self.short_vid_compares);
         } else {
-            self.cascaded_vid_compares += 1;
+            inc(&mut self.cascaded_vid_compares);
         }
+    }
+}
+
+// ------------------------------------------------------ service latencies
+
+/// Number of log-scale buckets in a [`LatencyHistogram`] (one per power of
+/// two of microseconds, up to `2^63`).
+pub const LATENCY_BUCKETS: usize = 64;
+
+/// A fixed-footprint log₂ histogram of service times in microseconds.
+///
+/// Built for long-running servers: recording is O(1), memory is constant,
+/// counts saturate rather than wrap, and quantile estimation never needs
+/// the raw samples. Bucket `i` holds samples in `[2^i, 2^(i+1))` µs
+/// (bucket 0 also holds 0 µs), so a reported quantile is exact to within
+/// a factor of two — plenty for p50/p99 service-time counters.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Records one service time in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        let bucket = if us == 0 {
+            0
+        } else {
+            63 - us.leading_zeros() as usize
+        };
+        inc(&mut self.buckets[bucket]);
+        inc(&mut self.count);
+        add(&mut self.sum_us, us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples in microseconds (saturating).
+    #[must_use]
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Largest recorded sample in microseconds.
+    #[must_use]
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean service time in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper edge of the bucket the
+    /// quantile sample falls in, clamped to the observed maximum. Returns 0
+    /// when no samples were recorded.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile sample, 1-based, in [1, count].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Merges another histogram into this one (saturating).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            add(a, *b);
+        }
+        add(&mut self.count, other.count);
+        add(&mut self.sum_us, other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
     }
 }
 
@@ -239,6 +371,67 @@ mod tests {
         s.discard_uncommitted();
         s.finalize_committed(Vid(10));
         assert_eq!(s.rw_totals().transactions, 0);
+    }
+
+    #[test]
+    fn saturating_helpers_pin_at_max() {
+        let mut c = u64::MAX - 1;
+        inc(&mut c);
+        inc(&mut c);
+        assert_eq!(c, u64::MAX);
+        add(&mut c, 100);
+        assert_eq!(c, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        // 99 fast samples around 100 µs, one slow 1 s outlier.
+        for _ in 0..99 {
+            h.record_us(100);
+        }
+        h.record_us(1_000_000);
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.50);
+        assert!((100..=127).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!((100..=127).contains(&p99), "p99 rank 99 is still fast: {p99}");
+        assert_eq!(h.quantile_us(1.0), 1_000_000, "max clamps the top bucket");
+        assert_eq!(h.max_us(), 1_000_000);
+        assert!(h.mean_us() >= 100);
+    }
+
+    #[test]
+    fn histogram_empty_and_zero() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0);
+        h.record_us(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(0.5), 0, "clamped to observed max of 0");
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_us(10);
+        b.record_us(1000);
+        b.record_us(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum_us(), 2010);
+        let p99 = a.quantile_us(0.99);
+        assert!((1000..=2047).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_saturates_instead_of_wrapping() {
+        let mut h = LatencyHistogram::new();
+        h.record_us(u64::MAX);
+        h.record_us(u64::MAX);
+        assert_eq!(h.sum_us(), u64::MAX, "sum pins instead of overflowing");
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
     }
 
     #[test]

@@ -6,11 +6,32 @@
 //!          [--mem addr=value]... [--dump addr]...
 //!          thread0.asm [thread1.asm ...]
 //! ```
+//!
+//! With `--remote HOST:PORT`, submits a suite-workload job to a running
+//! `hmtx-serve` server instead of simulating locally (see `hmtx::remote`):
+//!
+//! ```text
+//! hmtx-run --remote HOST:PORT --workload NAME [--paradigm P] [--scale S]
+//! ```
 
 use hmtx::cli::{parse_args, run};
+use hmtx::remote::{parse_remote_args, run_remote};
 
 fn main() {
-    let opts = match parse_args(std::env::args().skip(1)) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--remote") {
+        match parse_remote_args(args).and_then(|opts| run_remote(&opts)) {
+            Ok(summary) => {
+                println!("{summary}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let opts = match parse_args(args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod remote;
 pub mod vcli;
 
 /// Shared vocabulary types and configuration ([`hmtx_types`]).

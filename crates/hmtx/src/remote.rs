@@ -1,0 +1,259 @@
+//! `hmtx-run --remote`: submit a workload simulation to a running
+//! `hmtx-serve` server instead of simulating in-process.
+//!
+//! ```text
+//! hmtx-run --remote HOST:PORT --workload NAME [--paradigm P] [--scale S]
+//!          [--quick] [--deadline-ms N] [--faults SEED] [--fault-rate PPM]
+//! ```
+//!
+//! The spec is the same wire-format [`JobSpec`] the server caches by
+//! content key, so repeated invocations of the same command are served
+//! from the cache byte-identically. Workloads are named as in the suite
+//! (`130.li`, `ispell`, …— any unambiguous substring works) or as a raw
+//! `suite:N` index.
+
+use hmtx_server::{parse_response, response_type, Client};
+use hmtx_types::{BenchRef, FaultSpec, JobSpec, Json, SimError, WireBase, WireParadigm, WireScale};
+use hmtx_workloads::{suite, Scale};
+
+/// Parsed `--remote` mode options.
+#[derive(Debug, Clone)]
+pub struct RemoteOptions {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// The job to submit.
+    pub spec: JobSpec,
+    /// Optional per-request deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+fn bad(msg: impl Into<String>) -> SimError {
+    SimError::BadProgram(msg.into())
+}
+
+/// Resolves a workload name (exact, unambiguous substring, or `suite:N`)
+/// to its suite index.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadProgram`] on unknown or ambiguous names.
+pub fn resolve_workload(name: &str) -> Result<u32, SimError> {
+    if let Some(i) = name.strip_prefix("suite:") {
+        return i.parse().map_err(|_| bad(format!("bad suite index `{i}`")));
+    }
+    let workloads = suite(Scale::Quick);
+    let matches: Vec<(usize, &str)> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (i, w.meta().name))
+        .filter(|(_, n)| n == &name || n.contains(name))
+        .collect();
+    match matches.as_slice() {
+        [(i, _)] => Ok(*i as u32),
+        [] => Err(bad(format!(
+            "unknown workload `{name}`; known: {}",
+            workloads
+                .iter()
+                .map(|w| w.meta().name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))),
+        many => Err(bad(format!(
+            "ambiguous workload `{name}`: {}",
+            many.iter()
+                .map(|(_, n)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))),
+    }
+}
+
+/// Parses `--remote` mode arguments (everything after the program name;
+/// the leading `--remote ADDR` included).
+///
+/// # Errors
+///
+/// Returns [`SimError::BadProgram`] on malformed flags.
+pub fn parse_remote_args<I: IntoIterator<Item = String>>(args: I) -> Result<RemoteOptions, SimError> {
+    let mut it = args.into_iter();
+    let mut addr: Option<String> = None;
+    let mut workload: Option<String> = None;
+    let mut paradigm = WireParadigm::Paper;
+    let mut scale = WireScale::Quick;
+    let mut base = WireBase::Test;
+    let mut deadline_ms: Option<u64> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_rate_ppm: u32 = 200;
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| bad(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--remote" => addr = Some(value("--remote")?),
+            "--workload" => workload = Some(value("--workload")?),
+            "--paradigm" => {
+                let v = value("--paradigm")?;
+                paradigm = WireParadigm::from_name(&v).map_err(|e| bad(e.to_string()))?;
+            }
+            "--scale" => {
+                let v = value("--scale")?;
+                scale = WireScale::from_name(&v).map_err(|e| bad(e.to_string()))?;
+            }
+            "--quick" => base = WireBase::Test,
+            "--paper-config" => base = WireBase::Paper,
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                deadline_ms = Some(v.parse().map_err(|_| bad(format!("bad deadline `{v}`")))?);
+            }
+            "--faults" => {
+                let v = value("--faults")?;
+                fault_seed = Some(v.parse().map_err(|_| bad(format!("bad seed `{v}`")))?);
+            }
+            "--fault-rate" => {
+                let v = value("--fault-rate")?;
+                fault_rate_ppm = v.parse().map_err(|_| bad(format!("bad fault rate `{v}`")))?;
+            }
+            other => {
+                return Err(bad(format!(
+                    "unknown --remote mode flag `{other}` \
+                     (usage: hmtx-run --remote HOST:PORT --workload NAME [--paradigm P] \
+                     [--scale quick|standard|stress] [--quick|--paper-config] \
+                     [--deadline-ms N] [--faults SEED] [--fault-rate PPM])"
+                )))
+            }
+        }
+    }
+    let addr = addr.ok_or_else(|| bad("--remote needs an address"))?;
+    let workload = workload.ok_or_else(|| bad("--remote mode needs --workload NAME"))?;
+    let mut spec = JobSpec::new(
+        BenchRef::Suite(resolve_workload(&workload)?),
+        paradigm,
+        scale,
+        base,
+    );
+    if let Some(seed) = fault_seed {
+        spec.fault = Some(FaultSpec {
+            seed,
+            rate_ppm: fault_rate_ppm,
+        });
+    }
+    Ok(RemoteOptions {
+        addr,
+        spec,
+        deadline_ms,
+    })
+}
+
+/// Submits the job and renders a human-readable summary of the response.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadProgram`] with the failure detail on I/O errors
+/// or non-`result` responses.
+pub fn run_remote(opts: &RemoteOptions) -> Result<String, SimError> {
+    let mut client =
+        Client::connect(&opts.addr).map_err(|e| bad(format!("connecting {}: {e}", opts.addr)))?;
+    let response = client
+        .job_with_retry(&opts.spec, opts.deadline_ms, 60)
+        .map_err(|e| bad(format!("request failed: {e}")))?;
+    match response_type(&response).as_deref() {
+        Some("result") => {
+            let v = parse_response(&response).map_err(bad)?;
+            let report = v.get("report").ok_or_else(|| bad("result without report"))?;
+            let field = |name: &str| report.get(name).and_then(Json::as_u64).unwrap_or(0);
+            Ok(format!(
+                "key:     {}\nlabel:   {}\ncycles:  {}\ninstructions: {}\nrecoveries: {}\n\nreport:\n{}",
+                v.get("key").and_then(Json::as_str).unwrap_or("?"),
+                report.get("label").and_then(Json::as_str).unwrap_or("?"),
+                field("cycles"),
+                field("instructions"),
+                field("recoveries"),
+                report.pretty(),
+            ))
+        }
+        Some("draining") => Err(bad("server is draining; retry against another instance")),
+        Some("busy") => Err(bad("server is at capacity (busy after retries)")),
+        Some("timeout") => Err(bad(
+            "deadline expired; the job is still running server-side — retry to hit its cache",
+        )),
+        Some("error") => {
+            let detail = parse_response(&response)
+                .ok()
+                .and_then(|v| v.get("message").and_then(Json::as_str).map(String::from))
+                .unwrap_or_else(|| "unknown server error".into());
+            Err(bad(format!("server error: {detail}")))
+        }
+        other => Err(bad(format!("unexpected response type {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_resolve_exactly_and_by_substring() {
+        assert_eq!(resolve_workload("suite:3").unwrap(), 3);
+        let li = resolve_workload("130.li").unwrap();
+        assert_eq!(resolve_workload("li").unwrap(), li);
+        assert!(resolve_workload("nope").is_err());
+    }
+
+    #[test]
+    fn remote_args_build_a_spec() {
+        let opts = parse_remote_args(
+            [
+                "--remote",
+                "127.0.0.1:7870",
+                "--workload",
+                "ispell",
+                "--paradigm",
+                "seq",
+                "--deadline-ms",
+                "2500",
+                "--faults",
+                "9",
+            ]
+            .into_iter()
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:7870");
+        assert_eq!(opts.spec.paradigm, WireParadigm::Sequential);
+        assert_eq!(opts.deadline_ms, Some(2500));
+        let fault = opts.spec.fault.unwrap();
+        assert_eq!((fault.seed, fault.rate_ppm), (9, 200));
+        assert!(matches!(opts.spec.benchmark, BenchRef::Suite(_)));
+    }
+
+    #[test]
+    fn remote_args_reject_nonsense() {
+        for bad_args in [
+            vec!["--remote", "addr"],                       // no workload
+            vec!["--workload", "li"],                       // no addr
+            vec!["--remote", "a", "--workload", "li", "x"], // stray flag
+            vec!["--remote", "a", "--workload", "li", "--paradigm", "warp"],
+        ] {
+            let args = bad_args.into_iter().map(String::from);
+            assert!(parse_remote_args(args).is_err());
+        }
+    }
+
+    #[test]
+    fn run_remote_reports_connection_failures() {
+        // A port from the discard range that nothing listens on.
+        let opts = RemoteOptions {
+            addr: "127.0.0.1:9".into(),
+            spec: JobSpec::new(
+                BenchRef::Suite(0),
+                WireParadigm::Paper,
+                WireScale::Quick,
+                WireBase::Test,
+            ),
+            deadline_ms: None,
+        };
+        let err = run_remote(&opts).unwrap_err();
+        assert!(err.to_string().contains("connecting"), "{err}");
+    }
+}

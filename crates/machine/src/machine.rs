@@ -390,7 +390,7 @@ impl Machine {
     }
 
     fn service_interrupt(&mut self, core: usize) -> Result<(), SimError> {
-        self.stats.interrupts += 1;
+        hmtx_core::stats::inc(&mut self.stats.interrupts);
         let now = self.ready_at[core];
         // The OS handler's PC lies outside the program text segment, so its
         // accesses carry VID 0 regardless of the thread's VID register
@@ -449,8 +449,8 @@ impl Machine {
                 }
             }
         };
-        self.stats.instructions += 1;
-        self.core_stats[core].instructions += 1;
+        hmtx_core::stats::inc(&mut self.stats.instructions);
+        hmtx_core::stats::inc(&mut self.core_stats[core].instructions);
         let mut next_pc = pc + 1;
 
         match instr {
@@ -517,13 +517,13 @@ impl Machine {
                 let b = self.operand(core, rhs);
                 let taken = cond.eval(a, b);
                 let predicted = self.predictors[core].predict_and_update(pc as u64, taken);
-                self.stats.branches += 1;
+                hmtx_core::stats::inc(&mut self.stats.branches);
                 self.bump(core, 1);
                 if taken {
                     next_pc = target;
                 }
                 if predicted != taken {
-                    self.stats.mispredictions += 1;
+                    hmtx_core::stats::inc(&mut self.stats.mispredictions);
                     self.bump(core, self.cfg.mispredict_penalty);
                     let wrong_pc = if taken { pc + 1 } else { target };
                     if let Some(cause) = self.run_wrong_path(core, wrong_pc, vid, now)? {
@@ -540,7 +540,7 @@ impl Machine {
                     // SLA machinery to absorb a burst of squashed loads.
                     // Speculative contexts only: the non-speculative
                     // fallback rung stays immune by construction.
-                    self.stats.injected_wrong_path_storms += 1;
+                    hmtx_core::stats::inc(&mut self.stats.injected_wrong_path_storms);
                     self.mem.note_fault(now, FaultSite::WrongPathStorm.name());
                     self.bump(core, self.cfg.mispredict_penalty);
                     let wrong_pc = if taken { pc + 1 } else { target };
@@ -583,7 +583,7 @@ impl Machine {
             }
             Instr::AbortMtx { rvid } => {
                 let raw = self.reg(core, rvid);
-                self.stats.explicit_aborts += 1;
+                hmtx_core::stats::inc(&mut self.stats.explicit_aborts);
                 self.bump(core, 1);
                 return Ok(StepOutcome::Misspec(MisspecCause::ExplicitAbort {
                     vid: Vid(raw as u16),
@@ -613,7 +613,7 @@ impl Machine {
                         next_pc = pc; // retry the same instruction
                         self.stats.instructions -= 1;
                         self.core_stats[core].instructions -= 1;
-                        self.core_stats[core].queue_stall_cycles += RETRY_QUANTUM;
+                        hmtx_core::stats::add(&mut self.core_stats[core].queue_stall_cycles, RETRY_QUANTUM);
                         self.bump(core, RETRY_QUANTUM);
                     }
                 }
@@ -628,8 +628,10 @@ impl Machine {
                     next_pc = pc;
                     self.stats.instructions -= 1;
                     self.core_stats[core].instructions -= 1;
-                    self.core_stats[core].queue_stall_cycles +=
-                        at.saturating_sub(self.ready_at[core]);
+                    hmtx_core::stats::add(
+                            &mut self.core_stats[core].queue_stall_cycles,
+                            at.saturating_sub(self.ready_at[core]),
+                        );
                     self.ready_at[core] = at;
                     self.high_water = self.high_water.max(at);
                 }
@@ -637,7 +639,7 @@ impl Machine {
                     next_pc = pc;
                     self.stats.instructions -= 1;
                     self.core_stats[core].instructions -= 1;
-                    self.core_stats[core].queue_stall_cycles += RETRY_QUANTUM;
+                    hmtx_core::stats::add(&mut self.core_stats[core].queue_stall_cycles, RETRY_QUANTUM);
                     self.bump(core, RETRY_QUANTUM);
                 }
             },
@@ -676,9 +678,9 @@ impl Machine {
             return Ok(());
         }
         let extra = plan.magnitude(FaultSite::QueueDelay, self.cfg.queue_latency.max(8));
-        self.stats.injected_queue_delays += 1;
+        hmtx_core::stats::inc(&mut self.stats.injected_queue_delays);
         self.mem.note_fault(now, FaultSite::QueueDelay.name());
-        self.core_stats[core].queue_stall_cycles += extra;
+        hmtx_core::stats::add(&mut self.core_stats[core].queue_stall_cycles, extra);
         self.bump(core, extra);
         Ok(())
     }
@@ -699,7 +701,7 @@ impl Machine {
         let mut pc = start_pc;
         for _ in 0..self.cfg.wrong_path_depth {
             let Some(instr) = program.get(pc) else { break };
-            self.stats.wrong_path_instructions += 1;
+            hmtx_core::stats::inc(&mut self.stats.wrong_path_instructions);
             match *instr {
                 Instr::Li { rd, imm } => shadow[rd.index()] = imm as u64,
                 Instr::Mov { rd, rs } => shadow[rd.index()] = shadow[rs.index()],

@@ -1,0 +1,246 @@
+//! `hmtx-load` — load generator and cache-benchmark client for
+//! `hmtx-serve`.
+//!
+//! ```text
+//! hmtx-load --addr HOST:PORT [--clients N] [--rounds N] [--scale S]
+//!           [--limit N] [--deadline-ms N] [--retries N] [--json PATH] [--check]
+//! ```
+//!
+//! Submits the standard 72-job sweep ([`hmtx_bench::standard_sweep`]) over
+//! `N` concurrent client connections, `--rounds` times. With the default
+//! two rounds, round 0 measures the **cold** cache (every job simulates)
+//! and round 1 the **warm** cache (every job replays), so one invocation
+//! produces the cold-vs-warm comparison directly. `busy` backpressure is
+//! retried with the server's hint.
+//!
+//! `--check` additionally verifies that every response is a `result` and
+//! that responses for the same spec are **byte-identical across rounds**,
+//! exiting nonzero otherwise. `--json PATH` writes the measurements
+//! (per-round wall/throughput/latency quantiles and server counter deltas).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use hmtx_core::LatencyHistogram;
+use hmtx_server::{response_type, Client};
+use hmtx_types::{Json, StatsSnapshot, WireScale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hmtx-load --addr HOST:PORT [--clients N] [--rounds N] \
+         [--scale quick|standard|stress] [--limit N] [--deadline-ms N] \
+         [--retries N] [--json PATH] [--check]"
+    );
+    std::process::exit(2);
+}
+
+struct RoundResult {
+    wall_seconds: f64,
+    ok: usize,
+    latencies: LatencyHistogram,
+    responses: Vec<Option<Vec<u8>>>,
+    stats_delta: Option<(StatsSnapshot, StatsSnapshot)>,
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut clients: usize = 4;
+    let mut rounds: usize = 2;
+    let mut scale = WireScale::Quick;
+    let mut limit: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut retries: u32 = 60;
+    let mut json_path: Option<String> = None;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--addr" => addr = Some(value()),
+            "--clients" => clients = value().parse().unwrap_or_else(|_| usage()),
+            "--rounds" => rounds = value().parse().unwrap_or_else(|_| usage()),
+            "--scale" => scale = WireScale::from_name(&value()).unwrap_or_else(|_| usage()),
+            "--limit" => limit = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--deadline-ms" => deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--retries" => retries = value().parse().unwrap_or_else(|_| usage()),
+            "--json" => json_path = Some(value()),
+            "--check" => check = true,
+            _ => usage(),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+    if clients == 0 || rounds == 0 {
+        usage();
+    }
+
+    let mut specs = hmtx_bench::standard_sweep(scale);
+    if let Some(n) = limit {
+        specs.truncate(n);
+    }
+    if specs.is_empty() {
+        eprintln!("hmtx-load: nothing to submit");
+        std::process::exit(2);
+    }
+
+    let mut round_results: Vec<RoundResult> = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let before = Client::connect(&addr).and_then(|mut c| c.stats()).ok();
+        let responses: Mutex<Vec<Option<Vec<u8>>>> = Mutex::new(vec![None; specs.len()]);
+        let latencies: Mutex<LatencyHistogram> = Mutex::new(LatencyHistogram::new());
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            for worker in 0..clients.min(specs.len()) {
+                let specs = &specs;
+                let responses = &responses;
+                let latencies = &latencies;
+                let addr = &addr;
+                s.spawn(move || {
+                    let Ok(mut client) = Client::connect(addr) else {
+                        return;
+                    };
+                    for (i, spec) in specs.iter().enumerate() {
+                        if i % clients != worker {
+                            continue;
+                        }
+                        let req_started = Instant::now();
+                        let Ok(response) = client.job_with_retry(spec, deadline_ms, retries)
+                        else {
+                            return;
+                        };
+                        let us =
+                            u64::try_from(req_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        latencies.lock().unwrap().record_us(us);
+                        responses.lock().unwrap()[i] = Some(response);
+                    }
+                });
+            }
+        });
+        let wall_seconds = started.elapsed().as_secs_f64();
+        let after = Client::connect(&addr).and_then(|mut c| c.stats()).ok();
+        let responses = responses.into_inner().unwrap();
+        let ok = responses
+            .iter()
+            .filter(|r| {
+                r.as_deref()
+                    .is_some_and(|b| response_type(b).as_deref() == Some("result"))
+            })
+            .count();
+        eprintln!(
+            "hmtx-load: round {round}: {ok}/{} ok in {wall_seconds:.2}s",
+            specs.len()
+        );
+        round_results.push(RoundResult {
+            wall_seconds,
+            ok,
+            latencies: latencies.into_inner().unwrap(),
+            responses,
+            stats_delta: before.zip(after),
+        });
+    }
+
+    let mut failures = 0usize;
+    if check {
+        for (i, spec) in specs.iter().enumerate() {
+            let first = round_results[0].responses[i].as_deref();
+            for (round, result) in round_results.iter().enumerate() {
+                let got = result.responses[i].as_deref();
+                if got.map(|b| response_type(b).as_deref() != Some("result")) != Some(false) {
+                    eprintln!(
+                        "hmtx-load: check failed: round {round} spec {} did not get a result",
+                        spec.key()
+                    );
+                    failures += 1;
+                } else if got != first {
+                    eprintln!(
+                        "hmtx-load: check failed: spec {} differs between rounds 0 and {round}",
+                        spec.key()
+                    );
+                    failures += 1;
+                }
+            }
+        }
+        if failures == 0 {
+            eprintln!(
+                "hmtx-load: check ok: {} specs byte-identical across {} rounds",
+                specs.len(),
+                round_results.len()
+            );
+        }
+    }
+
+    if let Some(path) = json_path {
+        let report = render_report(&specs.len(), clients, &round_results);
+        if let Err(e) = std::fs::write(&path, report.pretty()) {
+            eprintln!("hmtx-load: writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn render_report(jobs: &usize, clients: usize, rounds: &[RoundResult]) -> Json {
+    let round_json: Vec<Json> = rounds
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let throughput = if r.wall_seconds > 0.0 {
+                r.ok as f64 / r.wall_seconds
+            } else {
+                0.0
+            };
+            let mut fields = vec![
+                ("round", Json::Uint(i as u64)),
+                ("jobs", Json::Uint(*jobs as u64)),
+                ("ok", Json::Uint(r.ok as u64)),
+                ("wall_seconds", Json::Num(r.wall_seconds)),
+                ("throughput_jobs_per_s", Json::Num(throughput)),
+                ("p50_us", Json::Uint(r.latencies.quantile_us(0.50))),
+                ("p99_us", Json::Uint(r.latencies.quantile_us(0.99))),
+            ];
+            if let Some((before, after)) = &r.stats_delta {
+                let delta = |get: fn(&StatsSnapshot) -> u64| {
+                    Json::Uint(get(after).saturating_sub(get(before)))
+                };
+                fields.push((
+                    "server_delta",
+                    Json::obj(vec![
+                        ("cache_hits", delta(StatsSnapshot::cache_hits)),
+                        ("mem_hits", delta(|s| s.mem_hits)),
+                        ("disk_hits", delta(|s| s.disk_hits)),
+                        ("coalesced_hits", delta(|s| s.coalesced_hits)),
+                        ("misses", delta(|s| s.misses)),
+                        ("executed", delta(|s| s.executed)),
+                        ("rejected_busy", delta(|s| s.rejected_busy)),
+                    ]),
+                ));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+
+    let mut top = vec![
+        ("schema", Json::Str("hmtx-load-report/1".into())),
+        ("clients", Json::Uint(clients as u64)),
+        ("rounds", Json::Arr(round_json)),
+    ];
+    if rounds.len() >= 2 {
+        let cold = &rounds[0];
+        let warm = &rounds[rounds.len() - 1];
+        let speedup = if warm.wall_seconds > 0.0 {
+            cold.wall_seconds / warm.wall_seconds
+        } else {
+            0.0
+        };
+        top.push((
+            "summary",
+            Json::obj(vec![
+                ("cold_wall_seconds", Json::Num(cold.wall_seconds)),
+                ("warm_wall_seconds", Json::Num(warm.wall_seconds)),
+                ("warm_over_cold_speedup", Json::Num(speedup)),
+            ]),
+        ));
+    }
+    Json::obj(top)
+}

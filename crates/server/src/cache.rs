@@ -1,0 +1,203 @@
+//! The two-tier report cache: in-memory LRU over an on-disk store.
+//!
+//! Reports are cached by content-addressed job key ([`hmtx_types::JobSpec::key`])
+//! as their exact compact-JSON bytes — the cache stores and returns *bytes*,
+//! never re-serialized values, so a cached response is byte-identical to the
+//! freshly computed one.
+//!
+//! The memory tier is a small LRU (logical-clock recency, O(n) eviction —
+//! capacities are tens to thousands of entries, not millions). The disk
+//! tier persists every insert under `<dir>/<key>.json` via write-to-temp +
+//! atomic rename, so a crashed or killed server never leaves a torn report
+//! behind, and a restarted server warms itself from its predecessor's work.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which tier satisfied a lookup (drives the `mem_hits`/`disk_hits`
+/// counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The in-memory LRU.
+    Mem,
+    /// The on-disk store.
+    Disk,
+}
+
+struct MemCache {
+    cap: usize,
+    tick: u64,
+    map: HashMap<String, (u64, Arc<Vec<u8>>)>,
+}
+
+impl MemCache {
+    fn get(&mut self, key: &str) -> Option<Arc<Vec<u8>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(at, bytes)| {
+            *at = tick;
+            Arc::clone(bytes)
+        })
+    }
+
+    fn put(&mut self, key: &str, bytes: Arc<Vec<u8>>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.map.insert(key.to_string(), (self.tick, bytes));
+        while self.map.len() > self.cap {
+            // O(n) LRU eviction: fine at these capacities, zero extra state.
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (at, _))| *at)
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => {
+                    self.map.remove(&k);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// The report cache: memory LRU in front of an optional disk store.
+pub struct ReportCache {
+    mem: Mutex<MemCache>,
+    disk: Option<PathBuf>,
+    tmp_serial: AtomicU64,
+}
+
+impl ReportCache {
+    /// A cache holding up to `mem_cap` reports in memory, persisting to
+    /// `disk_dir` when given (the directory is created on first insert).
+    #[must_use]
+    pub fn new(mem_cap: usize, disk_dir: Option<PathBuf>) -> Self {
+        ReportCache {
+            mem: Mutex::new(MemCache {
+                cap: mem_cap,
+                tick: 0,
+                map: HashMap::new(),
+            }),
+            disk: disk_dir,
+            tmp_serial: AtomicU64::new(0),
+        }
+    }
+
+    fn disk_path(&self, key: &str) -> Option<PathBuf> {
+        // Keys are 32 lowercase hex characters; refuse anything else so a
+        // forged key can never traverse outside the cache directory.
+        if key.len() != 32 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        self.disk.as_ref().map(|d| d.join(format!("{key}.json")))
+    }
+
+    /// Looks the key up, promoting disk hits into the memory tier.
+    pub fn get(&self, key: &str) -> Option<(Arc<Vec<u8>>, Tier)> {
+        if let Some(bytes) = self.mem.lock().unwrap().get(key) {
+            return Some((bytes, Tier::Mem));
+        }
+        let path = self.disk_path(key)?;
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                let bytes = Arc::new(bytes);
+                self.mem.lock().unwrap().put(key, Arc::clone(&bytes));
+                Some((bytes, Tier::Disk))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Inserts into both tiers. Disk write errors are reported (the entry
+    /// still serves from memory; a read-only cache dir degrades the server
+    /// to memory-only instead of failing requests).
+    ///
+    /// # Errors
+    ///
+    /// Returns the disk-tier I/O error, if any.
+    pub fn put(&self, key: &str, bytes: Arc<Vec<u8>>) -> io::Result<()> {
+        self.mem.lock().unwrap().put(key, Arc::clone(&bytes));
+        let Some(path) = self.disk_path(key) else {
+            return Ok(());
+        };
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        // Unique temp name per writer, then atomic rename: concurrent
+        // inserts of the same key race benignly (identical bytes).
+        let serial = self.tmp_serial.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{serial}"));
+        std::fs::write(&tmp, bytes.as_slice())?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> String {
+        format!("{:032x}", u128::from(n))
+    }
+
+    #[test]
+    fn memory_tier_hits_and_evicts_lru() {
+        let cache = ReportCache::new(2, None);
+        cache.put(&key(1), Arc::new(b"one".to_vec())).unwrap();
+        cache.put(&key(2), Arc::new(b"two".to_vec())).unwrap();
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(cache.get(&key(1)).unwrap().1, Tier::Mem);
+        cache.put(&key(3), Arc::new(b"three".to_vec())).unwrap();
+        assert!(cache.get(&key(2)).is_none(), "LRU entry must be evicted");
+        assert_eq!(*cache.get(&key(1)).unwrap().0, b"one".to_vec());
+        assert_eq!(*cache.get(&key(3)).unwrap().0, b"three".to_vec());
+    }
+
+    #[test]
+    fn disk_tier_persists_across_instances_and_promotes() {
+        let dir = std::env::temp_dir().join(format!("hmtx-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ReportCache::new(4, Some(dir.clone()));
+            cache.put(&key(7), Arc::new(b"report".to_vec())).unwrap();
+        }
+        let fresh = ReportCache::new(4, Some(dir.clone()));
+        let (bytes, tier) = fresh.get(&key(7)).expect("disk tier must serve");
+        assert_eq!((bytes.as_slice(), tier), (&b"report"[..], Tier::Disk));
+        // Promoted: the second lookup is a memory hit.
+        assert_eq!(fresh.get(&key(7)).unwrap().1, Tier::Mem);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_keys_never_touch_disk() {
+        let dir = std::env::temp_dir().join(format!("hmtx-cache-evil-{}", std::process::id()));
+        let cache = ReportCache::new(4, Some(dir.clone()));
+        for evil in ["../../etc/passwd", "short", &"x".repeat(32)] {
+            assert!(cache.disk_path(evil).is_none(), "{evil}");
+            // Still serves from memory.
+            cache.put(evil, Arc::new(b"v".to_vec())).unwrap();
+            assert_eq!(cache.get(evil).unwrap().1, Tier::Mem);
+        }
+        assert!(!dir.exists(), "no directory may be created for bad keys");
+    }
+
+    #[test]
+    fn zero_capacity_memory_tier_stays_empty() {
+        let cache = ReportCache::new(0, None);
+        cache.put(&key(1), Arc::new(b"one".to_vec())).unwrap();
+        assert!(cache.get(&key(1)).is_none());
+    }
+}

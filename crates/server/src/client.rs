@@ -1,0 +1,145 @@
+//! A small blocking client for the `hmtx-serve` protocol, used by the
+//! `hmtx-load` generator, the `hmtx-run --remote` mode, and the
+//! integration tests.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use hmtx_types::{JobSpec, Json, StatsSnapshot};
+
+use crate::proto::{self, Request};
+
+/// One connection to a server. Requests are serial per connection (the
+/// protocol has no multiplexing; open more connections for concurrency).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads its response frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; an EOF before the response is an error.
+    pub fn request(&mut self, req: &Request) -> io::Result<Vec<u8>> {
+        proto::write_frame(&mut self.stream, &req.to_bytes())?;
+        proto::read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+        })
+    }
+
+    /// Submits a job; returns the raw response bytes (result, busy,
+    /// draining, timeout, or error — see the protocol docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn job(&mut self, spec: &JobSpec, deadline_ms: Option<u64>) -> io::Result<Vec<u8>> {
+        self.request(&Request::Job {
+            spec: *spec,
+            deadline_ms,
+        })
+    }
+
+    /// Submits a job, sleeping out `busy` responses (honoring the server's
+    /// `retry_after_ms` hint) up to `max_retries` times. Returns the final
+    /// raw response bytes — possibly still `busy` if retries ran out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn job_with_retry(
+        &mut self,
+        spec: &JobSpec,
+        deadline_ms: Option<u64>,
+        max_retries: u32,
+    ) -> io::Result<Vec<u8>> {
+        let mut attempt = 0;
+        loop {
+            let response = self.job(spec, deadline_ms)?;
+            match busy_retry_after(&response) {
+                Some(retry_after_ms) if attempt < max_retries => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                }
+                _ => return Ok(response),
+            }
+        }
+    }
+
+    /// Fetches the serving counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a malformed response is an
+    /// [`io::ErrorKind::InvalidData`] error.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        let response = self.request(&Request::Stats)?;
+        parse_response(&response)
+            .ok()
+            .and_then(|v| v.get("stats").map(StatsSnapshot::from_json))
+            .and_then(Result::ok)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed stats response"))
+    }
+
+    /// Liveness probe: true iff the server answered `pong`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let response = self.request(&Request::Ping)?;
+        Ok(response_type(&response).as_deref() == Some("pong"))
+    }
+
+    /// Asks the server to begin graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+/// Parses a raw response frame as JSON.
+///
+/// # Errors
+///
+/// Returns a message when the frame is not valid UTF-8 JSON.
+pub fn parse_response(bytes: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "response is not UTF-8".to_string())?;
+    Json::parse(text).map_err(|e| e.to_string())
+}
+
+/// The response's `type` field, if it parses.
+#[must_use]
+pub fn response_type(bytes: &[u8]) -> Option<String> {
+    parse_response(bytes)
+        .ok()?
+        .get("type")
+        .and_then(Json::as_str)
+        .map(String::from)
+}
+
+/// If the response is `busy`, its `retry_after_ms` hint.
+#[must_use]
+pub fn busy_retry_after(bytes: &[u8]) -> Option<u64> {
+    let v = parse_response(bytes).ok()?;
+    if v.get("type").and_then(Json::as_str) != Some("busy") {
+        return None;
+    }
+    v.get("retry_after_ms").and_then(Json::as_u64)
+}

@@ -1,0 +1,50 @@
+//! `hmtx-serve`: deterministic simulation-as-a-service.
+//!
+//! A multi-threaded TCP server that runs HMTX simulation jobs on demand.
+//! Requests name a job as an [`hmtx_types::JobSpec`] (workload, paradigm,
+//! machine configuration, fault plan, scale); the spec canonicalizes to a
+//! content-addressed key, and results flow through a two-tier cache
+//! (in-memory LRU over an on-disk store) so identical jobs get
+//! **byte-identical** reports whether computed or replayed.
+//!
+//! The serving layer is production-shaped without leaving the standard
+//! library: a bounded admission queue with explicit backpressure
+//! (`busy` + retry hint), request coalescing (identical concurrent specs
+//! simulate once), per-request deadlines, graceful drain on
+//! SIGTERM/`shutdown`, and a `stats` endpoint with cache and latency
+//! counters.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hmtx_server::{Client, ServerConfig, ServerHandle};
+//! use hmtx_types::{BenchRef, JobSpec, WireBase, WireParadigm, WireScale};
+//!
+//! let handle = ServerHandle::start("127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(&handle.addr().to_string())?;
+//! let spec = JobSpec::new(
+//!     BenchRef::Suite(7),
+//!     WireParadigm::Paper,
+//!     WireScale::Quick,
+//!     WireBase::Test,
+//! );
+//! let response = client.job(&spec, None)?;
+//! assert_eq!(hmtx_server::response_type(&response).as_deref(), Some("result"));
+//! handle.drain();
+//! handle.wait();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use cache::{ReportCache, Tier};
+pub use client::{busy_retry_after, parse_response, response_type, Client};
+pub use metrics::Metrics;
+pub use proto::{read_frame, write_frame, Request, MAX_FRAME};
+pub use server::{ServerConfig, ServerHandle};

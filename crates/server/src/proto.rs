@@ -1,0 +1,333 @@
+//! The `hmtx-serve` wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one frame: a 4-byte big-endian
+//! length followed by that many bytes of UTF-8 JSON. Frames over
+//! [`MAX_FRAME`] bytes are rejected before allocation, so a hostile client
+//! cannot ask the server to buffer gigabytes.
+//!
+//! Requests (`"type"` selects the operation):
+//!
+//! ```text
+//! {"type":"job","spec":{...JobSpec...},"deadline_ms":2000}   // deadline optional
+//! {"type":"stats"}
+//! {"type":"ping"}
+//! {"type":"shutdown"}                                        // begin graceful drain
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! {"type":"result","key":"<32 hex>","report":{...}}   // report bytes spliced verbatim
+//! {"type":"busy","retry_after_ms":N}                  // admission queue full
+//! {"type":"draining"}                                 // server is draining
+//! {"type":"timeout","key":"<32 hex>"}                 // deadline expired (job still runs)
+//! {"type":"error","message":"...","diagnostics":[..]} // simulation failed
+//! {"type":"stats","stats":{...StatsSnapshot...}}
+//! {"type":"pong"} / {"type":"ok"}
+//! ```
+//!
+//! The `result` envelope is assembled by **splicing the cached report bytes
+//! verbatim** into the frame — the report is never re-parsed or
+//! re-serialized on the hot path, which is what makes the determinism
+//! guarantee ("same request bytes → same response bytes, cached or not")
+//! hold at the byte level rather than merely semantically.
+
+use std::io::{self, Read, Write};
+
+use hmtx_types::{diagnostic_to_json, JobSpec, Json, SimError};
+
+/// Frames larger than this are a protocol error (16 MiB).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    // One contiguous write: a separate 4-byte prefix write would hand
+    // Nagle + delayed-ACK a ~40ms stall per frame on loopback.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects frames over [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run (or replay) one job.
+    Job {
+        /// What to simulate.
+        spec: JobSpec,
+        /// Per-request deadline override in milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Snapshot the serving counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful drain: finish in-flight jobs, reject new ones.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes the request.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let json = match self {
+            Request::Job { spec, deadline_ms } => {
+                let mut fields = vec![
+                    ("type".to_string(), Json::Str("job".into())),
+                    ("spec".to_string(), spec.to_json()),
+                ];
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms".into(), Json::Uint(*ms)));
+                }
+                Json::Obj(fields)
+            }
+            Request::Stats => Json::obj(vec![("type", Json::Str("stats".into()))]),
+            Request::Ping => Json::obj(vec![("type", Json::Str("ping".into()))]),
+            Request::Shutdown => Json::obj(vec![("type", Json::Str("shutdown".into()))]),
+        };
+        json.compact().into_bytes()
+    }
+
+    /// Parses a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input (the server turns
+    /// it into an `error` response rather than dropping the connection).
+    pub fn parse(payload: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "request needs a string `type`".to_string())?;
+        match ty {
+            "job" => {
+                let spec = v
+                    .get("spec")
+                    .ok_or_else(|| "job request needs a `spec`".to_string())?;
+                let spec = JobSpec::from_json(spec).map_err(|e| e.to_string())?;
+                let deadline_ms = match v.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(d) => Some(
+                        d.as_u64()
+                            .ok_or_else(|| "`deadline_ms` must be a uint".to_string())?,
+                    ),
+                };
+                Ok(Request::Job { spec, deadline_ms })
+            }
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request type `{other}`")),
+        }
+    }
+}
+
+/// Assembles a `result` response, splicing the report bytes verbatim.
+#[must_use]
+pub fn result_response(key: &str, report_bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(report_bytes.len() + 64);
+    out.extend_from_slice(br#"{"type":"result","key":""#);
+    out.extend_from_slice(key.as_bytes());
+    out.extend_from_slice(br#"","report":"#);
+    out.extend_from_slice(report_bytes);
+    out.push(b'}');
+    out
+}
+
+/// A `busy` backpressure response.
+#[must_use]
+pub fn busy_response(retry_after_ms: u64) -> Vec<u8> {
+    format!(r#"{{"type":"busy","retry_after_ms":{retry_after_ms}}}"#).into_bytes()
+}
+
+/// A `draining` rejection response.
+#[must_use]
+pub fn draining_response() -> Vec<u8> {
+    br#"{"type":"draining"}"#.to_vec()
+}
+
+/// A `timeout` response (the job keeps running and will cache).
+#[must_use]
+pub fn timeout_response(key: &str) -> Vec<u8> {
+    format!(r#"{{"type":"timeout","key":"{key}"}}"#).into_bytes()
+}
+
+/// An `error` response from a failed simulation (verification diagnostics
+/// are carried structurally).
+#[must_use]
+pub fn error_response(message: &str, diagnostics: &[Json]) -> Vec<u8> {
+    Json::obj(vec![
+        ("type", Json::Str("error".into())),
+        ("message", Json::Str(message.into())),
+        ("diagnostics", Json::Arr(diagnostics.to_vec())),
+    ])
+    .compact()
+    .into_bytes()
+}
+
+/// Renders a [`SimError`] as an `error` response.
+#[must_use]
+pub fn sim_error_response(e: &SimError) -> Vec<u8> {
+    match e {
+        SimError::Verification(diags) => {
+            let rendered: Vec<Json> = diags.iter().map(diagnostic_to_json).collect();
+            error_response("verification failed", &rendered)
+        }
+        other => error_response(&format!("{other:?}"), &[]),
+    }
+}
+
+/// A `stats` response.
+#[must_use]
+pub fn stats_response(snapshot: &hmtx_types::StatsSnapshot) -> Vec<u8> {
+    Json::obj(vec![
+        ("type", Json::Str("stats".into())),
+        ("stats", snapshot.to_json()),
+    ])
+    .compact()
+    .into_bytes()
+}
+
+/// The `pong` liveness reply.
+#[must_use]
+pub fn pong_response() -> Vec<u8> {
+    br#"{"type":"pong"}"#.to_vec()
+}
+
+/// The generic acknowledgment (shutdown accepted).
+#[must_use]
+pub fn ok_response() -> Vec<u8> {
+    br#"{"type":"ok"}"#.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_types::{BenchRef, WireBase, WireParadigm, WireScale};
+
+    fn spec() -> JobSpec {
+        JobSpec::new(
+            BenchRef::Suite(1),
+            WireParadigm::Paper,
+            WireScale::Quick,
+            WireBase::Test,
+        )
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Job {
+                spec: spec(),
+                deadline_ms: Some(2500),
+            },
+            Request::Job {
+                spec: spec(),
+                deadline_ms: None,
+            },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ] {
+            let back = Request::parse(&req.to_bytes()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_error_politely() {
+        for bad in [
+            &b"not json"[..],
+            br#"{"spec":{}}"#,
+            br#"{"type":"job"}"#,
+            br#"{"type":"warp"}"#,
+            br#"{"type":"job","spec":{"benchmark":"suite:0"}}"#,
+        ] {
+            assert!(Request::parse(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn result_envelope_splices_report_bytes_verbatim() {
+        let report = br#"{"cycles":42}"#;
+        let resp = result_response("abc123", report);
+        let text = String::from_utf8(resp).unwrap();
+        assert_eq!(
+            text,
+            r#"{"type":"result","key":"abc123","report":{"cycles":42}}"#
+        );
+        // And the spliced envelope is still valid JSON.
+        Json::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn canned_responses_parse() {
+        for bytes in [
+            busy_response(250),
+            draining_response(),
+            timeout_response("deadbeef"),
+            error_response("boom", &[]),
+            pong_response(),
+            ok_response(),
+        ] {
+            Json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The `hmtx-serve` server: bounded admission, single-flight execution,
+//! two-tier caching, graceful drain.
+//!
+//! Request lifecycle for a `job`:
+//!
+//! 1. **Cache probe** — memory then disk; a hit answers immediately with the
+//!    stored bytes spliced into the response envelope.
+//! 2. **Admission** — under the scheduler lock: an identical in-flight job
+//!    coalesces (the request waits on the same [`JobCell`], no duplicate
+//!    simulation); a full queue answers `busy` with a retry hint; otherwise
+//!    the job enqueues and the miss is counted.
+//! 3. **Wait with deadline** — the connection thread waits on the cell up to
+//!    the request's deadline. A timeout answers `timeout`, but the job keeps
+//!    running and its report still lands in the cache — a retry is a hit.
+//! 4. **Execution** — a worker pops the cell, runs
+//!    [`hmtx_bench::run_job_report`], and inserts the report bytes into the
+//!    cache *before* publishing the cell result and removing it from the
+//!    in-flight map. A requester that misses the in-flight map therefore
+//!    re-probes the cache under the scheduler lock and can never lose the
+//!    race into a duplicate simulation.
+//!
+//! **Drain** ([`ServerHandle::drain`], or a `shutdown` request, or SIGTERM
+//! in the binary): the listener stops accepting, queued and executing jobs
+//! finish and answer normally, and new job requests on existing connections
+//! answer `draining`. [`ServerHandle::wait`] returns once the workers have
+//! gone idle.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hmtx_types::JobSpec;
+
+use crate::cache::{ReportCache, Tier};
+use crate::metrics::{bump, Metrics};
+use crate::proto::{self, Request};
+
+/// Server tunables. The defaults suit an interactive session; tests shrink
+/// the queue and add an artificial execution delay to exercise backpressure
+/// deterministically.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing simulations.
+    pub workers: usize,
+    /// Admission queue capacity; a full queue answers `busy`.
+    pub queue_cap: usize,
+    /// In-memory cache capacity, in reports.
+    pub mem_cache_cap: usize,
+    /// On-disk report store (`None` = memory-only).
+    pub cache_dir: Option<PathBuf>,
+    /// Deadline applied to job requests that carry none, in milliseconds.
+    pub default_deadline_ms: u64,
+    /// Retry hint returned with `busy` responses, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Artificial delay before each execution — a test knob that makes
+    /// queue-full and coalescing windows deterministic on any machine.
+    pub execute_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_cap: 64,
+            mem_cache_cap: 512,
+            cache_dir: None,
+            default_deadline_ms: 120_000,
+            retry_after_ms: 250,
+            execute_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// The published outcome of one execution: the report bytes, or a rendered
+/// error response (shared by every coalesced waiter).
+type CellOutcome = Result<Arc<Vec<u8>>, Arc<Vec<u8>>>;
+
+/// One admitted job: requests for the same key share a cell, and the cell's
+/// state is published exactly once by the executing worker.
+struct JobCell {
+    key: String,
+    spec: JobSpec,
+    /// `None` until finished.
+    state: Mutex<Option<CellOutcome>>,
+    done: Condvar,
+}
+
+struct Sched {
+    queue: VecDeque<Arc<JobCell>>,
+    inflight: HashMap<String, Arc<JobCell>>,
+    executing: u64,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    metrics: Metrics,
+    cache: ReportCache,
+    sched: Mutex<Sched>,
+    work: Condvar,
+    draining: AtomicBool,
+}
+
+impl Inner {
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.work.notify_all();
+    }
+}
+
+/// A running server: its bound address and the handles to stop it.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins graceful drain: stop accepting, finish in-flight work, answer
+    /// `draining` to new job requests.
+    pub fn drain(&self) {
+        self.inner.begin_drain();
+    }
+
+    /// Waits for drain to complete (in-flight jobs finished, workers
+    /// exited). Call [`ServerHandle::drain`] first — otherwise this blocks
+    /// until something else does.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Starts a server on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn start(addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            cache: ReportCache::new(cfg.mem_cache_cap, cfg.cache_dir.clone()),
+            metrics: Metrics::new(),
+            sched: Mutex::new(Sched {
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+                executing: 0,
+            }),
+            work: Condvar::new(),
+            draining: AtomicBool::new(false),
+            cfg,
+        });
+
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&listener, &inner))
+        };
+
+        Ok(ServerHandle {
+            inner,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// Polls the nonblocking listener so the thread can notice drain promptly
+/// (no reliance on signal-interrupted `accept`).
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        if inner.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = Arc::clone(inner);
+                std::thread::spawn(move || handle_conn(&inner, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let cell = {
+            let mut sched = inner.sched.lock().unwrap();
+            loop {
+                if let Some(cell) = sched.queue.pop_front() {
+                    sched.executing += 1;
+                    break Some(cell);
+                }
+                if inner.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _timeout) = inner
+                    .work
+                    .wait_timeout(sched, Duration::from_millis(100))
+                    .unwrap();
+                sched = guard;
+            }
+        };
+        let Some(cell) = cell else { return };
+        execute(inner, &cell);
+    }
+}
+
+fn execute(inner: &Inner, cell: &JobCell) {
+    if !inner.cfg.execute_delay.is_zero() {
+        std::thread::sleep(inner.cfg.execute_delay);
+    }
+    let started = Instant::now();
+    let result = match hmtx_bench::run_job_report(&cell.spec) {
+        Ok(report) => {
+            let bytes = Arc::new(report.compact().into_bytes());
+            // Cache BEFORE leaving the in-flight map: a requester that sees
+            // the key absent from `inflight` re-probes the cache under the
+            // scheduler lock and is guaranteed to find these bytes.
+            let _ = inner.cache.put(&cell.key, Arc::clone(&bytes));
+            bump(&inner.metrics.executed);
+            let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            inner.metrics.record_service_us(us);
+            Ok(bytes)
+        }
+        Err(e) => Err(Arc::new(proto::sim_error_response(&e))),
+    };
+    {
+        let mut sched = inner.sched.lock().unwrap();
+        sched.inflight.remove(&cell.key);
+        sched.executing = sched.executing.saturating_sub(1);
+    }
+    *cell.state.lock().unwrap() = Some(result);
+    cell.done.notify_all();
+}
+
+fn handle_conn(inner: &Arc<Inner>, mut stream: TcpStream) {
+    // Small request/response frames must not sit in Nagle's buffer.
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match proto::read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return,
+        };
+        bump(&inner.metrics.requests);
+        let response = match Request::parse(&frame) {
+            Err(message) => {
+                bump(&inner.metrics.errors);
+                proto::error_response(&message, &[])
+            }
+            Ok(Request::Ping) => proto::pong_response(),
+            Ok(Request::Shutdown) => {
+                inner.begin_drain();
+                proto::ok_response()
+            }
+            Ok(Request::Stats) => {
+                let (queue_depth, executing) = {
+                    let sched = inner.sched.lock().unwrap();
+                    (sched.queue.len() as u64, sched.executing)
+                };
+                proto::stats_response(&inner.metrics.snapshot(queue_depth, executing))
+            }
+            Ok(Request::Job { spec, deadline_ms }) => {
+                bump(&inner.metrics.job_requests);
+                handle_job(inner, &spec, deadline_ms)
+            }
+        };
+        if proto::write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn cache_answer(inner: &Inner, key: &str, bytes: &[u8], tier: Tier) -> Vec<u8> {
+    match tier {
+        Tier::Mem => bump(&inner.metrics.mem_hits),
+        Tier::Disk => bump(&inner.metrics.disk_hits),
+    }
+    proto::result_response(key, bytes)
+}
+
+fn handle_job(inner: &Inner, spec: &JobSpec, deadline_ms: Option<u64>) -> Vec<u8> {
+    let key = spec.key();
+
+    // Fast path: cached report, no scheduler involvement.
+    if let Some((bytes, tier)) = inner.cache.get(&key) {
+        return cache_answer(inner, &key, &bytes, tier);
+    }
+    if inner.draining.load(Ordering::SeqCst) {
+        bump(&inner.metrics.rejected_draining);
+        return proto::draining_response();
+    }
+
+    // Admission, under the scheduler lock.
+    let cell = {
+        let mut sched = inner.sched.lock().unwrap();
+        if let Some(cell) = sched.inflight.get(&key) {
+            bump(&inner.metrics.coalesced_hits);
+            Arc::clone(cell)
+        } else if let Some((bytes, tier)) = inner.cache.get(&key) {
+            // The job finished between the unlocked probe and here; the
+            // worker caches before leaving `inflight`, so this re-probe
+            // closes the race window completely.
+            return cache_answer(inner, &key, &bytes, tier);
+        } else if sched.queue.len() >= inner.cfg.queue_cap {
+            bump(&inner.metrics.rejected_busy);
+            return proto::busy_response(inner.cfg.retry_after_ms);
+        } else {
+            bump(&inner.metrics.misses);
+            let cell = Arc::new(JobCell {
+                key: key.clone(),
+                spec: *spec,
+                state: Mutex::new(None),
+                done: Condvar::new(),
+            });
+            sched.queue.push_back(Arc::clone(&cell));
+            sched.inflight.insert(key.clone(), Arc::clone(&cell));
+            inner.work.notify_one();
+            cell
+        }
+    };
+
+    // Wait for the result, bounded by the deadline. On timeout the job
+    // still completes and caches — a retry of the same spec is a hit.
+    let deadline = Duration::from_millis(deadline_ms.unwrap_or(inner.cfg.default_deadline_ms));
+    let guard = cell.state.lock().unwrap();
+    let (guard, _timeout) = cell
+        .done
+        .wait_timeout_while(guard, deadline, |state| state.is_none())
+        .unwrap();
+    match &*guard {
+        Some(Ok(bytes)) => proto::result_response(&key, bytes),
+        Some(Err(error_bytes)) => {
+            bump(&inner.metrics.errors);
+            error_bytes.to_vec()
+        }
+        None => {
+            bump(&inner.metrics.deadline_timeouts);
+            proto::timeout_response(&key)
+        }
+    }
+}

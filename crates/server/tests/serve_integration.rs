@@ -1,0 +1,268 @@
+//! End-to-end tests for `hmtx-serve`: an in-process server on an ephemeral
+//! port, driven by real TCP clients.
+//!
+//! Covers the acceptance criteria of the serving layer:
+//! (a) byte-identical responses for identical specs — computed, memory-hit,
+//!     disk-hit, and coalesced;
+//! (b) cache-hit accounting: hit count equals the duplicates submitted;
+//! (c) backpressure: `busy` when the admission queue saturates;
+//! (d) graceful drain: in-flight jobs complete, new ones are rejected;
+//! plus deadline-timeout behavior (the timed-out job still caches).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use hmtx_server::{response_type, Client, ServerConfig, ServerHandle};
+use hmtx_types::{BenchRef, JobSpec, WireBase, WireParadigm, WireScale, WireVariant};
+
+static PORT_SALT: AtomicUsize = AtomicUsize::new(0);
+
+fn start(cfg: ServerConfig) -> ServerHandle {
+    // Ephemeral port; the handle reports what was bound.
+    PORT_SALT.fetch_add(1, Ordering::Relaxed);
+    ServerHandle::start("127.0.0.1:0", cfg).expect("bind")
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect(&handle.addr().to_string()).expect("connect")
+}
+
+fn spec(index: u32) -> JobSpec {
+    JobSpec::new(
+        BenchRef::Suite(index),
+        WireParadigm::Paper,
+        WireScale::Quick,
+        WireBase::Test,
+    )
+}
+
+/// A family of distinct cheap specs (VID-width variants of one workload).
+fn variant_spec(bits: u32) -> JobSpec {
+    JobSpec {
+        variant: WireVariant::VidBits(bits),
+        ..spec(7)
+    }
+}
+
+fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hmtx-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn identical_specs_get_byte_identical_responses_across_all_tiers() {
+    let dir = temp_cache_dir("tiers");
+    let handle = start(ServerConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+    let s = spec(7);
+
+    let computed = client.job(&s, None).expect("computed");
+    assert_eq!(response_type(&computed).as_deref(), Some("result"));
+    let mem_hit = client.job(&s, None).expect("mem hit");
+    assert_eq!(computed, mem_hit, "memory hit must be byte-identical");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.executed, 1);
+    assert_eq!(stats.mem_hits, 1);
+    assert_eq!(stats.misses, 1);
+
+    handle.drain();
+    handle.wait();
+
+    // A fresh server over the same disk store: cold memory, warm disk.
+    let handle2 = start(ServerConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client2 = connect(&handle2);
+    let disk_hit = client2.job(&s, None).expect("disk hit");
+    assert_eq!(computed, disk_hit, "disk hit must be byte-identical");
+    let stats2 = client2.stats().expect("stats");
+    assert_eq!((stats2.disk_hits, stats2.executed), (1, 0));
+    handle2.drain();
+    handle2.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_hits_equal_duplicates_submitted() {
+    let handle = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    // 3 distinct specs, submitted 3× each = 6 duplicates.
+    let specs = [variant_spec(4), variant_spec(6), variant_spec(8)];
+    let mut client = connect(&handle);
+    let mut first: Vec<Vec<u8>> = Vec::new();
+    for s in &specs {
+        first.push(client.job(s, None).expect("first"));
+    }
+    for round in 0..2 {
+        for (i, s) in specs.iter().enumerate() {
+            let bytes = client.job(s, None).expect("dup");
+            assert_eq!(bytes, first[i], "round {round} spec {i}");
+        }
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache_hits(), 6, "one hit per duplicate");
+    assert_eq!(stats.executed, 3);
+    assert_eq!(stats.misses, 3);
+    handle.drain();
+    handle.wait();
+}
+
+#[test]
+fn concurrent_identical_specs_coalesce_to_one_execution() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        execute_delay: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let s = spec(3);
+    let n = 4;
+    let responses: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let handle = &handle;
+                scope.spawn(move || {
+                    let mut client = connect(handle);
+                    client.job(&s, None).expect("job")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &responses[1..] {
+        assert_eq!(r, &responses[0], "coalesced responses must be identical");
+    }
+    let mut client = connect(&handle);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.executed, 1, "identical concurrent specs run once");
+    assert_eq!(
+        stats.cache_hits() + stats.misses,
+        n,
+        "every request is a miss, a coalesce, or a late cache hit"
+    );
+    assert_eq!(stats.misses, 1);
+    handle.drain();
+    handle.wait();
+}
+
+#[test]
+fn saturated_admission_queue_answers_busy_with_retry_hint() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        retry_after_ms: 123,
+        execute_delay: Duration::from_millis(400),
+        ..ServerConfig::default()
+    });
+    // 4 distinct slow jobs into a queue of 1 over 1 worker: at least one
+    // must be rejected while the first executes and the second queues.
+    let specs = [variant_spec(4), variant_spec(5), variant_spec(6), variant_spec(7)];
+    let responses: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|s| {
+                let handle = &handle;
+                scope.spawn(move || {
+                    let mut client = connect(handle);
+                    client.job(s, None).expect("job")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let busy: Vec<&Vec<u8>> = responses
+        .iter()
+        .filter(|r| response_type(r).as_deref() == Some("busy"))
+        .collect();
+    assert!(!busy.is_empty(), "queue of 1 must reject some of 4 jobs");
+    for b in &busy {
+        assert_eq!(hmtx_server::busy_retry_after(b), Some(123));
+    }
+    let mut client = connect(&handle);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.rejected_busy as usize, busy.len());
+    handle.drain();
+    handle.wait();
+}
+
+#[test]
+fn graceful_drain_finishes_inflight_and_rejects_new() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        execute_delay: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let slow = spec(1);
+    let inflight = std::thread::scope(|scope| {
+        let worker = {
+            let handle = &handle;
+            scope.spawn(move || {
+                let mut client = connect(handle);
+                client.job(&slow, None).expect("inflight job")
+            })
+        };
+        // Let the job get admitted, then drain via the protocol.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut client = connect(&handle);
+        client.shutdown().expect("shutdown");
+        // New job requests on a live connection now answer `draining`.
+        let rejected = client.job(&spec(2), None).expect("rejected job");
+        assert_eq!(response_type(&rejected).as_deref(), Some("draining"));
+        worker.join().unwrap()
+    });
+    assert_eq!(
+        response_type(&inflight).as_deref(),
+        Some("result"),
+        "in-flight job must complete through the drain"
+    );
+    // And the drain completes: wait() returns.
+    handle.wait();
+}
+
+#[test]
+fn deadline_timeout_answers_but_job_still_caches() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        execute_delay: Duration::from_millis(400),
+        ..ServerConfig::default()
+    });
+    let s = spec(5);
+    let mut client = connect(&handle);
+    let timed_out = client.job(&s, Some(50)).expect("timeout job");
+    assert_eq!(response_type(&timed_out).as_deref(), Some("timeout"));
+    // Give the worker time to finish and cache.
+    std::thread::sleep(Duration::from_millis(600));
+    let retry = client.job(&s, Some(5_000)).expect("retry");
+    assert_eq!(response_type(&retry).as_deref(), Some("result"));
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.deadline_timeouts, 1);
+    assert_eq!(stats.executed, 1, "the retry must hit, not re-run");
+    assert_eq!(stats.cache_hits(), 1);
+    handle.drain();
+    handle.wait();
+}
+
+#[test]
+fn malformed_and_failing_jobs_answer_errors() {
+    let handle = start(ServerConfig::default());
+    let mut client = connect(&handle);
+    // A spec naming a suite index that does not exist fails in simulation.
+    let bad = spec(99);
+    let response = client.job(&bad, None).expect("bad job");
+    assert_eq!(response_type(&response).as_deref(), Some("error"));
+    // Liveness survives the error.
+    assert!(client.ping().expect("ping"));
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.errors, 1);
+    handle.drain();
+    handle.wait();
+}

@@ -25,6 +25,8 @@ pub mod config;
 pub mod diag;
 pub mod error;
 pub mod ids;
+pub mod json;
+pub mod wire;
 
 pub use config::{
     CacheConfig, FaultConfig, HmtxConfig, Interconnect, MachineConfig, SmtxConfig, VictimPolicy,
@@ -33,3 +35,9 @@ pub use config::{
 pub use diag::{Diagnostic, Severity};
 pub use error::{ConfigError, SimError};
 pub use ids::{Addr, CoreId, Cycle, LineAddr, QueueId, ThreadId, Vid};
+pub use json::{Json, JsonError};
+pub use wire::{
+    diagnostic_to_json,
+    content_key, BenchRef, FaultSpec, JobSpec, StatsSnapshot, WireBase, WireError, WireParadigm,
+    WireScale, WireVariant,
+};

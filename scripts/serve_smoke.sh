@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Smoke gate for the hmtx-serve serving layer: start a server on an
+# ephemeral port, push a small hmtx-load burst twice (cold then warm cache),
+# verify byte-identical responses and cache-hit accounting, then check a
+# SIGTERM drain exits cleanly. Nonzero exit on any failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROFILE="${PROFILE:-release}"
+SERVE="target/${PROFILE}/hmtx-serve"
+LOAD="target/${PROFILE}/hmtx-load"
+[ -x "$SERVE" ] || cargo build --release -p hmtx-server
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# --- start the server on an ephemeral port, parse the bound address -------
+"$SERVE" --addr 127.0.0.1:0 --workers 2 --cache-dir "$WORK/cache" \
+  >"$WORK/serve.out" 2>"$WORK/serve.err" &
+SERVER_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^listening on //p' "$WORK/serve.out" | head -n1)"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "serve_smoke: server never reported its address" >&2
+  cat "$WORK/serve.err" >&2 || true
+  exit 1
+fi
+echo "serve_smoke: server at $ADDR (pid $SERVER_PID)"
+
+# --- cold + warm burst with byte-identity checking ------------------------
+# Small burst (the container may have very few cores): first 6 sweep jobs,
+# 2 client connections, 2 rounds. --check makes hmtx-load itself fail on
+# any non-result response or cross-round byte difference.
+"$LOAD" --addr "$ADDR" --clients 2 --rounds 2 --limit 6 --check \
+  --json "$WORK/load.json"
+
+# --- verify the warm round was served from cache --------------------------
+python3 - "$WORK/load.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+rounds = report["rounds"]
+assert len(rounds) == 2, rounds
+cold, warm = rounds
+assert cold["ok"] == cold["jobs"], f"cold round failures: {cold}"
+assert warm["ok"] == warm["jobs"], f"warm round failures: {warm}"
+cold_delta = cold["server_delta"]
+warm_delta = warm["server_delta"]
+assert cold_delta["executed"] == cold["jobs"], f"cold round must execute every job: {cold_delta}"
+assert warm_delta["executed"] == 0, f"warm round must execute nothing: {warm_delta}"
+assert warm_delta["cache_hits"] == warm["jobs"], f"warm round must hit per job: {warm_delta}"
+print(f"serve_smoke: cold executed {cold_delta['executed']}, "
+      f"warm hit {warm_delta['cache_hits']}/{warm['jobs']} "
+      f"(speedup {report['summary']['warm_over_cold_speedup']:.1f}x)")
+EOF
+
+# --- graceful drain on SIGTERM --------------------------------------------
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "serve_smoke: server did not drain within 10s of SIGTERM" >&2
+  exit 1
+fi
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+grep -q "drained, exiting" "$WORK/serve.err" || {
+  echo "serve_smoke: server exited without reporting a clean drain" >&2
+  cat "$WORK/serve.err" >&2
+  exit 1
+}
+
+echo "serve_smoke: green"

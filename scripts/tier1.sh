@@ -20,6 +20,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 # protocol, register dataflow, queue matching/deadlock, store escape).
 cargo run --release -p hmtx --bin hmtx-verify -- --all-workloads
 
+# Serving-layer smoke: ephemeral hmtx-serve + hmtx-load burst; verifies
+# byte-identical cold/warm responses, cache-hit accounting, SIGTERM drain.
+bash scripts/serve_smoke.sh
+
 # Full harness at quick scale across all host cores; the JSON report lands
 # next to the sources as a regenerated artifact (see EXPERIMENTS.md).
 cargo run --release -p hmtx-bench --bin experiments -- \
