@@ -930,7 +930,12 @@ impl MemorySystem {
         residue.shared_hint = false;
         residue.phantom_high = Vid::NON_SPECULATIVE;
         version.commit_epoch = self.l1s[c].commit_epoch();
-        if residue.mod_vid < residue.high_vid {
+        if self.cfg.hmtx.seed_bug == Some(hmtx_types::SeedBug::StaleMigrationReplica) {
+            // Planted defect (correctness-tool validation only): keep the
+            // supplier's copy live in its original state instead of the S-S
+            // demotion, so two caches own the same version.
+            let _ = self.install_l1(p, version.clone());
+        } else if residue.mod_vid < residue.high_vid {
             // A zero-width range (m == h) can never hit; don't bother.
             version.shared_hint = true;
             let _ = self.install_l1(p, residue);

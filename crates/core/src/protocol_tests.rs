@@ -962,3 +962,151 @@ fn regression_later_vid_write_to_migrated_line_is_not_lost() {
         assert_eq!(mem.memory().read_word(Addr(B)), 0, "lazy={lazy}");
     }
 }
+
+// ------------------------------------- wrong-path SLA acknowledgment §5.1
+
+/// Wrong-path loads are acknowledged without an SLA: the squashed load
+/// reads the line's current content and leaves no read mark, and a later
+/// §5.1 verification of the acknowledged value behaves exactly like a
+/// correct-path check — passing while the content is unchanged, reporting
+/// `SlaValueMismatch` once a lower-VID store (legal, because no mark was
+/// left) rewrites the line.
+#[test]
+fn wrong_path_load_acknowledgment_is_verifiable_but_sla_free() {
+    let mut mem = MemorySystem::new(cfg());
+    mem.memory_mut().write_word(Addr(0x100), 5);
+    let (v, sla) = ok(&mut mem, 0, wrong_path_read(1, 0x100, 2));
+    assert_eq!(v, 5);
+    assert!(!sla, "wrong-path loads never request an SLA");
+    assert_eq!(mem.stats().slas_sent, 0);
+    // Replayed on the correct path, the acknowledged value still verifies...
+    assert!(mem.verify_sla(Addr(0x100), Vid(2), 5).is_none());
+    // ...until VID 1 stores to the unmarked line, after which the stale
+    // acknowledgment is detected and the fresh forwarded value verifies.
+    ok(&mut mem, 10, write(0, 0x100, 1, 7));
+    assert_eq!(mem.stats().sla_aborts_avoided, 1);
+    assert!(matches!(
+        mem.verify_sla(Addr(0x100), Vid(2), 5),
+        Some(MisspecCause::SlaValueMismatch { .. })
+    ));
+    assert!(mem.verify_sla(Addr(0x100), Vid(2), 7).is_none());
+}
+
+/// A wrong-path load served by a peer's uncommitted version is also
+/// acknowledged SLA-free: forwarding still answers with the speculative
+/// data, but neither side records a VID mark for the squashed reader, so
+/// the whole group commits as if the load never happened.
+#[test]
+fn wrong_path_load_forwarded_from_a_peer_leaves_no_marks() {
+    let mut mem = MemorySystem::new(cfg());
+    ok(&mut mem, 0, write(0, 0x100, 1, 7));
+    let (v, sla) = ok(&mut mem, 10, wrong_path_read(1, 0x100, 3));
+    assert_eq!(v, 7, "forwarding also serves squashed loads");
+    assert!(!sla, "peer-supplied wrong-path loads need no SLA");
+    let s = states(&mem, 0x100);
+    assert!(
+        s.iter().all(|(_, st)| !st.contains(",3)")),
+        "no VID-3 mark may survive the squashed load: {s:?}"
+    );
+    // An intervening VID-2 store to the same line stays legal.
+    ok(&mut mem, 20, write(2, 0x100, 2, 9));
+    mem.commit(30, Vid(1)).unwrap();
+    mem.commit(40, Vid(2)).unwrap();
+    mem.commit(50, Vid(3)).unwrap();
+    let violations = mem.check_invariants();
+    assert!(violations.is_empty(), "{violations:?}");
+    mem.drain_committed().unwrap();
+    assert_eq!(mem.memory().read_word(Addr(0x100)), 9);
+}
+
+// -------------------------------------------- VID exhaustion mid-run §4.6
+
+/// Exhausting the VID space mid-run with a tiny `vid_bits`: a group that
+/// occupies every available VID (with cross-VID forwarding inside it)
+/// commits in order, the §4.6 reset restarts numbering, and the reused
+/// VID 1 builds correctly on the previous group's committed data.
+#[test]
+fn vid_space_exhaustion_resets_and_reuses_vids_against_committed_data() {
+    let mut c = cfg();
+    c.hmtx.vid_bits = 2; // max_vid = 3: the whole VID space is one group.
+    let mut mem = MemorySystem::new(c);
+    ok(&mut mem, 0, write(0, 0x100, 1, 11));
+    let (v, _) = ok(&mut mem, 10, read(1, 0x100, 2));
+    assert_eq!(v, 11, "forwarding inside the exhausting group");
+    ok(&mut mem, 20, write(1, 0x140, 2, 22));
+    ok(&mut mem, 30, write(2, 0x180, 3, 33));
+    mem.commit(40, Vid(1)).unwrap();
+    mem.commit(50, Vid(2)).unwrap();
+    mem.commit(60, Vid(3)).unwrap();
+    let latency = mem.vid_reset(70);
+    assert!(latency > 0, "the reset broadcast takes time");
+    assert_eq!(mem.stats().vid_resets, 1);
+    assert_eq!(mem.last_committed(), Vid(0), "numbering restarts");
+    // The reused VID 1 reads the old group's data and overwrites one line.
+    let (v, _) = ok(&mut mem, 80, read(3, 0x100, 1));
+    assert_eq!(v, 11, "committed data survives the reset");
+    ok(&mut mem, 90, write(3, 0x140, 1, 44));
+    mem.commit(100, Vid(1)).unwrap();
+    let violations = mem.check_invariants();
+    assert!(violations.is_empty(), "{violations:?}");
+    mem.drain_committed().unwrap();
+    assert_eq!(mem.memory().read_word(Addr(0x100)), 11);
+    assert_eq!(mem.memory().read_word(Addr(0x140)), 44);
+    assert_eq!(mem.memory().read_word(Addr(0x180)), 33);
+}
+
+// ------------------------------------ speculative read-set eviction §5.4
+
+/// Read marks may not silently leave the hierarchy: an `S-E(0,·)` victim is
+/// not `safe_to_overflow` (dropping it would blind conflict detection), so
+/// a transaction whose read set outgrows the tiny hierarchy must abort with
+/// `SpecOverflow` — after the caches demonstrably held a useful number of
+/// marks.
+#[test]
+fn read_set_eviction_pressure_aborts_rather_than_dropping_marks() {
+    let mut mem = MemorySystem::new(tiny_cfg());
+    for i in 0..200u64 {
+        mem.memory_mut().write_word(Addr(i * 64), 100 + i);
+    }
+    let mut aborted_at = None;
+    for i in 0..200u64 {
+        match mem.access(i * 10, &read(0, i * 64, 1)).unwrap() {
+            AccessResponse::Done { value, .. } => assert_eq!(value, 100 + i),
+            AccessResponse::Misspec { cause, .. } => {
+                assert!(matches!(cause, MisspecCause::SpecOverflow { .. }));
+                aborted_at = Some(i);
+                break;
+            }
+        }
+    }
+    let at = aborted_at.expect("a read set larger than the hierarchy must abort");
+    assert!(at >= 8, "the hierarchy held several marks first, aborted at {at}");
+}
+
+/// With the §8 unbounded-sets extension the same pressure spills read marks
+/// into the overflow table instead of aborting, and the group still commits
+/// and drains cleanly.
+#[test]
+fn unbounded_sets_spill_read_marks_instead_of_aborting() {
+    let mut c = tiny_cfg();
+    c.unbounded_sets = true;
+    let mut mem = MemorySystem::new(c);
+    for i in 0..64u64 {
+        mem.memory_mut().write_word(Addr(i * 64), 100 + i);
+    }
+    for i in 0..64u64 {
+        let (v, _) = ok(&mut mem, i * 10, read(0, i * 64, 1));
+        assert_eq!(v, 100 + i);
+    }
+    assert!(
+        mem.stats().unbounded_spills > 0,
+        "the tiny hierarchy must have spilled read marks"
+    );
+    mem.commit(1_000, Vid(1)).unwrap();
+    let violations = mem.check_invariants();
+    assert!(violations.is_empty(), "{violations:?}");
+    mem.drain_committed().unwrap();
+    for i in 0..64u64 {
+        assert_eq!(mem.memory().read_word(Addr(i * 64)), 100 + i);
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic parallel execution of exploration runs.
+//!
+//! Modeled on `hmtx_bench::runner`'s rule: fan work out across host
+//! threads, but keep every observable result in a deterministic order so
+//! output is byte-identical for any `--jobs N`. Work is processed in
+//! fixed-size batches; results are collected by batch index, and children
+//! produced by a batch are appended to the queue in index order before the
+//! next batch starts.
+
+use std::collections::VecDeque;
+
+/// Maps `f` over `items` using up to `jobs` scoped worker threads.
+/// Results come back in input order regardless of completion order.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(jobs);
+    let f = &f;
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("exploration worker panicked"));
+        }
+    });
+    out
+}
+
+/// Processes a growing frontier of exploration items: each item runs to a
+/// result plus a list of child items. Batches of up to `jobs` items run
+/// concurrently; children append in item order, so the sequence of results
+/// is identical for any `jobs`. Stops once `cap` results exist (returning
+/// `false` as the second element) or the frontier drains (`true`:
+/// exhausted).
+pub fn run_frontier<T, R, F>(roots: Vec<T>, jobs: usize, cap: usize, run: F) -> (Vec<R>, bool)
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> (R, Vec<T>) + Sync,
+{
+    let mut queue: VecDeque<T> = roots.into();
+    let mut results = Vec::new();
+    while !queue.is_empty() {
+        if results.len() >= cap {
+            return (results, false);
+        }
+        let batch_len = queue.len().min(jobs.max(1)).min(cap - results.len());
+        let batch: Vec<T> = queue.drain(..batch_len).collect();
+        let batch_out = parallel_map(&batch, jobs, |item| run(item));
+        for (r, children) in batch_out {
+            results.push(r);
+            for c in children {
+                queue.push_back(c);
+            }
+        }
+    }
+    (results, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = parallel_map(&items, 1, |x| x * 3);
+        let fanned = parallel_map(&items, 8, |x| x * 3);
+        assert_eq!(serial, fanned);
+        assert_eq!(serial[99], 297);
+    }
+
+    #[test]
+    fn frontier_is_deterministic_across_job_counts() {
+        // Each item `n` yields children `10n+1..10n+3` below a depth cutoff.
+        let run = |&n: &u64| {
+            let children = if n < 100 {
+                vec![n * 10 + 1, n * 10 + 2, n * 10 + 3]
+            } else {
+                vec![]
+            };
+            (n, children)
+        };
+        let (a, ea) = run_frontier(vec![1, 2], 1, usize::MAX, run);
+        let (b, eb) = run_frontier(vec![1, 2], 7, usize::MAX, run);
+        assert_eq!(a, b);
+        assert!(ea && eb);
+        let (c, ec) = run_frontier(vec![1, 2], 4, 5, run);
+        assert_eq!(c, a[..5].to_vec());
+        assert!(!ec, "cap cuts enumeration short");
+    }
+}

@@ -1,0 +1,58 @@
+//! Systematic schedule exploration with a serializability oracle.
+//!
+//! The paper's central claim (§4, Figure 7) is that uncommitted value
+//! forwarding plus group commit still yields serializable MTX group
+//! commits. PR 2's chaos suite samples the interleaving space randomly;
+//! this crate checks it *systematically* on small kernels:
+//!
+//! * **op-level** ([`opexplore`]) — transactions as fixed op lists driven
+//!   straight into the memory system; the full interleaving space (under a
+//!   preemption bound and a DPOR-lite same-line-conflict reduction) is
+//!   enumerated statically and every schedule is executed fresh, with
+//!   `check_invariants` plus a serial last-writer-wins oracle compare at
+//!   every group commit;
+//! * **machine-level** ([`mexplore`]) — whole guest programs on the full
+//!   machine through the [`hmtx_machine::SchedulePolicy`] seam, with
+//!   iterative context bounding (CHESS-style divergence extension) and the
+//!   [`hmtx_isa::run_serial_tm`] sequential TM interpreter as the oracle.
+//!
+//! Failing schedules are greedily shrunk ([`shrink`]) and written to
+//! `tests/corpus/` as replayable [`hmtx_machine::ScheduleSeed`]s
+//! ([`seed`]); `hmtx-run --replay` and `tests/explore_corpus.rs` replay
+//! them byte-deterministically.
+
+#![warn(missing_docs)]
+
+pub mod frontier;
+pub mod kernel;
+pub mod mexplore;
+pub mod opexplore;
+pub mod seed;
+pub mod shrink;
+
+pub use kernel::{asm_kernels, op_kernels, AsmKernel, OpKernel, OpSpec};
+
+/// Why a schedule is considered failing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Stable failure class: `"invariant"`, `"oracle"`, `"drain"`,
+    /// `"sim-error"`, `"budget"`, or `"panic"`. The shrinker preserves the
+    /// class while minimizing.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+// Exploration results cross the parallel frontier's worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<Failure>();
+    assert_send_sync::<OpKernel>();
+    assert_send_sync::<AsmKernel>();
+};

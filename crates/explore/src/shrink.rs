@@ -1,0 +1,135 @@
+//! Greedy schedule shrinking.
+//!
+//! Given a failing schedule, repeatedly drop one element at a time and keep
+//! each drop that still reproduces the *same failure class* (the
+//! [`Failure::kind`] string), iterating to a fixpoint. This is
+//! delta-debugging's 1-minimal reduction: the result cannot lose any single
+//! element and still fail, though a smaller subset dropping several
+//! elements at once may exist.
+//!
+//! The shrinker is generic over the element type so the same pass
+//! minimizes op-level schedules (elements = global op ids) and
+//! machine-level divergence lists (elements = `(step, core)` picks).
+
+use hmtx_types::SeedBug;
+
+use crate::kernel::OpKernel;
+use crate::opexplore::execute_order;
+use crate::Failure;
+
+/// Greedily removes elements from `items` while `still_fails` holds,
+/// to a fixpoint. Returns the minimized list and how many candidate
+/// executions the search spent.
+pub fn shrink_items<T, F>(items: &[T], still_fails: F) -> (Vec<T>, usize)
+where
+    T: Clone,
+    F: Fn(&[T]) -> bool,
+{
+    let mut kept: Vec<T> = items.to_vec();
+    let mut attempts = 0;
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < kept.len() {
+            let mut candidate = kept.clone();
+            candidate.remove(i);
+            attempts += 1;
+            if still_fails(&candidate) {
+                kept = candidate;
+                progressed = true;
+                // Same index now names the next element; don't advance.
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed {
+            return (kept, attempts);
+        }
+    }
+}
+
+/// Result of shrinking one failing op schedule.
+#[derive(Debug, Clone)]
+pub struct ShrunkOps {
+    /// Minimized schedule (global op ids).
+    pub order: Vec<usize>,
+    /// The failure the minimized schedule still reproduces.
+    pub failure: Failure,
+    /// Candidate executions spent shrinking.
+    pub attempts: usize,
+}
+
+/// Minimizes a failing op schedule, preserving the failure class.
+///
+/// Returns `None` when `order` does not actually fail (nothing to shrink).
+pub fn shrink_ops(
+    kernel: &OpKernel,
+    order: &[usize],
+    seed_bug: Option<SeedBug>,
+) -> Option<ShrunkOps> {
+    let kind = execute_order(kernel, order, seed_bug).failure?.kind;
+    let (kept, attempts) = shrink_items(order, |candidate| {
+        execute_order(kernel, candidate, seed_bug)
+            .failure
+            .is_some_and(|f| f.kind == kind)
+    });
+    let failure = execute_order(kernel, &kept, seed_bug)
+        .failure
+        .expect("shrinker invariant: kept schedule still fails");
+    Some(ShrunkOps {
+        order: kept,
+        failure,
+        attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::op_kernels;
+    use crate::opexplore::{enumerate_orders, full_order};
+
+    #[test]
+    fn shrink_items_reaches_a_one_minimal_subset() {
+        // Fails whenever both 3 and 7 are present.
+        let items: Vec<u32> = (0..10).collect();
+        let (kept, attempts) =
+            shrink_items(&items, |c| c.contains(&3) && c.contains(&7));
+        assert_eq!(kept, vec![3, 7]);
+        assert!(attempts > 0);
+    }
+
+    #[test]
+    fn clean_schedules_do_not_shrink() {
+        let k = &op_kernels()[0];
+        assert!(shrink_ops(k, &full_order(k), None).is_none());
+    }
+
+    #[test]
+    fn planted_bug_counterexample_shrinks_below_pinned_length() {
+        // Acceptance criterion: rediscover the pinned PR 1 counterexample
+        // shape from scratch and shrink it to at most its recorded length
+        // (7 ops).
+        let k = op_kernels()
+            .into_iter()
+            .find(|k| k.name == "migrated_line")
+            .unwrap();
+        let bug = Some(SeedBug::StaleMigrationReplica);
+        let (orders, exhausted) = enumerate_orders(&k, 3, true, usize::MAX);
+        assert!(exhausted);
+        let failing = orders
+            .iter()
+            .find(|o| execute_order(&k, o, bug).failure.is_some())
+            .expect("exploration rediscovers the planted defect");
+        let shrunk = shrink_ops(&k, failing, bug).unwrap();
+        assert!(
+            shrunk.order.len() <= 7,
+            "shrunk to {} ops: {:?}",
+            shrunk.order.len(),
+            shrunk.order
+        );
+        // Still clean on the real protocol: the defect is the knob, not
+        // the schedule.
+        assert!(execute_order(&k, &shrunk.order, None).failure.is_none());
+    }
+}

@@ -4,8 +4,14 @@
 //! ```text
 //! hmtx-run [--cores N] [--trace N] [--budget N] [--quick]
 //!          [--mem addr=value]... [--dump addr]...
+//!          [--replay seed.json]
 //!          thread0.asm [thread1.asm ...]
 //! ```
+//!
+//! `--replay` pins the scheduler to a `ScheduleSeed` divergence list (as
+//! written by `hmtx-explore` into `tests/corpus/`), reproducing one explored
+//! interleaving byte-deterministically instead of the default min-clock
+//! schedule.
 //!
 //! With `--remote HOST:PORT`, submits a suite-workload job to a running
 //! `hmtx-serve` server instead of simulating locally (see `hmtx::remote`):

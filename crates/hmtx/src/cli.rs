@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use hmtx_isa::assemble;
-use hmtx_machine::{Machine, RunEvent, ThreadContext};
-use hmtx_types::{Addr, FaultConfig, MachineConfig, SimError, ThreadId, Vid};
+use hmtx_machine::{Machine, MinClock, ReplayPolicy, RunEvent, SchedulePolicy, ScheduleSeed, ThreadContext};
+use hmtx_types::{Addr, FaultConfig, Json, MachineConfig, SeedBug, SimError, ThreadId, Vid};
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -28,6 +28,9 @@ pub struct Options {
     pub fault_seed: Option<u64>,
     /// Fault probability per decision point, in parts per million.
     pub fault_rate_ppm: u32,
+    /// Path to a `ScheduleSeed` JSON file (`hmtx-explore` corpus format):
+    /// the run replays that schedule instead of min-clock.
+    pub replay: Option<String>,
 }
 
 impl Default for Options {
@@ -42,6 +45,7 @@ impl Default for Options {
             quick: false,
             fault_seed: None,
             fault_rate_ppm: 200,
+            replay: None,
         }
     }
 }
@@ -127,6 +131,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Si
                     .parse()
                     .map_err(|_| bad(format!("bad fault rate `{v}`")))?;
             }
+            "--replay" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| bad("--replay needs a schedule seed file".into()))?;
+                opts.replay = Some(v);
+            }
             path => {
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| bad(format!("cannot read `{path}`: {e}")))?;
@@ -137,7 +147,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Si
     if opts.programs.is_empty() {
         return Err(bad(
             "usage: hmtx-run [--cores N] [--trace N] [--budget N] [--quick] \
-             [--faults SEED] [--fault-rate PPM] \
+             [--faults SEED] [--fault-rate PPM] [--replay SEED.json] \
              [--mem addr=value]... [--dump addr]... thread0.asm [thread1.asm ...]"
                 .into(),
         ));
@@ -161,6 +171,23 @@ fn parse_u64(s: &str) -> Result<u64, SimError> {
 ///
 /// Returns [`SimError`] on assembly failures or guest-program bugs.
 pub fn run(opts: &Options) -> Result<CliReport, SimError> {
+    let bad = |msg: String| SimError::BadProgram(msg);
+    let schedule = match &opts.replay {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| bad(format!("cannot read `{path}`: {e}")))?;
+            let doc = Json::parse(&text).map_err(|e| bad(format!("`{path}`: {e}")))?;
+            let seed = ScheduleSeed::from_json(&doc)?;
+            if seed.kind != "machine" {
+                return Err(bad(format!(
+                    "`{path}` is a `{}` seed; hmtx-run replays `machine` seeds",
+                    seed.kind
+                )));
+            }
+            Some(seed)
+        }
+    };
     let mut cfg = if opts.quick {
         MachineConfig::test_default()
     } else {
@@ -169,6 +196,14 @@ pub fn run(opts: &Options) -> Result<CliReport, SimError> {
     cfg.num_cores = opts.cores.unwrap_or_else(|| opts.programs.len().max(2));
     if let Some(seed) = opts.fault_seed {
         cfg.faults = Some(FaultConfig::chaos(seed, opts.fault_rate_ppm));
+    }
+    if let Some(seed) = &schedule {
+        if let Some(name) = &seed.seed_bug {
+            cfg.hmtx.seed_bug = Some(
+                SeedBug::from_name(name)
+                    .ok_or_else(|| bad(format!("unknown seed bug `{name}`")))?,
+            );
+        }
     }
     if cfg.num_cores < opts.programs.len() {
         return Err(SimError::BadProgram(format!(
@@ -193,7 +228,11 @@ pub fn run(opts: &Options) -> Result<CliReport, SimError> {
         machine.load_thread(i, ThreadContext::new(ThreadId(i), program));
     }
 
-    let outcome = match machine.run(opts.budget)? {
+    let mut policy: Box<dyn SchedulePolicy> = match &schedule {
+        Some(seed) => Box::new(ReplayPolicy::from_seed(seed)),
+        None => Box::new(MinClock),
+    };
+    let outcome = match machine.run_with_policy(opts.budget, policy.as_mut())? {
         RunEvent::AllHalted => "all threads halted".to_string(),
         RunEvent::Misspeculation { cause, cycle } => {
             format!("misspeculation at cycle {cycle}: {cause:?}")

@@ -3,6 +3,11 @@
 //! semantics that the full machine simulator must agree with on
 //! single-threaded, non-transactional programs — the differential tests in
 //! `hmtx-machine` hold the two implementations to that.
+//!
+//! [`run_serial_tm`] extends the reference to multi-threaded transactional
+//! programs: the naive sequential TM semantics (no forwarding, no caches,
+//! transactions atomic in commit order) that `hmtx-explore` uses as the
+//! ground-truth oracle for every schedule the full machine can produce.
 
 use std::collections::HashMap;
 
@@ -118,6 +123,217 @@ pub fn run_reference_with(
     Ok(st)
 }
 
+/// Architectural state captured right after each group commit of a
+/// [`run_serial_tm`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TmCommitSnapshot {
+    /// The VID that just committed.
+    pub vid: u16,
+    /// Committed memory at that point (aligned byte address -> value).
+    pub memory: HashMap<u64, u64>,
+    /// Length of the committed output stream at that point.
+    pub output_len: usize,
+}
+
+/// Final state of a [`run_serial_tm`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TmRefState {
+    /// Committed memory (aligned byte address -> value).
+    pub memory: HashMap<u64, u64>,
+    /// Committed output (`out` values), in commit order.
+    pub output: Vec<u64>,
+    /// Total instructions executed.
+    pub steps: u64,
+    /// Snapshot after each group commit, in commit (VID) order.
+    pub commits: Vec<TmCommitSnapshot>,
+}
+
+#[derive(Debug)]
+struct TmThread<'p> {
+    program: &'p Program,
+    regs: [u64; Reg::COUNT],
+    pc: usize,
+    vid: u16,
+    halted: bool,
+    /// Buffered transactional writes, applied atomically at commit.
+    wlog: HashMap<u64, u64>,
+    /// Buffered transactional `out` values, flushed at commit.
+    pending_out: Vec<u64>,
+}
+
+/// The naive sequential TM reference: one thread per program, flat memory,
+/// unbounded zero-latency queues, and transactions that execute
+/// **atomically in commit order** — writes and `out`s inside a transaction
+/// are buffered and applied only at `commitMTX`, with no uncommitted value
+/// forwarding. This is the serializability ground truth: any committed
+/// outcome the real machine produces under *any* schedule must match it.
+///
+/// Scheduling is cooperative and deterministic: at each step the runnable
+/// thread with the smallest `(open VID, thread index)` runs (threads not in
+/// a transaction rank last), so an open transaction runs to its commit
+/// unless it blocks. A thread blocks on `consume` from an empty queue and
+/// on `commitMTX` out of VID order; if every live thread is blocked the
+/// run is reported as a deadlock.
+///
+/// # Errors
+///
+/// Returns [`SimError::InstructionBudgetExceeded`] when `max_steps` is hit,
+/// [`SimError::UnalignedAccess`] on misaligned word accesses, and
+/// [`SimError::BadProgram`] on deadlock or on instructions with no
+/// sequential meaning (`abortMTX`, `vidReset`).
+pub fn run_serial_tm(
+    programs: &[&Program],
+    max_steps: u64,
+    initial_memory: &HashMap<u64, u64>,
+) -> Result<TmRefState, SimError> {
+    let mut threads: Vec<TmThread> = programs
+        .iter()
+        .map(|p| TmThread {
+            program: p,
+            regs: [0; Reg::COUNT],
+            pc: 0,
+            vid: 0,
+            halted: false,
+            wlog: HashMap::new(),
+            pending_out: Vec::new(),
+        })
+        .collect();
+    let mut st = TmRefState {
+        memory: initial_memory.clone(),
+        output: Vec::new(),
+        steps: 0,
+        commits: Vec::new(),
+    };
+    let mut queues: Vec<std::collections::VecDeque<u64>> = vec![Default::default(); 64];
+    let mut last_committed: u16 = 0;
+
+    loop {
+        // A thread is blocked on an empty queue or an out-of-order commit.
+        let runnable = |t: &TmThread| -> bool {
+            if t.halted {
+                return false;
+            }
+            match t.program.get(t.pc) {
+                Some(Instr::Consume { q, .. }) => !queues[q.0].is_empty(),
+                Some(Instr::CommitMtx { rvid }) => {
+                    t.regs[rvid.index()] as u16 == last_committed.wrapping_add(1)
+                }
+                _ => true,
+            }
+        };
+        let Some(i) = (0..threads.len())
+            .filter(|&i| runnable(&threads[i]))
+            .min_by_key(|&i| {
+                let t = &threads[i];
+                (if t.vid > 0 { t.vid as u32 } else { u32::MAX }, i)
+            })
+        else {
+            if threads.iter().all(|t| t.halted) {
+                return Ok(st);
+            }
+            return Err(SimError::BadProgram(
+                "serial TM reference: all live threads blocked (deadlock)".into(),
+            ));
+        };
+        if st.steps >= max_steps {
+            return Err(SimError::InstructionBudgetExceeded { budget: max_steps });
+        }
+        st.steps += 1;
+
+        let t = &mut threads[i];
+        let Some(instr) = t.program.get(t.pc) else {
+            t.halted = true;
+            continue;
+        };
+        let mut next_pc = t.pc + 1;
+        let operand = |regs: &[u64; Reg::COUNT], op: Operand| match op {
+            Operand::Reg(r) => regs[r.index()],
+            Operand::Imm(i) => i as u64,
+        };
+        match *instr {
+            Instr::Li { rd, imm } => t.regs[rd.index()] = imm as u64,
+            Instr::Mov { rd, rs } => t.regs[rd.index()] = t.regs[rs.index()],
+            Instr::Alu { op, rd, rs, rhs } => {
+                let b = operand(&t.regs, rhs);
+                t.regs[rd.index()] = op.apply(t.regs[rs.index()], b);
+            }
+            Instr::Load { rd, base, disp } => {
+                let addr = t.regs[base.index()].wrapping_add(disp as u64);
+                check_aligned(addr)?;
+                let v = if t.vid > 0 {
+                    t.wlog.get(&addr).or_else(|| st.memory.get(&addr))
+                } else {
+                    st.memory.get(&addr)
+                };
+                t.regs[rd.index()] = *v.unwrap_or(&0);
+            }
+            Instr::Store { rs, base, disp } => {
+                let addr = t.regs[base.index()].wrapping_add(disp as u64);
+                check_aligned(addr)?;
+                let value = t.regs[rs.index()];
+                if t.vid > 0 {
+                    t.wlog.insert(addr, value);
+                } else {
+                    st.memory.insert(addr, value);
+                }
+            }
+            Instr::Branch {
+                cond,
+                rs,
+                rhs,
+                target,
+            } => {
+                let b = operand(&t.regs, rhs);
+                if cond.eval(t.regs[rs.index()], b) {
+                    next_pc = target;
+                }
+            }
+            Instr::Jump { target } => next_pc = target,
+            Instr::Halt => t.halted = true,
+            Instr::Compute { .. } | Instr::Marker { .. } | Instr::InitMtx { .. } => {}
+            Instr::Out { rs } => {
+                let value = t.regs[rs.index()];
+                if t.vid > 0 {
+                    t.pending_out.push(value);
+                } else {
+                    st.output.push(value);
+                }
+            }
+            Instr::BeginMtx { rvid } => {
+                t.vid = t.regs[rvid.index()] as u16;
+                t.wlog.clear();
+                t.pending_out.clear();
+            }
+            Instr::CommitMtx { rvid } => {
+                let vid = t.regs[rvid.index()] as u16;
+                debug_assert_eq!(vid, last_committed.wrapping_add(1), "runnable check");
+                for (addr, value) in t.wlog.drain() {
+                    st.memory.insert(addr, value);
+                }
+                st.output.append(&mut t.pending_out);
+                t.vid = 0;
+                last_committed = vid;
+                st.commits.push(TmCommitSnapshot {
+                    vid,
+                    memory: st.memory.clone(),
+                    output_len: st.output.len(),
+                });
+            }
+            Instr::AbortMtx { .. } | Instr::VidReset => {
+                return Err(SimError::BadProgram(format!(
+                    "serial TM reference does not support `{instr}`"
+                )));
+            }
+            Instr::Produce { q, rs } => queues[q.0].push_back(t.regs[rs.index()]),
+            Instr::Consume { rd, q } => {
+                let v = queues[q.0].pop_front().expect("runnable check");
+                t.regs[rd.index()] = v;
+            }
+        }
+        t.pc = next_pc;
+    }
+}
+
 fn check_aligned(addr: u64) -> Result<(), SimError> {
     // Same constraint as the machine: an 8-byte word must not cross a
     // 64-byte line; alignment to 8 guarantees that.
@@ -188,6 +404,100 @@ mod tests {
             run_reference(&p, 10),
             Err(SimError::InstructionBudgetExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn serial_tm_commits_a_two_thread_handoff() {
+        let t0 = assemble(
+            r"
+                li r10, 1
+                beginMTX r10
+                li r1, 0x100000
+                li r2, 7
+                st r2, (r1)
+                li r3, 1
+                produce q0, r3
+                commitMTX r10
+                li r3, 2
+                produce q1, r3
+                halt
+            ",
+        )
+        .unwrap();
+        let t1 = assemble(
+            r"
+                consume r9, q0
+                li r10, 2
+                beginMTX r10
+                li r1, 0x100000
+                ld r4, (r1)
+                li r5, 0x100040
+                add r6, r4, 1
+                st r6, (r5)
+                consume r9, q1
+                commitMTX r10
+                out r6
+                halt
+            ",
+        )
+        .unwrap();
+        let st = run_serial_tm(&[&t0, &t1], 10_000, &HashMap::new()).unwrap();
+        assert_eq!(st.memory.get(&0x100000), Some(&7));
+        assert_eq!(st.memory.get(&0x100040), Some(&8));
+        assert_eq!(st.output, vec![8]);
+        assert_eq!(st.commits.len(), 2);
+        // The first snapshot sees only transaction 1's writes.
+        assert_eq!(st.commits[0].vid, 1);
+        assert_eq!(st.commits[0].memory.get(&0x100000), Some(&7));
+        assert_eq!(st.commits[0].memory.get(&0x100040), None);
+        assert_eq!(st.commits[0].output_len, 0);
+    }
+
+    #[test]
+    fn serial_tm_buffers_transactional_writes_until_commit() {
+        // A non-transactional observer must not see the store before commit;
+        // with the token produced before the commit, the oracle's scheduler
+        // lets the observer read while the transaction is still open.
+        let writer = assemble(
+            r"
+                li r10, 1
+                beginMTX r10
+                li r1, 0x100000
+                li r2, 9
+                st r2, (r1)
+                produce q0, r2
+                consume r3, q1
+                commitMTX r10
+                halt
+            ",
+        )
+        .unwrap();
+        let reader = assemble(
+            r"
+                consume r9, q0
+                li r1, 0x100000
+                ld r4, (r1)
+                out r4
+                produce q1, r4
+                halt
+            ",
+        )
+        .unwrap();
+        let st = run_serial_tm(&[&writer, &reader], 10_000, &HashMap::new()).unwrap();
+        assert_eq!(st.output, vec![0], "store must stay buffered");
+        assert_eq!(st.memory.get(&0x100000), Some(&9));
+    }
+
+    #[test]
+    fn serial_tm_reports_deadlock_and_rejects_aborts() {
+        let p = assemble("consume r1, q0\nhalt").unwrap();
+        let err = run_serial_tm(&[&p], 100, &HashMap::new()).unwrap_err();
+        assert!(err.to_string().contains("deadlock"), "{err}");
+        // Out-of-order commits also deadlock (the commit blocks forever).
+        let p = assemble("li r10, 2\nbeginMTX r10\ncommitMTX r10\nhalt").unwrap();
+        assert!(run_serial_tm(&[&p], 100, &HashMap::new()).is_err());
+        let p = assemble("li r10, 1\nabortMTX r10\nhalt").unwrap();
+        assert!(run_serial_tm(&[&p], 100, &HashMap::new()).is_err());
     }
 
     #[test]

@@ -35,5 +35,7 @@ pub mod program;
 
 pub use asm::assemble;
 pub use instr::{AluOp, Cond, Instr, Operand, Reg};
-pub use interp::{run_reference, run_reference_with, RefState};
+pub use interp::{
+    run_reference, run_reference_with, run_serial_tm, RefState, TmCommitSnapshot, TmRefState,
+};
 pub use program::{Label, Program, ProgramBuilder};

@@ -7,7 +7,9 @@
 //! deterministic event-driven machine producing exactly those streams:
 //!
 //! * in-order cores interpreting the [`hmtx_isa`] mini-ISA, scheduled by
-//!   smallest local clock (fully deterministic interleaving);
+//!   smallest local clock by default (fully deterministic interleaving) —
+//!   the pick point is a pluggable [`SchedulePolicy`] so replay and
+//!   systematic exploration policies slot in (see [`schedule`]);
 //! * a gshare branch predictor per core, with bounded wrong-path
 //!   interpretation feeding branch-speculative loads to the caches (§5.1);
 //! * hardware produce/consume queues for DSWP pipelines;
@@ -45,10 +47,14 @@
 pub mod machine;
 pub mod predictor;
 pub mod queue;
+pub mod schedule;
 
 pub use machine::{CoreStats, Machine, MachineStats, MarkerEvent, RunEvent, ThreadContext};
 pub use predictor::{BranchPredictor, Gshare};
 pub use queue::{ConsumeOutcome, ProduceOutcome, QueueSet};
+pub use schedule::{
+    CoreEvent, EventSummary, JitterPolicy, MinClock, ReplayPolicy, SchedulePolicy, ScheduleSeed,
+};
 
 // The bench harness fans complete simulations out across host threads
 // (`hmtx_bench::runner`), moving machines and their statistics between
@@ -60,6 +66,11 @@ const _: () = {
     assert_send_sync::<MachineStats>();
     assert_send_sync::<CoreStats>();
     assert_send_sync::<MarkerEvent>();
+    // The explorer ships policies and seeds across its worker threads.
+    assert_send_sync::<MinClock>();
+    assert_send_sync::<JitterPolicy>();
+    assert_send_sync::<ReplayPolicy>();
+    assert_send_sync::<ScheduleSeed>();
 };
 
 #[cfg(test)]

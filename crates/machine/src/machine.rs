@@ -1,7 +1,8 @@
 //! The multicore machine: in-order cores interpreting the mini-ISA over the
-//! HMTX memory system, with deterministic min-clock scheduling, branch
-//! prediction with wrong-path execution, hardware queues, transaction-
-//! buffered output, and timer interrupts.
+//! HMTX memory system, with pluggable scheduling (deterministic min-clock by
+//! default, see [`crate::schedule`]), branch prediction with wrong-path
+//! execution, hardware queues, transaction-buffered output, and timer
+//! interrupts.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -14,6 +15,7 @@ use hmtx_types::{Addr, CoreId, Cycle, MachineConfig, SimError, ThreadId, Vid};
 
 use crate::predictor::BranchPredictor;
 use crate::queue::{ConsumeOutcome, ProduceOutcome, QueueSet};
+use crate::schedule::{CoreEvent, EventSummary, MinClock, SchedulePolicy};
 
 /// Cycles a core waits before retrying a blocked queue operation.
 const RETRY_QUANTUM: u64 = 4;
@@ -326,18 +328,56 @@ impl Machine {
     /// Returns [`SimError`] for guest-program bugs (unaligned access,
     /// malformed VIDs, out-of-order commits).
     pub fn run(&mut self, budget: u64) -> Result<RunEvent, SimError> {
+        self.run_with_policy(budget, &mut MinClock)
+    }
+
+    /// Runs like [`Machine::run`], but lets `policy` choose which enabled
+    /// core steps at each scheduling point (the seam behind `hmtx-explore`
+    /// and `hmtx-run --replay`).
+    ///
+    /// At every decision the policy sees the enabled cores sorted by
+    /// `(ready_at, core)` — index 0 is the default min-clock choice, so
+    /// [`MinClock`] reproduces [`Machine::run`] exactly. When the policy
+    /// runs a core ahead of an earlier-clocked peer, the chosen core's
+    /// clock is first warped up to the latest previously scheduled event so
+    /// the memory system always observes non-decreasing timestamps (a no-op
+    /// under [`MinClock`]: the minimum clock never regresses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for guest-program bugs, or any error raised by
+    /// the policy's `observe_commit` hook.
+    pub fn run_with_policy(
+        &mut self,
+        budget: u64,
+        policy: &mut dyn SchedulePolicy,
+    ) -> Result<RunEvent, SimError> {
         let start_instructions = self.stats.instructions;
+        let mut enabled: Vec<CoreEvent> = Vec::with_capacity(self.threads.len());
+        let mut sched_now: Cycle = 0;
+        let mut step_ordinal: u64 = 0;
         loop {
-            let Some(core) = self.pick_core() else {
+            self.collect_enabled(&mut enabled);
+            if enabled.is_empty() {
                 return Ok(RunEvent::AllHalted);
-            };
+            }
             if self.stats.instructions - start_instructions >= budget {
                 return Ok(RunEvent::BudgetExhausted);
             }
+            let idx = policy.pick(step_ordinal, &enabled).min(enabled.len() - 1);
+            step_ordinal += 1;
+            let core = enabled[idx].core;
+            // Time warp: keep scheduled timestamps monotone under arbitrary
+            // policies (see run_with_policy docs).
+            if self.ready_at[core] < sched_now {
+                self.ready_at[core] = sched_now;
+            }
+            sched_now = self.ready_at[core];
             if self.ready_at[core] >= self.next_interrupt[core] {
                 self.service_interrupt(core)?;
                 continue;
             }
+            let committed_before = self.mem.last_committed();
             match self.step(core)? {
                 StepOutcome::Continue => {}
                 StepOutcome::Misspec(cause) => {
@@ -345,6 +385,10 @@ impl Machine {
                     self.machine_abort(cycle);
                     return Ok(RunEvent::Misspeculation { cause, cycle });
                 }
+            }
+            let committed_after = self.mem.last_committed();
+            if committed_after > committed_before {
+                policy.observe_commit(committed_after, &self.mem, &self.committed_output)?;
             }
         }
     }
@@ -372,13 +416,55 @@ impl Machine {
         }
     }
 
-    fn pick_core(&self) -> Option<usize> {
-        self.threads
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.as_ref().is_some_and(|t| !t.halted))
-            .min_by_key(|(i, _)| (self.ready_at[*i], *i))
-            .map(|(i, _)| i)
+    /// Fills `out` with the enabled (loaded, non-halted) cores, sorted by
+    /// `(ready_at, core)` so index 0 is the min-clock default pick.
+    fn collect_enabled(&self, out: &mut Vec<CoreEvent>) {
+        out.clear();
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.as_ref().is_some_and(|t| !t.halted) {
+                out.push(CoreEvent {
+                    core: i,
+                    ready_at: self.ready_at[i],
+                    event: self.event_summary(i),
+                });
+            }
+        }
+        out.sort_unstable_by_key(|e| (e.ready_at, e.core));
+    }
+
+    /// Summarizes what the next instruction of the thread on `core` would
+    /// do, at the resolution the explorer's reduction needs (effective line
+    /// addresses are resolved against current register values).
+    fn event_summary(&self, core: usize) -> EventSummary {
+        let t = self.threads[core].as_ref().unwrap();
+        let Some(instr) = t.program.get(t.pc) else {
+            return EventSummary::Other;
+        };
+        match *instr {
+            Instr::Load { base, disp, .. } => EventSummary::Mem {
+                line: Addr(t.regs[base.index()].wrapping_add(disp as u64)).line().0,
+                write: false,
+            },
+            Instr::Store { base, disp, .. } => EventSummary::Mem {
+                line: Addr(t.regs[base.index()].wrapping_add(disp as u64)).line().0,
+                write: true,
+            },
+            Instr::BeginMtx { .. }
+            | Instr::CommitMtx { .. }
+            | Instr::AbortMtx { .. }
+            | Instr::VidReset => EventSummary::Mtx,
+            Instr::Produce { q, .. } => EventSummary::Queue {
+                q: q.0,
+                produce: true,
+                would_block: self.queues.produce_would_block(q),
+            },
+            Instr::Consume { q, .. } => EventSummary::Queue {
+                q: q.0,
+                produce: false,
+                would_block: self.queues.consume_would_block(self.ready_at[core], q),
+            },
+            _ => EventSummary::Other,
+        }
     }
 
     fn bump(&mut self, core: usize, cycles: u64) {

@@ -133,6 +133,21 @@ impl QueueSet {
         self.queues[q.0].len()
     }
 
+    /// Whether a `produce` on `q` would stall right now (read-only peek;
+    /// does not touch the stall counters).
+    pub fn produce_would_block(&self, q: QueueId) -> bool {
+        self.queues[q.0].len() >= self.capacity
+    }
+
+    /// Whether a `consume` on `q` at cycle `now` would stall right now
+    /// (empty, or the head entry still in flight; read-only peek).
+    pub fn consume_would_block(&self, now: Cycle, q: QueueId) -> bool {
+        match self.queues[q.0].front() {
+            None => true,
+            Some(e) => e.available_at > now,
+        }
+    }
+
     /// `(produces, consumes, full_stalls, empty_stalls)` counters.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
         (

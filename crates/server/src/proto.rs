@@ -60,17 +60,29 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame boundary.
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame boundary;
+/// an EOF *inside* the length prefix (a partially-received frame) is an
+/// `UnexpectedEof` error, not a clean shutdown.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors; rejects frames over [`MAX_FRAME`].
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME {

@@ -1,0 +1,107 @@
+//! Property tests for the `hmtx-serve` frame codec: arbitrary payloads
+//! round-trip through `write_frame`/`read_frame`, truncated frames are
+//! rejected (or reported as clean EOF at a frame boundary) without panics
+//! or fabricated payloads, oversized length prefixes are refused before
+//! allocation, and `Request::parse` round-trips every request shape while
+//! rejecting mangled bytes with an error.
+
+use std::io::{Cursor, ErrorKind};
+
+use hmtx_server::{read_frame, write_frame, Request, MAX_FRAME};
+use hmtx_types::{BenchRef, JobSpec, WireBase, WireParadigm, WireScale};
+use proptest::prelude::*;
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..2048)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Any payload round-trips, and back-to-back frames on one stream stay
+    /// delimited: two writes read back as the same two payloads, then a
+    /// clean EOF.
+    #[test]
+    fn frames_round_trip_and_stay_delimited(a in arb_payload(), b in arb_payload()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &a).unwrap();
+        write_frame(&mut wire, &b).unwrap();
+        let mut r = Cursor::new(wire);
+        prop_assert_eq!(read_frame(&mut r).unwrap(), Some(a));
+        prop_assert_eq!(read_frame(&mut r).unwrap(), Some(b));
+        prop_assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    /// A frame cut anywhere — inside the length prefix or inside the
+    /// payload — never yields a payload: a cut at offset 0 is a clean EOF
+    /// (`Ok(None)`), any other cut is an `UnexpectedEof` error. Never a
+    /// panic, never partial bytes.
+    #[test]
+    fn truncated_frames_never_yield_a_payload(payload in arb_payload(), cut_seed in any::<u64>()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let cut = (cut_seed % wire.len() as u64) as usize;
+        let mut r = Cursor::new(&wire[..cut]);
+        match read_frame(&mut r) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+            Ok(Some(got)) => prop_assert!(false, "truncated frame yielded {} bytes", got.len()),
+            Err(e) => prop_assert_eq!(e.kind(), ErrorKind::UnexpectedEof),
+        }
+    }
+
+    /// A length prefix over `MAX_FRAME` is refused before any allocation,
+    /// whatever bytes follow — a hostile client cannot make the server
+    /// buffer gigabytes.
+    #[test]
+    fn oversized_length_prefixes_are_refused(len in (MAX_FRAME as u64 + 1)..(u32::MAX as u64 + 1), tail in arb_payload()) {
+        let mut wire = (len as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&tail);
+        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        prop_assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+
+    /// Every request shape survives `to_bytes` → `parse`.
+    #[test]
+    fn requests_round_trip(kind in 0u8..4, deadline in any::<u64>(), with_deadline in any::<bool>()) {
+        let spec = JobSpec::new(
+            BenchRef::SlaStress,
+            WireParadigm::Paper,
+            WireScale::Quick,
+            WireBase::Test,
+        );
+        let req = match kind {
+            0 => Request::Job { spec, deadline_ms: with_deadline.then_some(deadline) },
+            1 => Request::Stats,
+            2 => Request::Ping,
+            _ => Request::Shutdown,
+        };
+        prop_assert_eq!(Request::parse(&req.to_bytes()).unwrap(), req);
+    }
+
+    /// Truncating a serialized request anywhere makes it unparseable — an
+    /// error, not a panic or a silently defaulted request.
+    #[test]
+    fn truncated_requests_are_rejected(deadline in any::<u64>(), cut_seed in any::<u64>()) {
+        let spec = JobSpec::new(
+            BenchRef::Fig1Loop,
+            WireParadigm::Doacross,
+            WireScale::Standard,
+            WireBase::Paper,
+        );
+        let bytes = Request::Job { spec, deadline_ms: Some(deadline) }.to_bytes();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(Request::parse(&bytes[..cut]).is_err());
+    }
+}
+
+/// `write_frame` refuses oversized payloads up front (checked without
+/// actually allocating 16 MiB per proptest case, hence a plain test).
+#[test]
+fn write_frame_refuses_oversized_payloads() {
+    let too_big = vec![0u8; MAX_FRAME + 1];
+    let err = write_frame(&mut Vec::new(), &too_big).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::InvalidInput);
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &[]).unwrap();
+    assert_eq!(wire, vec![0, 0, 0, 0], "empty payload is a bare length prefix");
+}

@@ -116,6 +116,36 @@ pub enum Interconnect {
     },
 }
 
+/// A deliberately planted protocol defect, used to validate the correctness
+/// tooling against a known-bad protocol: `hmtx-explore` must rediscover and
+/// shrink the pinned PR 1 counterexample when one is enabled. Always `None`
+/// in shipping configurations; only tests and the explorer's `--seed-bug`
+/// flag ever set it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeedBug {
+    /// §4.3 speculative-read migration leaves a live replica of the version
+    /// in the supplier's cache instead of demoting it to `S-S`, so two
+    /// caches answer for the same `(modVID, highVID)` range.
+    StaleMigrationReplica,
+}
+
+impl SeedBug {
+    /// Stable CLI/corpus name of this defect.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeedBug::StaleMigrationReplica => "stale-migration-replica",
+        }
+    }
+
+    /// Parses a CLI/corpus name produced by [`SeedBug::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "stale-migration-replica" => Some(SeedBug::StaleMigrationReplica),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of the HMTX protocol extensions themselves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HmtxConfig {
@@ -139,6 +169,9 @@ pub struct HmtxConfig {
     pub sla_latency: u64,
     /// Cycle cost of a VID reset broadcast (pipeline refill after the stall).
     pub vid_reset_latency: u64,
+    /// Deliberately planted protocol defect (correctness-tool validation
+    /// only; see [`SeedBug`]). `None` in every real configuration.
+    pub seed_bug: Option<SeedBug>,
 }
 
 impl HmtxConfig {
@@ -154,6 +187,7 @@ impl HmtxConfig {
             eager_commit_per_line_cost: 1,
             sla_latency: 2,
             vid_reset_latency: 64,
+            seed_bug: None,
         }
     }
 

@@ -1,0 +1,210 @@
+//! Property tests for the wire vocabulary (`wire.rs`) and the JSON decoder
+//! (`json.rs`): arbitrary [`JobSpec`]s, [`StatsSnapshot`]s and
+//! [`Diagnostic`]s round-trip through their canonical JSON; the job key is
+//! invariant under key reordering; the decoder rejects truncated input,
+//! unknown fields and over-deep nesting without panicking.
+//!
+//! The frame layer itself (length prefix, `MAX_FRAME`) lives in
+//! `hmtx-server` and is property-tested in
+//! `crates/server/tests/proptest_frames.rs`.
+
+use hmtx_types::{
+    diagnostic_to_json, BenchRef, Diagnostic, FaultSpec, JobSpec, Json, Severity, StatsSnapshot,
+    VictimPolicy, WireBase, WireParadigm, WireScale, WireVariant,
+};
+use proptest::prelude::*;
+
+const PARADIGMS: [WireParadigm; 9] = [
+    WireParadigm::Sequential,
+    WireParadigm::Paper,
+    WireParadigm::SmtxMin,
+    WireParadigm::SmtxSub,
+    WireParadigm::SmtxMax,
+    WireParadigm::Doall,
+    WireParadigm::Doacross,
+    WireParadigm::Dswp,
+    WireParadigm::PsDswp,
+];
+
+const SCALES: [WireScale; 3] = [WireScale::Quick, WireScale::Standard, WireScale::Stress];
+
+/// An arbitrary spec covering every benchmark/paradigm/scale/base/variant
+/// shape, with in-range variant parameters and an optional fault plan.
+fn arb_spec() -> impl Strategy<Value = JobSpec> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        (any::<bool>(), any::<u64>(), 0u64..1_000_001),
+    )
+        .prop_map(|(a, b, c, (with_fault, seed, rate))| {
+            let benchmark = match a % 4 {
+                0 => BenchRef::Suite((a / 4 % 16) as u32),
+                1 => BenchRef::SlaStress,
+                2 => BenchRef::ScalingLoop,
+                _ => BenchRef::Fig1Loop,
+            };
+            let variant = match c % 9 {
+                0 => WireVariant::Base,
+                1 => WireVariant::Commit { lazy: c & 16 != 0 },
+                2 => WireVariant::Sla {
+                    enabled: c & 16 != 0,
+                },
+                3 => WireVariant::VidBits((2 + c / 9 % 15) as u32),
+                4 => WireVariant::Victim(if c & 16 != 0 {
+                    VictimPolicy::PreferSafeOverflow
+                } else {
+                    VictimPolicy::PlainLru
+                }),
+                5 => WireVariant::Bounded {
+                    unbounded: c & 16 != 0,
+                },
+                6 => WireVariant::ScalingBase,
+                7 => WireVariant::ScalingFabric {
+                    cores: (1 + c / 9 % 64) as u32,
+                    directory: c & 16 != 0,
+                },
+                _ => WireVariant::QueueLatency(c / 9 % 1_000_001),
+            };
+            JobSpec {
+                benchmark,
+                paradigm: PARADIGMS[(b % 9) as usize],
+                scale: SCALES[(b / 9 % 3) as usize],
+                base: if b / 27 % 2 == 0 {
+                    WireBase::Paper
+                } else {
+                    WireBase::Test
+                },
+                variant,
+                fault: with_fault.then_some(FaultSpec {
+                    seed,
+                    rate_ppm: rate as u32,
+                }),
+            }
+        })
+}
+
+fn arb_stats() -> impl Strategy<Value = StatsSnapshot> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(a, b, c, d)| StatsSnapshot {
+            requests: a.0,
+            job_requests: a.1,
+            mem_hits: a.2,
+            disk_hits: a.3,
+            coalesced_hits: b.0,
+            misses: b.1,
+            executed: b.2,
+            rejected_busy: b.3,
+            rejected_draining: c.0,
+            deadline_timeouts: c.1,
+            errors: c.2,
+            queue_depth: c.3,
+            inflight: d.0,
+            p50_service_us: d.1,
+            p99_service_us: d.2,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// A spec survives `to_json` → `from_json` and a full trip through the
+    /// canonical *text*, and the content-addressed key is stable across
+    /// both trips.
+    #[test]
+    fn specs_round_trip_through_canonical_json(spec in arb_spec()) {
+        prop_assert_eq!(JobSpec::from_json(&spec.to_json()).unwrap(), spec);
+        let canonical = spec.canonical();
+        let reparsed = JobSpec::from_json(&Json::parse(&canonical).unwrap()).unwrap();
+        prop_assert_eq!(reparsed, spec);
+        prop_assert_eq!(reparsed.key(), spec.key());
+        prop_assert_eq!(reparsed.canonical(), canonical);
+    }
+
+    /// The job key only depends on the job, not on the key order the client
+    /// happened to use: any rotation of the top-level fields parses to the
+    /// same spec and therefore the same key.
+    #[test]
+    fn job_key_is_invariant_under_field_reordering(spec in arb_spec(), r in 0usize..6) {
+        let Json::Obj(mut fields) = spec.to_json() else { panic!("specs serialize to objects") };
+        let n = fields.len().max(1);
+        fields.rotate_left(r % n);
+        let reordered = Json::Obj(fields).compact();
+        let reparsed = JobSpec::from_json(&Json::parse(&reordered).unwrap()).unwrap();
+        prop_assert_eq!(reparsed.key(), spec.key());
+    }
+
+    /// Every strict prefix of the canonical bytes is rejected by the JSON
+    /// decoder with an error — never a panic, never a silent partial value.
+    #[test]
+    fn truncated_canonical_specs_never_parse(spec in arb_spec()) {
+        let canonical = spec.canonical();
+        for cut in 0..canonical.len() {
+            prop_assert!(
+                Json::parse(&canonical[..cut]).is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+    }
+
+    /// A stray top-level field makes the spec unparseable: two spellings of
+    /// a request can never alias distinct cache keys.
+    #[test]
+    fn unknown_spec_fields_are_rejected(spec in arb_spec(), name in "x_[a-z]{0,8}") {
+        let Json::Obj(mut fields) = spec.to_json() else { panic!("specs serialize to objects") };
+        fields.push((name, Json::Uint(1)));
+        prop_assert!(JobSpec::from_json(&Json::Obj(fields)).is_err());
+    }
+
+    /// Server stats snapshots round-trip (the derived `cache_hits` field is
+    /// recomputed, not stored).
+    #[test]
+    fn stats_snapshots_round_trip(stats in arb_stats()) {
+        prop_assert_eq!(StatsSnapshot::from_json(&stats.to_json()).unwrap(), stats);
+        let text = stats.to_json().compact();
+        prop_assert_eq!(
+            StatsSnapshot::from_json(&Json::parse(&text).unwrap()).unwrap(),
+            stats
+        );
+    }
+
+    /// `diagnostic_to_json` and the handwritten `render_json` agree on the
+    /// same bytes, and the fields survive a parse round-trip.
+    #[test]
+    fn diagnostics_round_trip_and_renderers_agree(
+        core in 0usize..64,
+        pc in 0usize..4096,
+        warn in any::<bool>(),
+        message in "[a-zA-Z0-9 .:_-]{0,24}",
+    ) {
+        let d = Diagnostic {
+            severity: if warn { Severity::Warning } else { Severity::Error },
+            rule: "queue-no-producer",
+            core,
+            pc,
+            message,
+        };
+        let json = diagnostic_to_json(&d);
+        prop_assert_eq!(Json::parse(&d.render_json()).unwrap().compact(), json.compact());
+        prop_assert_eq!(json.get("severity").and_then(Json::as_str), Some(d.severity.name()));
+        prop_assert_eq!(json.get("rule").and_then(Json::as_str), Some(d.rule));
+        prop_assert_eq!(json.get("core").and_then(Json::as_u64), Some(d.core as u64));
+        prop_assert_eq!(json.get("pc").and_then(Json::as_u64), Some(d.pc as u64));
+        prop_assert_eq!(json.get("message").and_then(Json::as_str), Some(d.message.as_str()));
+    }
+
+    /// Nesting deeper than the decoder's recursion budget is rejected with
+    /// an error (not a stack overflow); shallow nesting still parses.
+    #[test]
+    fn over_deep_nesting_is_rejected(depth in 66usize..600) {
+        let deep = "[".repeat(depth) + &"]".repeat(depth);
+        prop_assert!(Json::parse(&deep).is_err());
+        let shallow = "[".repeat(16) + &"]".repeat(16);
+        prop_assert!(Json::parse(&shallow).is_ok());
+    }
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Smoke gate for hmtx-explore (see DESIGN.md §9): bounded systematic
+# exploration must terminate clean on the two-thread machine kernels, the
+# planted-defect pipeline must rediscover and shrink its counterexample,
+# and a bound-limited sweep over every workload must finish within the
+# smoke budget. Nonzero exit on any failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROFILE="${PROFILE:-release}"
+EXPLORE="target/${PROFILE}/hmtx-explore"
+[ -x "$EXPLORE" ] || cargo build --release -p hmtx-explore
+
+CORPUS="$(mktemp -d)"
+trap 'rm -rf "$CORPUS"' EXIT
+
+# --- exhaustive kernel exploration ----------------------------------------
+# Both op-level kernels and the two-thread machine kernels, to the default
+# preemption bound of 3: the bounded space must be exhausted with zero
+# invariant or oracle violations.
+"$EXPLORE" --all-kernels --preemptions 3 --expect-exhausted
+
+# --- planted-defect pipeline ----------------------------------------------
+# Under the test-only stale-migration-replica defect the explorer must
+# rediscover a failing schedule from scratch and shrink it to at most the
+# pinned 7 ops (writes a throwaway corpus seed to verify that path too).
+"$EXPLORE" --kernel migrated_line --seed-bug stale-migration-replica \
+  --shrink --expect-failure --max-shrunk-len 7 --corpus-dir "$CORPUS"
+
+# --- bounded workload sweep -----------------------------------------------
+# Every paper workload analogue, bound-limited: exploration must terminate
+# clean (invariants hold, committed output matches the sequential
+# reference) within the smoke budget.
+for W in 052.alvinn 130.li 164.gzip 186.crafty 197.parser 256.bzip2 456.hmmer ispell; do
+  "$EXPLORE" --workload "$W" --bound 48 --preemptions 2
+done
+
+echo "explore_smoke green"

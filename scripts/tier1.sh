@@ -6,7 +6,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+
+# Per-crate test matrix: the union equals `cargo test -q --workspace`, but a
+# failure names its crate in the log instead of drowning in the firehose.
+for CRATE in hmtx-types hmtx-isa hmtx-analysis hmtx-mem hmtx-core \
+             hmtx-machine hmtx-explore hmtx-runtime hmtx-smtx \
+             hmtx-workloads hmtx-power hmtx-bench hmtx-server hmtx; do
+  echo "--- cargo test -p ${CRATE}"
+  cargo test -q -p "$CRATE"
+done
 
 # Chaos differential: committed outputs under any seeded fault schedule
 # (including the pinned regression seeds) must match the fault-free run.
@@ -23,6 +31,11 @@ cargo run --release -p hmtx --bin hmtx-verify -- --all-workloads
 # Serving-layer smoke: ephemeral hmtx-serve + hmtx-load burst; verifies
 # byte-identical cold/warm responses, cache-hit accounting, SIGTERM drain.
 bash scripts/serve_smoke.sh
+
+# Exploration smoke: bounded systematic schedule exploration (hmtx-explore)
+# must exhaust the kernel space clean, rediscover + shrink the planted
+# defect, and terminate bound-limited on every workload (DESIGN.md §9).
+bash scripts/explore_smoke.sh
 
 # Full harness at quick scale across all host cores; the JSON report lands
 # next to the sources as a regenerated artifact (see EXPERIMENTS.md).
