@@ -1,0 +1,197 @@
+//! Committed-simulated-cycles/sec microbench over the standard 72-job sweep.
+//!
+//! Usage:
+//!
+//! ```text
+//! cyclebench [--reps N] [--json PATH] [--baseline CPS] [--gate PATH] [--threshold R]
+//! ```
+//!
+//! Runs the standard 72-job sweep ([`hmtx_bench::standard_sweep`], the same
+//! job list `hmtx-load` submits) serially, sums the committed simulated
+//! cycles of every job, and reports `cycles / wall_seconds` for the best of
+//! `--reps` repetitions (default 3; best-of filters scheduler noise).
+//!
+//! `--json PATH` writes the measurement (plus the optional `--baseline`
+//! cycles/sec for speedup bookkeeping) as a `BENCH_pr6.json`-style report.
+//!
+//! `--gate PATH` is the tier-1 regression mode: re-measure, read the
+//! baseline report at PATH, and exit nonzero if the fresh cycles/sec falls
+//! below `--threshold` (default 0.8, i.e. a >20% regression) times the
+//! recorded value. The simulated cycle *count* must also match the recorded
+//! total exactly — the sweep is deterministic, so any drift means the
+//! simulation changed, not just the machine speed.
+
+use std::time::Instant;
+
+use hmtx_bench::{run_job, standard_sweep};
+use hmtx_types::{Json, WireScale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cyclebench [--reps N] [--json PATH] [--baseline CPS] \
+         [--gate PATH] [--threshold RATIO]"
+    );
+    std::process::exit(2);
+}
+
+struct Measurement {
+    jobs: usize,
+    total_cycles: u64,
+    best_wall_seconds: f64,
+    reps: usize,
+}
+
+impl Measurement {
+    fn cycles_per_sec(&self) -> f64 {
+        self.total_cycles as f64 / self.best_wall_seconds
+    }
+}
+
+/// Runs the sweep `reps` times; every rep must commit the same total cycle
+/// count (the sweep is deterministic), and the fastest rep is the score.
+fn measure(reps: usize) -> Measurement {
+    let sweep = standard_sweep(WireScale::Quick);
+    let mut total_cycles = 0u64;
+    let mut best = f64::INFINITY;
+    for rep in 0..reps {
+        let started = Instant::now();
+        let mut cycles = 0u64;
+        for spec in &sweep {
+            let result = run_job(spec).unwrap_or_else(|e| {
+                eprintln!("cyclebench: job {} failed: {e:?}", spec.key());
+                std::process::exit(1);
+            });
+            cycles += result.cycles;
+        }
+        let wall = started.elapsed().as_secs_f64();
+        if rep == 0 {
+            total_cycles = cycles;
+        } else if cycles != total_cycles {
+            eprintln!(
+                "cyclebench: nondeterministic sweep: rep {rep} committed {cycles} \
+                 cycles, rep 0 committed {total_cycles}"
+            );
+            std::process::exit(1);
+        }
+        best = best.min(wall);
+        eprintln!(
+            "cyclebench: rep {rep}: {cycles} cycles in {wall:.3}s ({:.0} cycles/s)",
+            cycles as f64 / wall
+        );
+    }
+    Measurement {
+        jobs: sweep.len(),
+        total_cycles,
+        best_wall_seconds: best,
+        reps,
+    }
+}
+
+fn render(m: &Measurement, baseline_cps: Option<f64>) -> Json {
+    let mut pairs = vec![
+        ("schema", Json::Str("hmtx-cyclebench/1".into())),
+        ("sweep", Json::Str("standard-72-job".into())),
+        ("scale", Json::Str("quick".into())),
+        ("jobs", Json::Uint(m.jobs as u64)),
+        ("reps", Json::Uint(m.reps as u64)),
+        ("total_committed_cycles", Json::Uint(m.total_cycles)),
+        ("best_wall_seconds", Json::Num(m.best_wall_seconds)),
+        ("cycles_per_sec", Json::Num(m.cycles_per_sec())),
+    ];
+    if let Some(base) = baseline_cps {
+        pairs.push(("baseline_cycles_per_sec", Json::Num(base)));
+        pairs.push(("speedup_over_baseline", Json::Num(m.cycles_per_sec() / base)));
+    }
+    Json::obj(pairs)
+}
+
+fn gate(path: &str, threshold: f64, fresh: &Measurement) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cyclebench: reading {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cyclebench: parsing {path}: {e}");
+        std::process::exit(1);
+    });
+    let recorded_cycles = doc
+        .get("total_committed_cycles")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| {
+            eprintln!("cyclebench: {path} has no total_committed_cycles");
+            std::process::exit(1);
+        });
+    let recorded_cps = doc
+        .get("cycles_per_sec")
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| {
+            eprintln!("cyclebench: {path} has no cycles_per_sec");
+            std::process::exit(1);
+        });
+    if fresh.total_cycles != recorded_cycles {
+        eprintln!(
+            "cyclebench: GATE FAIL: sweep committed {} cycles but {path} recorded {} \
+             — the simulation itself changed; regenerate the baseline in this PR",
+            fresh.total_cycles, recorded_cycles
+        );
+        std::process::exit(1);
+    }
+    let fresh_cps = fresh.cycles_per_sec();
+    let floor = recorded_cps * threshold;
+    if fresh_cps < floor {
+        eprintln!(
+            "cyclebench: GATE FAIL: {fresh_cps:.0} cycles/s is below {threshold:.2}x \
+             the recorded {recorded_cps:.0} cycles/s (floor {floor:.0})"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "cyclebench: gate ok: {fresh_cps:.0} cycles/s >= {threshold:.2}x recorded \
+         {recorded_cps:.0} cycles/s"
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    let mut reps = 3usize;
+    let mut json_path: Option<String> = None;
+    let mut baseline: Option<f64> = None;
+    let mut gate_path: Option<String> = None;
+    let mut threshold = 0.8f64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--reps" => reps = value().parse().unwrap_or_else(|_| usage()),
+            "--json" => json_path = Some(value()),
+            "--baseline" => baseline = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--gate" => gate_path = Some(value()),
+            "--threshold" => threshold = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if reps == 0 || !(0.0..=1.0).contains(&threshold) {
+        usage();
+    }
+
+    let m = measure(reps);
+    println!(
+        "cyclebench: {} jobs, {} committed cycles, best {:.3}s, {:.0} cycles/s",
+        m.jobs,
+        m.total_cycles,
+        m.best_wall_seconds,
+        m.cycles_per_sec()
+    );
+
+    if let Some(path) = &json_path {
+        let report = render(&m, baseline);
+        if let Err(e) = std::fs::write(path, report.pretty()) {
+            eprintln!("cyclebench: writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &gate_path {
+        gate(path, threshold, &m);
+    }
+}

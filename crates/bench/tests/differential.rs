@@ -42,6 +42,16 @@ fn ablations_are_deterministic_across_job_counts() {
 }
 
 #[test]
+fn full_sweep_is_byte_identical_serial_vs_parallel() {
+    // Every section — the whole standard sweep against the data-oriented
+    // core — must render identically whatever the host thread count.
+    let serial = stdout_of(&["all", "--quick", "--jobs", "1"]);
+    let parallel = stdout_of(&["all", "--quick", "--jobs", "4"]);
+    assert!(serial.contains("Table 1"), "unexpected output:\n{serial}");
+    assert_eq!(serial, parallel, "--jobs 4 output differs from --jobs 1");
+}
+
+#[test]
 fn json_report_has_rows_and_wall_clock() {
     let path: PathBuf =
         std::env::temp_dir().join(format!("hmtx_bench_diff_{}.json", std::process::id()));

@@ -49,12 +49,12 @@ impl MemorySystem {
 
         for (name, cache) in self.caches_for_scan() {
             for set_idx in 0..cache.config().num_sets() {
-                for stored in cache.set_lines(set_idx) {
+                for stored in cache.set_metas(set_idx) {
                     // Judge the line as the protocol would see it: apply any
                     // pending lazy commit processing (§5.3) to a snapshot
                     // first — committed-but-unprocessed versions are exactly
                     // the paper's set-CB-bit state and are never served.
-                    let mut processed = stored.clone();
+                    let mut processed = *stored;
                     if processed.commit_epoch < cache.commit_epoch()
                         && apply_commit(&mut processed, cache.lc_vid()) == Outcome::Invalidate
                     {
@@ -218,7 +218,7 @@ mod tests {
     // the only line of defense).
     // -----------------------------------------------------------------------
 
-    use hmtx_mem::{CacheLine, LineData, LineState};
+    use hmtx_mem::{CacheLine, LineData, LineMeta, LineState};
     use hmtx_types::LineAddr;
 
     /// Plants a raw line version into `core`'s L1, bypassing the protocol.
@@ -226,18 +226,19 @@ mod tests {
         let addr = LineAddr(addr);
         let epoch = mem.l1_mut(core).commit_epoch();
         let line = CacheLine {
-            addr,
-            state,
-            mod_vid: Vid(m),
-            high_vid: Vid(h),
-            phantom_high: Vid(0),
-            shared_hint: false,
-            commit_epoch: epoch,
-            last_used: 0,
+            meta: LineMeta {
+                addr,
+                state,
+                mod_vid: Vid(m),
+                high_vid: Vid(h),
+                phantom_high: Vid(0),
+                shared_hint: false,
+                commit_epoch: epoch,
+                last_used: 0,
+            },
             data: LineData::zeroed(),
         };
-        let set = mem.l1_mut(core).set_index(addr);
-        mem.l1_mut(core).set_lines_mut(set).push(line);
+        mem.l1_mut(core).plant(line);
     }
 
     #[track_caller]

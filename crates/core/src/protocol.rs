@@ -23,9 +23,11 @@
 //! what guarantees the "requests hit exactly one version" property the paper
 //! relies on.
 
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 
-use hmtx_mem::{Bus, Cache, CacheLine, LineData, LineState, MainMemory};
+use hmtx_mem::cache::LineFate;
+use hmtx_mem::{Bus, Cache, CacheLine, LineData, LineMeta, LineState, MainMemory};
 use hmtx_types::{Addr, CoreId, Cycle, Interconnect, LineAddr, MachineConfig, SimError, Vid};
 
 use crate::faults::{FaultPlan, FaultSite};
@@ -146,7 +148,10 @@ pub struct MemorySystem {
     memory: MainMemory,
     bus: Bus,
     banks: Vec<Bus>,
-    overflow: HashMap<(LineAddr, Vid), CacheLine>,
+    /// §8 overflow table. A `BTreeMap` so commit/abort walks process
+    /// entries in sorted `(address, modVID)` order — writeback and latency
+    /// accounting must not depend on hash iteration order.
+    overflow: BTreeMap<(LineAddr, Vid), CacheLine>,
     stats: MemStats,
     faults: Option<FaultPlan>,
     tracer: Tracer,
@@ -160,25 +165,41 @@ impl MemorySystem {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid; use [`Self::try_new`] to get
+    /// a diagnostic instead.
     pub fn new(cfg: MachineConfig) -> Self {
-        cfg.validate().expect("invalid machine configuration");
-        let l1s = (0..cfg.num_cores).map(|_| Cache::new(cfg.l1)).collect();
-        let l2 = Cache::new(cfg.l2);
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the memory system for `cfg`, reporting an invalid
+    /// configuration as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the machine configuration or any
+    /// cache geometry is invalid.
+    pub fn try_new(cfg: MachineConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let mut l1s = Vec::with_capacity(cfg.num_cores);
+        for _ in 0..cfg.num_cores {
+            l1s.push(Cache::new(cfg.l1)?);
+        }
+        let l2 = Cache::new(cfg.l2)?;
         let banks = match cfg.interconnect {
             Interconnect::SnoopyBus => Vec::new(),
             Interconnect::Directory { banks, .. } => {
-                assert!(
-                    banks.is_power_of_two(),
-                    "directory banks must be a power of two"
-                );
+                if !banks.is_power_of_two() {
+                    return Err(SimError::Config(hmtx_types::ConfigError::new(
+                        "directory banks must be a power of two",
+                    )));
+                }
                 (0..banks).map(|_| Bus::new(cfg.bus_occupancy)).collect()
             }
         };
-        MemorySystem {
+        Ok(MemorySystem {
             bus: Bus::new(cfg.bus_occupancy),
             banks,
-            overflow: HashMap::new(),
+            overflow: BTreeMap::new(),
             faults: cfg.faults.map(FaultPlan::new),
             tracer: Tracer::default(),
             last_served: ServedFrom::L1,
@@ -189,7 +210,7 @@ impl MemorySystem {
             last_committed: Vid::NON_SPECULATIVE,
             abort_seen_since_reset: false,
             cfg,
-        }
+        })
     }
 
     /// The machine configuration this system was built with.
@@ -366,37 +387,81 @@ impl MemorySystem {
 
         let line = req.addr.line();
         let c = req.core.0;
-        Self::process_addr(&mut self.l1s[c], line);
         let lookup = if req.vid.is_speculative() {
             req.vid
         } else {
             self.l1s[c].lc_vid()
         };
-        self.count_compares(c, line, lookup);
 
-        if let Some(way) = find_hit(&self.l1s[c], line, lookup) {
+        // Fast path: one fused walk over the set does the lazy-commit
+        // staleness check, the §4.5 comparator accounting, and the hit
+        // search together. The separate-walk slow path runs only when the
+        // set still has unprocessed commit work, which happens at most once
+        // per set per commit.
+        let cache = &self.l1s[c];
+        let set = cache.set_index(line);
+        let epoch = cache.commit_epoch();
+        let low_bits = self.cfg.hmtx.vid_bits / 2;
+        let mut stale = false;
+        let mut hit: Option<usize> = None;
+        let mut short = 0u64;
+        let mut cascaded = 0u64;
+        for (i, l) in cache.set_metas(set).iter().enumerate() {
+            if l.commit_epoch < epoch {
+                stale = true;
+                break;
+            }
+            if l.addr == line {
+                // Inline of `MemStats::record_vid_compare`, buffered locally
+                // so a stale set can discard partial counts and recount
+                // after commit processing rewrites the set.
+                if (lookup.0 >> low_bits) == (l.mod_vid.0 >> low_bits) {
+                    short += 1;
+                } else {
+                    cascaded += 1;
+                }
+                if version_hits(l, lookup) {
+                    debug_assert!(
+                        hit.is_none(),
+                        "hit predicate matched two versions of {line:?}"
+                    );
+                    hit = Some(i);
+                }
+            }
+        }
+        if stale {
+            Self::process_addr(&mut self.l1s[c], line);
+            self.count_compares(c, line, lookup);
+            hit = find_hit(&self.l1s[c], line, lookup);
+        } else {
+            crate::stats::add(&mut self.stats.short_vid_compares, short);
+            crate::stats::add(&mut self.stats.cascaded_vid_compares, cascaded);
+        }
+
+        if let Some(way) = hit {
             crate::stats::inc(&mut self.stats.l1_hits);
-            let set = self.l1s[c].set_index(line);
             self.l1s[c].touch(set, way);
-            return Ok(self.local_access(now, req, lookup, way, 0));
+            return Ok(self.local_access(now, req, lookup, set, way, 0));
         }
         crate::stats::inc(&mut self.stats.l1_misses);
         self.miss(now, req, lookup)
     }
 
-    /// Handles an access whose version is present in the local L1 at `way`.
-    /// `extra_latency` accounts for bus work already performed (fills).
+    /// Handles an access whose version is present in the local L1 at
+    /// `(set, way)`. `extra_latency` accounts for bus work already
+    /// performed (fills).
+    #[allow(clippy::too_many_arguments)]
     fn local_access(
         &mut self,
         now: Cycle,
         req: &AccessRequest,
         lookup: Vid,
+        set: usize,
         way: usize,
         extra_latency: u64,
     ) -> AccessResponse {
         let c = req.core.0;
         let line = req.addr.line();
-        let set = self.l1s[c].set_index(line);
         let offset = req.addr.line_offset();
         let l1_latency = self.cfg.l1.latency;
         let base_latency = extra_latency + l1_latency;
@@ -405,11 +470,11 @@ impl MemorySystem {
             AccessKind::Read => {
                 // Wrong-path loads read data but never change marking state.
                 if req.wrong_path {
-                    let v = &mut self.l1s[c].set_lines_mut(set)[way];
+                    let (v, d) = self.l1s[c].line_mut(set, way);
                     if req.vid.is_speculative() && req.vid > v.phantom_high {
                         v.phantom_high = req.vid;
                     }
-                    let value = v.data.read_u64(offset);
+                    let value = d.read_u64(offset);
                     return AccessResponse::Done {
                         value,
                         latency: base_latency,
@@ -417,7 +482,7 @@ impl MemorySystem {
                     };
                 }
                 if req.vid.is_non_speculative() {
-                    let value = self.l1s[c].set_lines_mut(set)[way].data.read_u64(offset);
+                    let value = self.l1s[c].data(set, way).read_u64(offset);
                     return AccessResponse::Done {
                         value,
                         latency: base_latency,
@@ -425,7 +490,7 @@ impl MemorySystem {
                     };
                 }
                 // Speculative read: may need conversion / marking.
-                let state = self.l1s[c].set_lines_mut(set)[way].state;
+                let state = self.l1s[c].meta(set, way).state;
                 let mut latency = base_latency;
                 match state {
                     LineState::Owned | LineState::Shared => {
@@ -436,7 +501,7 @@ impl MemorySystem {
                         latency += done.saturating_sub(now);
                         crate::stats::inc(&mut self.stats.upgrades);
                         let dirty = self.invalidate_nonspec_copies(line, Some(c));
-                        let v = &mut self.l1s[c].set_lines_mut(set)[way];
+                        let v = self.l1s[c].meta_mut(set, way);
                         v.state = if dirty || state == LineState::Owned {
                             LineState::Modified
                         } else {
@@ -445,7 +510,7 @@ impl MemorySystem {
                     }
                     _ => {}
                 }
-                let v = &mut self.l1s[c].set_lines_mut(set)[way];
+                let (v, d) = self.l1s[c].line_mut(set, way);
                 let mut sla_required = false;
                 match v.state {
                     LineState::Modified => {
@@ -469,7 +534,7 @@ impl MemorySystem {
                     LineState::SpecOwned | LineState::SpecShared => {}
                     LineState::Owned | LineState::Shared => unreachable!("upgraded above"),
                 }
-                let value = v.data.read_u64(offset);
+                let value = d.read_u64(offset);
                 self.record_sla(sla_required);
                 self.stats.record_spec_read(req.vid, line);
                 AccessResponse::Done {
@@ -511,7 +576,7 @@ impl MemorySystem {
         value: u64,
         base_latency: u64,
     ) -> AccessResponse {
-        let state = self.l1s[c].set_lines_mut(set)[way].state;
+        let state = self.l1s[c].meta(set, way).state;
         if state.is_speculative() {
             // After lazy processing, a surviving speculative version means a
             // live uncommitted transaction touched this line.
@@ -527,9 +592,9 @@ impl MemorySystem {
             crate::stats::inc(&mut self.stats.upgrades);
             self.invalidate_nonspec_copies(line, Some(c));
         }
-        let v = &mut self.l1s[c].set_lines_mut(set)[way];
+        let (v, d) = self.l1s[c].line_mut(set, way);
         v.state = LineState::Modified;
-        v.data.write_u64(offset, value);
+        d.write_u64(offset, value);
         AccessResponse::Done {
             value,
             latency,
@@ -555,7 +620,7 @@ impl MemorySystem {
     ) -> AccessResponse {
         let _ = lookup;
         let mut latency = base_latency;
-        let state = self.l1s[c].set_lines_mut(set)[way].state;
+        let state = self.l1s[c].meta(set, way).state;
         match state {
             LineState::SpecOwned | LineState::SpecShared => AccessResponse::Misspec {
                 cause: MisspecCause::StoreToSupersededVersion {
@@ -565,7 +630,7 @@ impl MemorySystem {
                 latency,
             },
             LineState::SpecModified | LineState::SpecExclusive => {
-                let (m, h) = self.l1s[c].set_lines_mut(set)[way].vids();
+                let (m, h) = self.l1s[c].meta(set, way).vids();
                 if y < h {
                     return AccessResponse::Misspec {
                         cause: MisspecCause::StoreBelowHighVid {
@@ -582,14 +647,13 @@ impl MemorySystem {
                     // write in place, invalidating any stale S-S copies that
                     // other threads of this MTX may hold (uncommitted value
                     // forwarding handed them out).
-                    if self.l1s[c].set_lines_mut(set)[way].shared_hint {
+                    if self.l1s[c].meta(set, way).shared_hint {
                         let done = self.fabric_acquire(now, line);
                         latency += done.saturating_sub(now);
                         self.invalidate_ss_copies(line, m, Some(c));
-                        self.l1s[c].set_lines_mut(set)[way].shared_hint = false;
+                        self.l1s[c].meta_mut(set, way).shared_hint = false;
                     }
-                    let v = &mut self.l1s[c].set_lines_mut(set)[way];
-                    v.data.write_u64(offset, value);
+                    self.l1s[c].data_mut(set, way).write_u64(offset, value);
                     self.stats.record_spec_write(y, line);
                     return AccessResponse::Done {
                         value,
@@ -601,10 +665,13 @@ impl MemorySystem {
                 // unmodified in S-O(m, y); a new S-M(y, y) version holds the
                 // store (Figure 4).
                 let epoch = self.l1s[c].commit_epoch();
-                let v = &mut self.l1s[c].set_lines_mut(set)[way];
+                let (v, d) = self.l1s[c].line_mut(set, way);
                 v.state = LineState::SpecOwned;
                 v.high_vid = y;
-                let mut fresh = v.clone();
+                let mut fresh = CacheLine {
+                    meta: *v,
+                    data: d.clone(),
+                };
                 fresh.state = LineState::SpecModified;
                 fresh.mod_vid = y;
                 fresh.high_vid = y;
@@ -613,7 +680,7 @@ impl MemorySystem {
                 fresh.commit_epoch = epoch;
                 fresh.data.write_u64(offset, value);
                 if self.tracer.enabled() {
-                    let retained = self.l1s[c].set_lines(set)[way].describe();
+                    let retained = self.l1s[c].meta(set, way).describe();
                     self.tracer.record(TraceEvent::Split {
                         cycle: now,
                         addr: line.base(),
@@ -643,11 +710,14 @@ impl MemorySystem {
                 }
                 self.note_phantom_store(c, set, way, y);
                 let epoch = self.l1s[c].commit_epoch();
-                let v = &mut self.l1s[c].set_lines_mut(set)[way];
+                let (v, d) = self.l1s[c].line_mut(set, way);
                 v.state = LineState::SpecOwned;
                 v.mod_vid = Vid::NON_SPECULATIVE;
                 v.high_vid = y;
-                let mut fresh = v.clone();
+                let mut fresh = CacheLine {
+                    meta: *v,
+                    data: d.clone(),
+                };
                 fresh.state = LineState::SpecModified;
                 fresh.mod_vid = y;
                 fresh.high_vid = y;
@@ -656,7 +726,7 @@ impl MemorySystem {
                 fresh.commit_epoch = epoch;
                 fresh.data.write_u64(offset, value);
                 if self.tracer.enabled() {
-                    let retained = self.l1s[c].set_lines(set)[way].describe();
+                    let retained = self.l1s[c].meta(set, way).describe();
                     self.tracer.record(TraceEvent::Split {
                         cycle: now,
                         addr: line.base(),
@@ -681,7 +751,7 @@ impl MemorySystem {
     /// version carrying a wrong-path phantom mark above `y` would have
     /// aborted had the squashed load marked the line (§5.1, Table 1).
     fn note_phantom_store(&mut self, c: usize, set: usize, way: usize, y: Vid) {
-        let v = &mut self.l1s[c].set_lines_mut(set)[way];
+        let v = self.l1s[c].meta_mut(set, way);
         if v.phantom_high > y {
             v.phantom_high = Vid::NON_SPECULATIVE;
             crate::stats::inc(&mut self.stats.sla_aborts_avoided);
@@ -720,13 +790,13 @@ impl MemorySystem {
             }
             Self::process_addr(&mut self.l1s[p], line);
             spec_mod_assert |= asserts_spec_modified(&self.l1s[p], line);
-            if !self.l1s[p].ways_of(line).is_empty() {
+            if self.l1s[p].holds_addr(line) {
                 shared_seen = true;
             }
             if supplier.is_none() {
                 if let Some(way) = find_hit(&self.l1s[p], line, lookup) {
                     let set = self.l1s[p].set_index(line);
-                    if self.l1s[p].set_lines(set)[way].state.responds_to_snoops() {
+                    if self.l1s[p].meta(set, way).state.responds_to_snoops() {
                         supplier = Some((p, way));
                     }
                 }
@@ -823,16 +893,16 @@ impl MemorySystem {
             // Merge with any local non-hitting S-O(0, h') to preserve hit
             // uniqueness (ranges [0,h') and [0,vid+1) would overlap).
             let set = self.l1s[c].set_index(line);
-            if let Some(w) = self.l1s[c].set_lines(set).iter().position(|l| {
+            if let Some(w) = self.l1s[c].set_metas(set).iter().position(|l| {
                 l.addr == line && l.state == LineState::SpecOwned && l.mod_vid.is_non_speculative()
             }) {
-                let existing = &mut self.l1s[c].set_lines_mut(set)[w];
+                let existing = self.l1s[c].meta_mut(set, w);
                 if existing.high_vid < version.high_vid {
                     existing.high_vid = version.high_vid;
                 }
                 let way = w;
                 self.l1s[c].touch(set, way);
-                return Ok(self.local_access(now, req, lookup, way, latency));
+                return Ok(self.local_access(now, req, lookup, set, way, latency));
             }
         } else if shared_seen && !is_write && (req.vid.is_non_speculative() || req.wrong_path) {
             version.state = LineState::Shared;
@@ -854,7 +924,7 @@ impl MemorySystem {
         let line = req.addr.line();
         let set = self.l1s[p].set_index(line);
         let is_write = matches!(req.kind, AccessKind::Write(_));
-        let peer_state = self.l1s[p].set_lines(set)[way].state;
+        let peer_state = self.l1s[p].meta(set, way).state;
 
         if !peer_state.is_speculative() {
             if is_write || (req.vid.is_speculative() && !req.wrong_path) {
@@ -872,9 +942,12 @@ impl MemorySystem {
                 return self.finish_fill(now, req, lookup, version, latency);
             }
             // Plain MOESI read sharing: peer downgrades, requester gets S.
-            let supplier = &mut self.l1s[p].set_lines_mut(set)[way];
+            let (supplier, sdata) = self.l1s[p].line_mut(set, way);
             supplier.shared_hint = true;
-            let mut copy = supplier.clone();
+            let mut copy = CacheLine {
+                meta: *supplier,
+                data: sdata.clone(),
+            };
             match supplier.state {
                 LineState::Modified => supplier.state = LineState::Owned,
                 LineState::Exclusive => supplier.state = LineState::Shared,
@@ -902,11 +975,11 @@ impl MemorySystem {
         // instruction 4: Cache 2 receives S-O(1,2), Cache 1 keeps S-S(1,2).
         // This is uncommitted value forwarding across caches (§3, property 2).
         if req.wrong_path {
-            let supplier = &mut self.l1s[p].set_lines_mut(set)[way];
+            let (supplier, sdata) = self.l1s[p].line_mut(set, way);
             if req.vid.is_speculative() && req.vid > supplier.phantom_high {
                 supplier.phantom_high = req.vid;
             }
-            let value = supplier.data.read_u64(req.addr.line_offset());
+            let value = sdata.read_u64(req.addr.line_offset());
             return AccessResponse::Done {
                 value,
                 latency,
@@ -974,7 +1047,7 @@ impl MemorySystem {
             .expect("freshly installed version must satisfy the hit predicate");
         let set = self.l1s[c].set_index(line);
         self.l1s[c].touch(set, way);
-        self.local_access(now, req, lookup, way, latency)
+        self.local_access(now, req, lookup, set, way, latency)
     }
 
     /// Installs a version into L1 `c`, merging duplicates of the same
@@ -982,8 +1055,9 @@ impl MemorySystem {
     fn install_l1(&mut self, c: usize, version: CacheLine) -> Result<(), MisspecCause> {
         let set = self.l1s[c].set_index(version.addr);
         Self::process_set(&mut self.l1s[c], set);
-        if let Some(w) = merge_target(self.l1s[c].set_lines(set), &version) {
-            merge_into(&mut self.l1s[c].set_lines_mut(set)[w], version);
+        if let Some(w) = merge_target(self.l1s[c].set_metas(set), &version.meta) {
+            let (em, ed) = self.l1s[c].line_mut(set, w);
+            merge_into(em, ed, version);
             self.l1s[c].touch(set, w);
             return Ok(());
         }
@@ -1004,8 +1078,9 @@ impl MemorySystem {
     fn install_l2(&mut self, version: CacheLine) -> Result<(), MisspecCause> {
         let set = self.l2.set_index(version.addr);
         Self::process_set(&mut self.l2, set);
-        if let Some(w) = merge_target(self.l2.set_lines(set), &version) {
-            merge_into(&mut self.l2.set_lines_mut(set)[w], version);
+        if let Some(w) = merge_target(self.l2.set_metas(set), &version.meta) {
+            let (em, ed) = self.l2.line_mut(set, w);
+            merge_into(em, ed, version);
             return Ok(());
         }
         let out = self.l2.insert(version, self.cfg.hmtx.victim_policy);
@@ -1066,12 +1141,12 @@ impl MemorySystem {
                 // per line (the naive scheme of §4.4 / Vachharajani).
                 cache.bump_commit_epoch();
                 let epoch = cache.commit_epoch();
-                cache.for_each_line_mut(|l| {
+                cache.for_each_line_mut(|l, _| {
                     walked += 1;
                     l.commit_epoch = epoch;
                     match apply_commit(l, vid) {
-                        Outcome::Keep => hmtx_mem::cache::LineFate::Keep,
-                        Outcome::Invalidate => hmtx_mem::cache::LineFate::Invalidate,
+                        Outcome::Keep => LineFate::Keep,
+                        Outcome::Invalidate => LineFate::Invalidate,
                     }
                 });
             }
@@ -1124,14 +1199,14 @@ impl MemorySystem {
             let lc = cache.lc_vid();
             cache.bump_commit_epoch();
             let epoch = cache.commit_epoch();
-            cache.for_each_line_mut(|l| {
+            cache.for_each_line_mut(|l, _| {
                 l.commit_epoch = epoch;
                 if apply_commit(l, lc) == Outcome::Invalidate {
-                    return hmtx_mem::cache::LineFate::Invalidate;
+                    return LineFate::Invalidate;
                 }
                 match apply_abort(l) {
-                    Outcome::Keep => hmtx_mem::cache::LineFate::Keep,
-                    Outcome::Invalidate => hmtx_mem::cache::LineFate::Invalidate,
+                    Outcome::Keep => LineFate::Keep,
+                    Outcome::Invalidate => LineFate::Invalidate,
                 }
             });
         }
@@ -1177,14 +1252,14 @@ impl MemorySystem {
         let mut copies: HashMap<LineAddr, u32> = HashMap::new();
         for cache in self.l1s.iter().chain(std::iter::once(&self.l2)) {
             for set in 0..cache.config().num_sets() {
-                for l in cache.set_lines(set) {
+                for l in cache.set_metas(set) {
                     *copies.entry(l.addr).or_insert(0) += 1;
                 }
             }
         }
         let mut owner_seen: std::collections::HashSet<LineAddr> = std::collections::HashSet::new();
         for cache in self.l1s.iter_mut().chain(std::iter::once(&mut self.l2)) {
-            cache.for_each_line_mut(|l| {
+            cache.for_each_line_mut(|l, _| {
                 if copies.get(&l.addr).copied().unwrap_or(0) > 1 {
                     match l.state {
                         LineState::Exclusive => l.state = LineState::Shared,
@@ -1198,7 +1273,7 @@ impl MemorySystem {
                         _ => {}
                     }
                 }
-                hmtx_mem::cache::LineFate::Keep
+                LineFate::Keep
             });
         }
     }
@@ -1213,14 +1288,14 @@ impl MemorySystem {
             let lc = cache.lc_vid();
             cache.bump_commit_epoch();
             let epoch = cache.commit_epoch();
-            cache.for_each_line_mut(|l| {
+            cache.for_each_line_mut(|l, _| {
                 l.commit_epoch = epoch;
                 if apply_commit(l, lc) == Outcome::Invalidate {
-                    return hmtx_mem::cache::LineFate::Invalidate;
+                    return LineFate::Invalidate;
                 }
                 match apply_vid_reset(l) {
-                    Outcome::Keep => hmtx_mem::cache::LineFate::Keep,
-                    Outcome::Invalidate => hmtx_mem::cache::LineFate::Invalidate,
+                    Outcome::Keep => LineFate::Keep,
+                    Outcome::Invalidate => LineFate::Invalidate,
                 }
             });
             cache.set_lc_vid(Vid::NON_SPECULATIVE);
@@ -1250,9 +1325,9 @@ impl MemorySystem {
         for cache in self.l1s.iter().chain(std::iter::once(&self.l2)) {
             if let Some(way) = find_hit(cache, line, vid) {
                 let set = cache.set_index(line);
-                let v = &cache.set_lines(set)[way];
+                let v = cache.meta(set, way);
                 if v.state.responds_to_snoops() || cache.ways_of(line).len() == 1 {
-                    if v.data.read_u64(offset) != value {
+                    if cache.data(set, way).read_u64(offset) != value {
                         return Some(MisspecCause::SlaValueMismatch { addr, vid });
                     }
                     return None;
@@ -1280,20 +1355,20 @@ impl MemorySystem {
         let mut dirty: Vec<(LineAddr, LineData)> = Vec::new();
         for cache in self.l1s.iter_mut().chain(std::iter::once(&mut self.l2)) {
             let lc = cache.lc_vid();
-            cache.for_each_line_mut(|l| {
+            cache.for_each_line_mut(|l, d| {
                 if apply_commit(l, lc) == Outcome::Invalidate {
-                    return hmtx_mem::cache::LineFate::Invalidate;
+                    return LineFate::Invalidate;
                 }
                 if l.state.is_speculative() {
                     leftovers.push(l.describe());
                 } else if l.state.is_dirty() {
-                    dirty.push((l.addr, l.data.clone()));
+                    dirty.push((l.addr, d.clone()));
                 }
-                hmtx_mem::cache::LineFate::Invalidate
+                LineFate::Invalidate
             });
         }
         self.process_overflow_commit(self.last_committed);
-        for (_, line) in self.overflow.drain() {
+        for (_, line) in std::mem::take(&mut self.overflow) {
             leftovers.push(line.describe());
         }
         for (addr, data) in dirty {
@@ -1312,14 +1387,14 @@ impl MemorySystem {
         let mut out = Vec::new();
         for (i, cache) in self.l1s.iter().enumerate() {
             let set = cache.set_index(line);
-            for l in cache.set_lines(set) {
+            for l in cache.set_metas(set) {
                 if l.addr == line {
                     out.push((format!("L1[{i}]"), l.describe()));
                 }
             }
         }
         let set = self.l2.set_index(line);
-        for l in self.l2.set_lines(set) {
+        for l in self.l2.set_metas(set) {
             if l.addr == line {
                 out.push(("L2".to_string(), l.describe()));
             }
@@ -1342,9 +1417,8 @@ impl MemorySystem {
             };
             if let Some(way) = find_hit(cache, line, vid) {
                 let set = cache.set_index(line);
-                let v = &cache.set_lines(set)[way];
-                if v.state.responds_to_snoops() {
-                    return v.data.read_u64(offset);
+                if cache.meta(set, way).state.responds_to_snoops() {
+                    return cache.data(set, way).read_u64(offset);
                 }
             }
         }
@@ -1357,7 +1431,7 @@ impl MemorySystem {
             };
             if let Some(way) = find_hit(cache, line, vid) {
                 let set = cache.set_index(line);
-                return cache.set_lines(set)[way].data.read_u64(offset);
+                return cache.data(set, way).read_u64(offset);
             }
         }
         self.memory.read_word(addr)
@@ -1376,12 +1450,15 @@ impl MemorySystem {
     fn process_set(cache: &mut Cache, set: usize) {
         let epoch = cache.commit_epoch();
         let lc = cache.lc_vid();
-        cache.set_lines_mut(set).retain_mut(|l| {
+        cache.retain_set(set, |l| {
             if l.commit_epoch >= epoch {
-                return true;
+                return LineFate::Keep;
             }
             l.commit_epoch = epoch;
-            apply_commit(l, lc) == Outcome::Keep
+            match apply_commit(l, lc) {
+                Outcome::Keep => LineFate::Keep,
+                Outcome::Invalidate => LineFate::Invalidate,
+            }
         });
     }
 
@@ -1395,22 +1472,22 @@ impl MemorySystem {
                 continue;
             }
             let set = cache.set_index(line);
-            cache.set_lines_mut(set).retain(|l| {
+            cache.retain_set(set, |l| {
                 if l.addr == line && !l.state.is_speculative() {
                     dirty |= l.state.is_dirty();
-                    false
+                    LineFate::Invalidate
                 } else {
-                    true
+                    LineFate::Keep
                 }
             });
         }
         let set = self.l2.set_index(line);
-        self.l2.set_lines_mut(set).retain(|l| {
+        self.l2.retain_set(set, |l| {
             if l.addr == line && !l.state.is_speculative() {
                 dirty |= l.state.is_dirty();
-                false
+                LineFate::Invalidate
             } else {
-                true
+                LineFate::Keep
             }
         });
         dirty
@@ -1424,28 +1501,34 @@ impl MemorySystem {
                 continue;
             }
             let set = cache.set_index(line);
-            cache.set_lines_mut(set).retain(|l| {
-                !(l.addr == line && l.state == LineState::SpecShared && l.mod_vid == m)
+            cache.retain_set(set, |l| {
+                if l.addr == line && l.state == LineState::SpecShared && l.mod_vid == m {
+                    LineFate::Invalidate
+                } else {
+                    LineFate::Keep
+                }
             });
         }
         let set = self.l2.set_index(line);
-        self.l2
-            .set_lines_mut(set)
-            .retain(|l| !(l.addr == line && l.state == LineState::SpecShared && l.mod_vid == m));
+        self.l2.retain_set(set, |l| {
+            if l.addr == line && l.state == LineState::SpecShared && l.mod_vid == m {
+                LineFate::Invalidate
+            } else {
+                LineFate::Keep
+            }
+        });
     }
 
     /// Records §4.5 comparator activity for an L1 probe.
     fn count_compares(&mut self, c: usize, line: LineAddr, lookup: Vid) {
         let set = self.l1s[c].set_index(line);
         let bits = self.cfg.hmtx.vid_bits;
-        let vids: Vec<Vid> = self.l1s[c]
-            .set_lines(set)
-            .iter()
-            .filter(|l| l.addr == line)
-            .map(|l| l.mod_vid)
-            .collect();
-        for m in vids {
-            self.stats.record_vid_compare(lookup, m, bits);
+        let cache = &self.l1s[c];
+        let stats = &mut self.stats;
+        for l in cache.set_metas(set) {
+            if l.addr == line {
+                stats.record_vid_compare(lookup, l.mod_vid, bits);
+            }
         }
     }
 
@@ -1479,7 +1562,7 @@ impl MemorySystem {
 /// selects for `lookup`, if any. Debug builds assert hit uniqueness.
 fn find_hit(cache: &Cache, line: LineAddr, lookup: Vid) -> Option<usize> {
     let set = cache.set_index(line);
-    let lines = cache.set_lines(set);
+    let lines = cache.set_metas(set);
     let mut found: Option<usize> = None;
     for (i, l) in lines.iter().enumerate() {
         if l.addr == line && version_hits(l, lookup) {
@@ -1503,7 +1586,7 @@ fn find_hit(cache: &Cache, line: LineAddr, lookup: Vid) -> Option<usize> {
 fn asserts_spec_modified(cache: &Cache, line: LineAddr) -> bool {
     let set = cache.set_index(line);
     cache
-        .set_lines(set)
+        .set_metas(set)
         .iter()
         .any(|l| l.addr == line && l.state == LineState::SpecModified)
 }
@@ -1534,13 +1617,13 @@ fn nonspec_fill_state(state: LineState, shared_seen: bool, is_write: bool) -> Li
 
 /// Picks the way an incoming version should merge into: an existing version
 /// with the same `(address, modVID)` (a replica of the same version).
-fn merge_target(lines: &[CacheLine], incoming: &CacheLine) -> Option<usize> {
+fn merge_target(lines: &[LineMeta], incoming: &LineMeta) -> Option<usize> {
     lines.iter().position(|l| {
         l.addr == incoming.addr && l.mod_vid == incoming.mod_vid && same_family(l, incoming)
     })
 }
 
-fn same_family(a: &CacheLine, b: &CacheLine) -> bool {
+fn same_family(a: &LineMeta, b: &LineMeta) -> bool {
     // Only merge replicas within the speculative family (an S-S copy with
     // its owner, or two S-S copies). Distinct non-speculative states or a
     // speculative/non-speculative pair are different lines logically.
@@ -1549,20 +1632,25 @@ fn same_family(a: &CacheLine, b: &CacheLine) -> bool {
 
 /// Merges `incoming` into `existing`: owner states win over S-S replicas,
 /// and the wider `highVID` range is kept.
-fn merge_into(existing: &mut CacheLine, incoming: CacheLine) {
+fn merge_into(existing: &mut LineMeta, existing_data: &mut LineData, incoming: CacheLine) {
+    let CacheLine {
+        meta: incoming,
+        data: incoming_data,
+    } = incoming;
     let existing_is_owner = existing.state.responds_to_snoops();
     let incoming_is_owner = incoming.state.responds_to_snoops();
     if incoming_is_owner && !existing_is_owner {
         let high = existing.high_vid.max(incoming.high_vid);
         *existing = incoming;
+        *existing_data = incoming_data;
         existing.high_vid = high;
     } else {
         if incoming.high_vid > existing.high_vid {
             existing.high_vid = incoming.high_vid;
         }
         if incoming_is_owner {
-            existing.data = incoming.data;
             existing.state = incoming.state;
+            *existing_data = incoming_data;
         }
         if incoming.phantom_high > existing.phantom_high {
             existing.phantom_high = incoming.phantom_high;

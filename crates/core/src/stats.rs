@@ -10,9 +10,9 @@
 //! a counter that wraps (or panics in debug builds) is a worse outcome
 //! than one that pins at `u64::MAX`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeMap;
 
-use hmtx_types::{LineAddr, Vid};
+use hmtx_types::{hash::FxHashSet, LineAddr, Vid};
 
 /// Saturating in-place increment for long-run `u64` counters.
 #[inline]
@@ -125,8 +125,11 @@ pub struct MemStats {
     pub injected_conflicts: u64,
 
     rw_totals: RwSetTotals,
-    live_read_sets: HashMap<Vid, HashSet<LineAddr>>,
-    live_write_sets: HashMap<Vid, HashSet<LineAddr>>,
+    // BTreeMap so that finalization walks transactions in ascending VID
+    // order — committed transactions must be accounted in a deterministic
+    // (commit) order, never in whatever order a hash function produces.
+    live_read_sets: BTreeMap<Vid, FxHashSet<LineAddr>>,
+    live_write_sets: BTreeMap<Vid, FxHashSet<LineAddr>>,
 }
 
 impl MemStats {
@@ -146,15 +149,18 @@ impl MemStats {
     }
 
     /// Finalizes the read/write sets of every transaction with VID `<= lc`
-    /// (called at group commit).
+    /// (called at group commit), in ascending VID order — the order the
+    /// transactions logically committed in.
     pub fn finalize_committed(&mut self, lc: Vid) {
+        // Both maps iterate sorted; merging through a BTreeSet keeps the
+        // union sorted and deduplicated.
         let vids: Vec<Vid> = self
             .live_read_sets
             .keys()
             .chain(self.live_write_sets.keys())
             .copied()
             .filter(|v| *v <= lc)
-            .collect::<HashSet<_>>()
+            .collect::<std::collections::BTreeSet<_>>()
             .into_iter()
             .collect();
         for vid in vids {
@@ -328,6 +334,27 @@ mod tests {
         assert_eq!(t.read_lines, 2);
         assert_eq!(t.write_lines, 2);
         assert_eq!(t.combined_lines, 3, "union of {{1,2}} and {{2,3}}");
+    }
+
+    #[test]
+    fn live_sets_iterate_in_sorted_vid_order() {
+        // Pinned: insertion order is scrambled, iteration (and therefore
+        // finalization) order must be ascending VID regardless.
+        let mut s = MemStats::new();
+        for vid in [7u16, 2, 5, 1, 6] {
+            s.record_spec_read(Vid(vid), LineAddr(u64::from(vid)));
+        }
+        for vid in [4u16, 3] {
+            s.record_spec_write(Vid(vid), LineAddr(u64::from(vid)));
+        }
+        let read_vids: Vec<u16> = s.live_read_sets.keys().map(|v| v.0).collect();
+        let write_vids: Vec<u16> = s.live_write_sets.keys().map(|v| v.0).collect();
+        assert_eq!(read_vids, vec![1, 2, 5, 6, 7]);
+        assert_eq!(write_vids, vec![3, 4]);
+        s.finalize_committed(Vid(7));
+        assert_eq!(s.rw_totals().transactions, 7);
+        assert!(s.live_read_sets.is_empty());
+        assert!(s.live_write_sets.is_empty());
     }
 
     #[test]

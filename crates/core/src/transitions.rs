@@ -5,7 +5,7 @@
 //! These functions are deliberately free of cache plumbing so that each
 //! transition of the paper's figures can be unit-tested as a truth table.
 
-use hmtx_mem::{CacheLine, LineState};
+use hmtx_mem::{LineMeta, LineState};
 use hmtx_types::Vid;
 
 /// Evaluates the hit predicate of §4.1 for a request with VID `a` against a
@@ -17,7 +17,7 @@ use hmtx_types::Vid;
 /// * non-speculative states hit on plain tag match.
 ///
 /// The address tag is assumed to have matched already.
-pub fn version_hits(line: &CacheLine, a: Vid) -> bool {
+pub fn version_hits(line: &LineMeta, a: Vid) -> bool {
     match line.state {
         LineState::Modified | LineState::Owned | LineState::Exclusive | LineState::Shared => true,
         LineState::SpecModified | LineState::SpecExclusive => a >= line.mod_vid,
@@ -45,7 +45,7 @@ pub enum Outcome {
 ///   `S-E → E`, `S-O`/`S-S` are superseded and die; VIDs reset to `(0,0)`.
 /// * otherwise if `modVID <= lc`: the modification that created this version
 ///   is now committed — `modVID` becomes 0, state unchanged.
-pub fn apply_commit(line: &mut CacheLine, lc: Vid) -> Outcome {
+pub fn apply_commit(line: &mut LineMeta, lc: Vid) -> Outcome {
     // Wrong-path phantom marks from committed VIDs can no longer cause
     // (or be blamed for) anything; drop them (simulator bookkeeping).
     if line.phantom_high <= lc {
@@ -88,7 +88,7 @@ pub fn apply_commit(line: &mut CacheLine, lc: Vid) -> Outcome {
 /// The caller must apply any pending commit processing *first*
 /// ([`apply_commit`]): committed-but-lazily-unprocessed lines must not be
 /// destroyed by a later abort.
-pub fn apply_abort(line: &mut CacheLine) -> Outcome {
+pub fn apply_abort(line: &mut LineMeta) -> Outcome {
     line.phantom_high = Vid::NON_SPECULATIVE;
     if !line.state.is_speculative() {
         return Outcome::Keep;
@@ -116,7 +116,7 @@ pub fn apply_abort(line: &mut CacheLine) -> Outcome {
 ///
 /// Returns [`Outcome::Invalidate`] if — contrary to the protocol invariant —
 /// a speculative line is still present (callers treat this as a bug).
-pub fn apply_vid_reset(line: &mut CacheLine) -> Outcome {
+pub fn apply_vid_reset(line: &mut LineMeta) -> Outcome {
     line.phantom_high = Vid::NON_SPECULATIVE;
     debug_assert!(
         !line.state.is_speculative(),

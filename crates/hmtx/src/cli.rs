@@ -213,7 +213,9 @@ pub fn run(opts: &Options) -> Result<CliReport, SimError> {
         )));
     }
 
-    let mut machine = Machine::new(cfg);
+    // An invalid geometry (e.g. a non-power-of-two set count) surfaces as a
+    // diagnostic on stderr and a nonzero exit, not a panic.
+    let mut machine = Machine::try_new(cfg)?;
     if opts.trace > 0 {
         machine.mem_mut().set_trace_capacity(opts.trace);
     }

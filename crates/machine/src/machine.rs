@@ -4,7 +4,6 @@
 //! execution, hardware queues, transaction-buffered output, and timer
 //! interrupts.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use hmtx_core::{
@@ -194,7 +193,9 @@ pub struct Machine {
     next_interrupt: Vec<Cycle>,
     predictors: Vec<BranchPredictor>,
     queues: QueueSet,
-    pending_outputs: BTreeMap<u16, Vec<u64>>,
+    /// Speculative `out` values not yet committed, sorted by VID
+    /// (a sorted vec: VIDs are tiny and drains are prefix drains).
+    pending_outputs: Vec<(u16, Vec<u64>)>,
     committed_output: Vec<u64>,
     marker_log: Vec<MarkerEvent>,
     stats: MachineStats,
@@ -208,22 +209,34 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid; use [`Self::try_new`] to get
+    /// a diagnostic instead.
     pub fn new(cfg: MachineConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a machine for `cfg`, reporting an invalid configuration as an
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the machine configuration or any
+    /// cache geometry is invalid.
+    pub fn try_new(cfg: MachineConfig) -> Result<Self, SimError> {
         let n = cfg.num_cores;
         let first_interrupt = if cfg.interrupt_period > 0 {
             cfg.interrupt_period
         } else {
             u64::MAX
         };
-        Machine {
-            mem: MemorySystem::new(cfg.clone()),
+        Ok(Machine {
+            mem: MemorySystem::try_new(cfg.clone())?,
             threads: (0..n).map(|_| None).collect(),
             ready_at: vec![0; n],
             next_interrupt: vec![first_interrupt; n],
             predictors: (0..n).map(|_| BranchPredictor::new()).collect(),
             queues: QueueSet::new(64, cfg.queue_capacity, cfg.queue_latency),
-            pending_outputs: BTreeMap::new(),
+            pending_outputs: Vec::new(),
             committed_output: Vec::new(),
             marker_log: Vec::new(),
             stats: MachineStats::default(),
@@ -233,7 +246,7 @@ impl Machine {
             // memory system's: both are deterministic in the shared seed.
             faults: cfg.faults.map(FaultPlan::new),
             cfg,
-        }
+        })
     }
 
     /// The machine configuration.
@@ -352,12 +365,16 @@ impl Machine {
         budget: u64,
         policy: &mut dyn SchedulePolicy,
     ) -> Result<RunEvent, SimError> {
+        if policy.is_min_clock() {
+            return self.run_min_clock(budget, policy);
+        }
         let start_instructions = self.stats.instructions;
         let mut enabled: Vec<CoreEvent> = Vec::with_capacity(self.threads.len());
         let mut sched_now: Cycle = 0;
         let mut step_ordinal: u64 = 0;
+        let with_summaries = policy.needs_summaries();
         loop {
-            self.collect_enabled(&mut enabled);
+            self.collect_enabled(&mut enabled, with_summaries);
             if enabled.is_empty() {
                 return Ok(RunEvent::AllHalted);
             }
@@ -393,6 +410,114 @@ impl Machine {
         }
     }
 
+    /// The allocation-free fast path behind [`Machine::run_with_policy`]
+    /// for policies whose pick is always the min-clock core
+    /// ([`SchedulePolicy::is_min_clock`]): instead of materializing and
+    /// sorting the `enabled` list at every decision, scan for the core
+    /// with the smallest `(ready_at, core)` directly. The schedule — and
+    /// therefore every simulated cycle count and output byte — is
+    /// identical to the general path; the time warp is skipped because
+    /// the minimum clock never regresses.
+    fn run_min_clock(
+        &mut self,
+        budget: u64,
+        policy: &mut dyn SchedulePolicy,
+    ) -> Result<RunEvent, SimError> {
+        let start_instructions = self.stats.instructions;
+        let observes = policy.observes_commits();
+        // Enabled cores, maintained across the loop: while `run` holds
+        // `&mut self` the only possible transition is the stepped core
+        // halting, handled below — so the Option/halted checks run once
+        // here instead of on every rescan.
+        let mut enabled: Vec<u32> = (0..self.threads.len() as u32)
+            .filter(|&i| self.threads[i as usize].as_ref().is_some_and(|t| !t.halted))
+            .collect();
+        loop {
+            // Two-min argmin over packed (ready_at, core) keys: the
+            // lexicographic order reproduces the sorted list's index-0
+            // tie-break exactly, and the runner-up key lets the inner loop
+            // below keep stepping the winner without rescanning.
+            let mut best = u128::MAX;
+            let mut second = u128::MAX;
+            for &i in &enabled {
+                let k = ((self.ready_at[i as usize] as u128) << 32) | i as u128;
+                if k < best {
+                    second = best;
+                    best = k;
+                } else if k < second {
+                    second = k;
+                }
+            }
+            if best == u128::MAX {
+                return Ok(RunEvent::AllHalted);
+            }
+            let core = (best & 0xffff_ffff) as usize;
+            // Run the picked core until the runner-up overtakes it. Between
+            // steps only this core's clock moves (monotonically forward), so
+            // the global argmin stays `core` while its key is below the
+            // cached runner-up key. Machine-wide stalls (VID reset) can only
+            // move other cores *later*, which at worst ends this inner run
+            // early and falls back to a rescan — never a wrong pick. The
+            // pending-interrupt deadline folds into the same bound so the
+            // steady state pays one comparison per step.
+            let mut int_key =
+                ((self.next_interrupt[core] as u128) << 32) | core as u128;
+            let mut bound = second.min(int_key);
+            loop {
+                if self.stats.instructions - start_instructions >= budget {
+                    return Ok(RunEvent::BudgetExhausted);
+                }
+                let k = ((self.ready_at[core] as u128) << 32) | core as u128;
+                if k >= bound {
+                    if k >= int_key {
+                        self.service_interrupt(core)?;
+                        int_key =
+                            ((self.next_interrupt[core] as u128) << 32) | core as u128;
+                        bound = second.min(int_key);
+                        let k = ((self.ready_at[core] as u128) << 32) | core as u128;
+                        if k >= second {
+                            break;
+                        }
+                        continue;
+                    }
+                    break; // overtaken by the runner-up
+                }
+                if observes {
+                    let committed_before = self.mem.last_committed();
+                    match self.step(core)? {
+                        StepOutcome::Continue => {}
+                        StepOutcome::Misspec(cause) => {
+                            let cycle = self.ready_at[core];
+                            self.machine_abort(cycle);
+                            return Ok(RunEvent::Misspeculation { cause, cycle });
+                        }
+                    }
+                    let committed_after = self.mem.last_committed();
+                    if committed_after > committed_before {
+                        policy.observe_commit(
+                            committed_after,
+                            &self.mem,
+                            &self.committed_output,
+                        )?;
+                    }
+                } else {
+                    match self.step(core)? {
+                        StepOutcome::Continue => {}
+                        StepOutcome::Misspec(cause) => {
+                            let cycle = self.ready_at[core];
+                            self.machine_abort(cycle);
+                            return Ok(RunEvent::Misspeculation { cause, cycle });
+                        }
+                    }
+                }
+                if self.threads[core].as_ref().is_none_or(|t| t.halted) {
+                    enabled.retain(|&i| i as usize != core);
+                    break;
+                }
+            }
+        }
+    }
+
     /// Flushes all speculative state: memory system, queues, buffered
     /// speculative output. Threads are left as-is for the runtime to
     /// re-dispatch (the paper's recovery-code jump).
@@ -417,15 +542,22 @@ impl Machine {
     }
 
     /// Fills `out` with the enabled (loaded, non-halted) cores, sorted by
-    /// `(ready_at, core)` so index 0 is the min-clock default pick.
-    fn collect_enabled(&self, out: &mut Vec<CoreEvent>) {
+    /// `(ready_at, core)` so index 0 is the min-clock default pick. With
+    /// `with_summaries` false (the policy never reads them, see
+    /// [`SchedulePolicy::needs_summaries`]) the per-core instruction decode
+    /// is skipped and every event is [`EventSummary::Other`].
+    fn collect_enabled(&self, out: &mut Vec<CoreEvent>, with_summaries: bool) {
         out.clear();
         for (i, t) in self.threads.iter().enumerate() {
             if t.as_ref().is_some_and(|t| !t.halted) {
                 out.push(CoreEvent {
                     core: i,
                     ready_at: self.ready_at[i],
-                    event: self.event_summary(i),
+                    event: if with_summaries {
+                        self.event_summary(i)
+                    } else {
+                        EventSummary::Other
+                    },
                 });
             }
         }
@@ -525,38 +657,61 @@ impl Machine {
 
     fn step(&mut self, core: usize) -> Result<StepOutcome, SimError> {
         let now = self.ready_at[core];
-        let (pc, instr, vid, tid) = {
-            let t = self.threads[core].as_ref().unwrap();
-            match t.program.get(t.pc) {
-                Some(i) => (t.pc, *i, t.vid, t.tid),
-                None => {
-                    self.threads[core].as_mut().unwrap().halted = true;
-                    return Ok(StepOutcome::Continue);
-                }
-            }
+        // Hot arms below hold this one borrow for the whole instruction and
+        // update `pc` themselves; only the cold tail re-borrows. `self.mem`,
+        // `self.stats`, and `self.ready_at` are disjoint fields, so they
+        // stay accessible while `t` is live.
+        let t = self.threads[core].as_mut().unwrap();
+        let pc = t.pc;
+        let Some(&instr) = t.program.get(pc) else {
+            t.halted = true;
+            return Ok(StepOutcome::Continue);
         };
+        let vid = t.vid;
+        let tid = t.tid;
         hmtx_core::stats::inc(&mut self.stats.instructions);
         hmtx_core::stats::inc(&mut self.core_stats[core].instructions);
-        let mut next_pc = pc + 1;
 
         match instr {
             Instr::Li { rd, imm } => {
-                self.set_reg(core, rd, imm as u64);
+                t.regs[rd.index()] = imm as u64;
+                t.pc = pc + 1;
                 self.bump(core, 1);
+                return Ok(StepOutcome::Continue);
             }
             Instr::Mov { rd, rs } => {
-                let v = self.reg(core, rs);
-                self.set_reg(core, rd, v);
+                t.regs[rd.index()] = t.regs[rs.index()];
+                t.pc = pc + 1;
                 self.bump(core, 1);
+                return Ok(StepOutcome::Continue);
             }
             Instr::Alu { op, rd, rs, rhs } => {
-                let a = self.reg(core, rs);
-                let b = self.operand(core, rhs);
-                self.set_reg(core, rd, op.apply(a, b));
+                let a = t.regs[rs.index()];
+                let b = match rhs {
+                    Operand::Reg(r) => t.regs[r.index()],
+                    Operand::Imm(i) => i as u64,
+                };
+                t.regs[rd.index()] = op.apply(a, b);
+                t.pc = pc + 1;
                 self.bump(core, 1);
+                return Ok(StepOutcome::Continue);
+            }
+            Instr::Jump { target } => {
+                t.pc = target;
+                self.bump(core, 1);
+                return Ok(StepOutcome::Continue);
+            }
+            Instr::Compute { amount } => {
+                let cycles = match amount {
+                    Operand::Reg(r) => t.regs[r.index()],
+                    Operand::Imm(i) => i as u64,
+                };
+                t.pc = pc + 1;
+                self.bump(core, cycles.max(1));
+                return Ok(StepOutcome::Continue);
             }
             Instr::Load { rd, base, disp } => {
-                let addr = Addr(self.reg(core, base).wrapping_add(disp as u64));
+                let addr = Addr(t.regs[base.index()].wrapping_add(disp as u64));
                 let req = AccessRequest {
                     core: CoreId(core),
                     addr,
@@ -566,18 +721,22 @@ impl Machine {
                 };
                 match self.mem.access(now, &req)? {
                     AccessResponse::Done { value, latency, .. } => {
-                        self.set_reg(core, rd, value);
+                        t.regs[rd.index()] = value;
+                        t.pc = pc + 1;
                         self.bump(core, latency);
+                        return Ok(StepOutcome::Continue);
                     }
                     AccessResponse::Misspec { cause, latency } => {
+                        // `pc` stays put on a misspeculation, as in the
+                        // early return of the cold tail.
                         self.bump(core, latency);
                         return Ok(StepOutcome::Misspec(cause));
                     }
                 }
             }
             Instr::Store { rs, base, disp } => {
-                let addr = Addr(self.reg(core, base).wrapping_add(disp as u64));
-                let value = self.reg(core, rs);
+                let addr = Addr(t.regs[base.index()].wrapping_add(disp as u64));
+                let value = t.regs[rs.index()];
                 let req = AccessRequest {
                     core: CoreId(core),
                     addr,
@@ -586,13 +745,22 @@ impl Machine {
                     wrong_path: false,
                 };
                 match self.mem.access(now, &req)? {
-                    AccessResponse::Done { latency, .. } => self.bump(core, latency),
+                    AccessResponse::Done { latency, .. } => {
+                        t.pc = pc + 1;
+                        self.bump(core, latency);
+                        return Ok(StepOutcome::Continue);
+                    }
                     AccessResponse::Misspec { cause, latency } => {
                         self.bump(core, latency);
                         return Ok(StepOutcome::Misspec(cause));
                     }
                 }
             }
+            _ => {}
+        }
+
+        let mut next_pc = pc + 1;
+        match instr {
             Instr::Branch {
                 cond,
                 rs,
@@ -635,17 +803,9 @@ impl Machine {
                     }
                 }
             }
-            Instr::Jump { target } => {
-                next_pc = target;
-                self.bump(core, 1);
-            }
             Instr::Halt => {
                 self.threads[core].as_mut().unwrap().halted = true;
                 self.bump(core, 1);
-            }
-            Instr::Compute { amount } => {
-                let cycles = self.operand(core, amount);
-                self.bump(core, cycles.max(1));
             }
             Instr::BeginMtx { rvid } => {
                 let raw = self.reg(core, rvid);
@@ -734,7 +894,17 @@ impl Machine {
                 if vid.is_non_speculative() {
                     self.committed_output.push(value);
                 } else {
-                    self.pending_outputs.entry(vid.0).or_default().push(value);
+                    let slot = match self
+                        .pending_outputs
+                        .binary_search_by_key(&vid.0, |(k, _)| *k)
+                    {
+                        Ok(i) => i,
+                        Err(i) => {
+                            self.pending_outputs.insert(i, (vid.0, Vec::new()));
+                            i
+                        }
+                    };
+                    self.pending_outputs[slot].1.push(value);
                 }
                 self.bump(core, 1);
             }
@@ -749,6 +919,14 @@ impl Machine {
                 }
                 self.bump(core, 1);
             }
+            // Hot instructions returned from the first match above.
+            Instr::Li { .. }
+            | Instr::Mov { .. }
+            | Instr::Alu { .. }
+            | Instr::Jump { .. }
+            | Instr::Compute { .. }
+            | Instr::Load { .. }
+            | Instr::Store { .. } => unreachable!("handled on the fast path"),
         }
         self.threads[core].as_mut().unwrap().pc = next_pc;
         Ok(StepOutcome::Continue)
@@ -852,14 +1030,12 @@ impl Machine {
 
     /// Moves buffered output of every VID `<= vid` to the committed stream.
     fn flush_outputs(&mut self, vid: Vid) {
-        let keys: Vec<u16> = self
+        let n = self
             .pending_outputs
-            .keys()
-            .copied()
-            .take_while(|k| *k <= vid.0)
-            .collect();
-        for k in keys {
-            let mut vals = self.pending_outputs.remove(&k).unwrap();
+            .iter()
+            .take_while(|(k, _)| *k <= vid.0)
+            .count();
+        for (_, mut vals) in self.pending_outputs.drain(..n) {
             self.committed_output.append(&mut vals);
         }
     }

@@ -101,6 +101,37 @@ pub trait SchedulePolicy: fmt::Debug {
     /// current [`run_with_policy`](crate::Machine::run_with_policy) call.
     fn pick(&mut self, step: u64, enabled: &[CoreEvent]) -> usize;
 
+    /// Whether this policy reads the per-core [`EventSummary`] in the
+    /// `enabled` list. Computing a summary means decoding the next
+    /// instruction of every enabled core at every scheduling decision — the
+    /// dominant per-decision cost — so policies that only look at
+    /// `(ready_at, core)` (or at nothing, like [`MinClock`]) return `false`
+    /// and receive [`EventSummary::Other`] placeholders instead. The pick
+    /// sequence itself is unaffected either way.
+    fn needs_summaries(&self) -> bool {
+        true
+    }
+
+    /// Whether this policy always picks index 0 — i.e. it is
+    /// observationally equivalent to [`MinClock`] as far as core choice
+    /// goes. The machine uses this to skip building and sorting the
+    /// `enabled` list entirely and compute the min-clock core with a
+    /// plain scan; `observe_commit` is still invoked either way, so
+    /// commit observers may return `true` as long as their `pick` is
+    /// always 0. The schedule produced is identical on both paths.
+    fn is_min_clock(&self) -> bool {
+        false
+    }
+
+    /// Whether [`observe_commit`](Self::observe_commit) does anything. The
+    /// min-clock fast path reads the committed VID before and after every
+    /// step to detect commits; policies whose `observe_commit` is the
+    /// default no-op return `false` so that bookkeeping can be skipped.
+    /// Must be `true` for any policy that overrides `observe_commit`.
+    fn observes_commits(&self) -> bool {
+        true
+    }
+
     /// Called after each successful `commitMTX`, with the newly committed
     /// VID, the quiescent memory system, and the committed output stream.
     /// An error aborts the run. The default does nothing — observers such
@@ -125,6 +156,18 @@ pub struct MinClock;
 impl SchedulePolicy for MinClock {
     fn pick(&mut self, _step: u64, _enabled: &[CoreEvent]) -> usize {
         0
+    }
+
+    fn needs_summaries(&self) -> bool {
+        false
+    }
+
+    fn is_min_clock(&self) -> bool {
+        true
+    }
+
+    fn observes_commits(&self) -> bool {
+        false
     }
 }
 
@@ -166,6 +209,10 @@ impl SchedulePolicy for JitterPolicy {
             0
         }
     }
+
+    fn needs_summaries(&self) -> bool {
+        false
+    }
 }
 
 /// Replays a recorded schedule: at each decision ordinal present in the
@@ -197,6 +244,10 @@ impl SchedulePolicy for ReplayPolicy {
             Some(&core) => enabled.iter().position(|e| e.core == core).unwrap_or(0),
             None => 0,
         }
+    }
+
+    fn needs_summaries(&self) -> bool {
+        false
     }
 }
 

@@ -1,0 +1,122 @@
+//! Determinism: two identical runs must produce identical traces and
+//! statistics, byte for byte.
+//!
+//! The workload is shaped to drive the §8 overflow table (unbounded sets on
+//! a deliberately tiny L1), whose walk order used to depend on `HashMap`
+//! iteration order — the regression this test pins is that spill/writeback
+//! accounting now happens in a deterministic (sorted) order.
+
+use std::sync::Arc;
+
+use hmtx_isa::{AluOp, Cond, ProgramBuilder, Reg};
+use hmtx_machine::{Machine, RunEvent, ThreadContext};
+use hmtx_types::{CacheConfig, MachineConfig, ThreadId};
+
+/// Lines touched inside the transaction — far beyond the 8-line L1 below,
+/// so most of the speculative write set spills to the overflow table.
+const LINES: i64 = 64;
+
+fn overflow_cfg() -> MachineConfig {
+    let mut c = MachineConfig::test_default();
+    c.num_cores = 2;
+    c.unbounded_sets = true;
+    c.l1 = CacheConfig {
+        size_bytes: 512,
+        ways: 2,
+        latency: 2,
+    };
+    c.l2 = CacheConfig {
+        size_bytes: 1024,
+        ways: 2,
+        latency: 40,
+    };
+    c
+}
+
+/// One transaction that writes `LINES` distinct lines and then reads them
+/// all back: the writes overflow the L1 into the §8 table, and the reads
+/// pull spilled versions back in (spills *and* fills on one run).
+fn spilling_program() -> Arc<hmtx_isa::Program> {
+    let mut b = ProgramBuilder::new();
+    let handler = b.new_label();
+    b.init_mtx(handler);
+    b.li(Reg::R3, 1);
+    b.begin_mtx(Reg::R3);
+    b.li(Reg::R31, 0x1_0000);
+    b.li(Reg::R0, 0);
+    let wr = b.new_label();
+    b.bind(wr).unwrap();
+    b.alu(AluOp::Shl, Reg::R1, Reg::R0, 6i64);
+    b.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R31);
+    b.store(Reg::R0, Reg::R1, 0);
+    b.alu(AluOp::Add, Reg::R0, Reg::R0, 1i64);
+    b.branch_imm(Cond::Lt, Reg::R0, LINES, wr);
+    b.li(Reg::R0, 0);
+    let rd = b.new_label();
+    b.bind(rd).unwrap();
+    b.alu(AluOp::Shl, Reg::R1, Reg::R0, 6i64);
+    b.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R31);
+    b.load(Reg::R2, Reg::R1, 0);
+    b.alu(AluOp::Add, Reg::R0, Reg::R0, 1i64);
+    b.branch_imm(Cond::Lt, Reg::R0, LINES, rd);
+    b.commit_mtx(Reg::R3);
+    b.out(Reg::R2);
+    b.halt();
+    b.bind(handler).unwrap();
+    b.halt();
+    Arc::new(b.build().unwrap())
+}
+
+/// A non-speculative neighbour on core 1 so the run also exercises
+/// cross-core scheduling, on disjoint lines (no misspeculation).
+fn neighbour_program() -> Arc<hmtx_isa::Program> {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R31, 0x8_0000);
+    b.li(Reg::R0, 0);
+    let top = b.new_label();
+    b.bind(top).unwrap();
+    b.alu(AluOp::Shl, Reg::R1, Reg::R0, 6i64);
+    b.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R31);
+    b.store(Reg::R0, Reg::R1, 0);
+    b.alu(AluOp::Add, Reg::R0, Reg::R0, 1i64);
+    b.branch_imm(Cond::Lt, Reg::R0, 32, top);
+    b.halt();
+    Arc::new(b.build().unwrap())
+}
+
+/// Runs the workload once and renders everything order-sensitive about it.
+fn run_once() -> (Vec<String>, String, String, Vec<u64>, u64, u64) {
+    let mut m = Machine::new(overflow_cfg());
+    m.mem_mut().set_trace_capacity(1 << 16);
+    m.load_thread(0, ThreadContext::new(ThreadId(0), spilling_program()));
+    m.load_thread(1, ThreadContext::new(ThreadId(1), neighbour_program()));
+    assert_eq!(m.run(1_000_000).unwrap(), RunEvent::AllHalted);
+    let trace: Vec<String> = m
+        .mem_mut()
+        .take_trace()
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    let spills = m.mem().stats().unbounded_spills;
+    let fills = m.mem().stats().unbounded_fills;
+    let mem_stats = format!("{:?}", m.mem().stats());
+    let machine_stats = format!("{:?}", m.stats());
+    let output = m.committed_output().to_vec();
+    (trace, mem_stats, machine_stats, output, spills, fills)
+}
+
+#[test]
+fn identical_runs_produce_identical_traces_and_stats() {
+    let a = run_once();
+    let b = run_once();
+    assert!(
+        a.4 > 0,
+        "workload never spilled to the overflow table (spills = {})",
+        a.4
+    );
+    assert!(a.5 > 0, "workload never refilled a spilled version");
+    assert_eq!(a.0, b.0, "trace events diverged between identical runs");
+    assert_eq!(a.1, b.1, "memory stats diverged between identical runs");
+    assert_eq!(a.2, b.2, "machine stats diverged between identical runs");
+    assert_eq!(a.3, b.3, "committed output diverged between identical runs");
+}

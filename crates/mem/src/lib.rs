@@ -14,7 +14,7 @@
 //! use hmtx_mem::{Cache, CacheLine, LineState};
 //! use hmtx_types::{CacheConfig, LineAddr, VictimPolicy};
 //!
-//! let mut cache = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, latency: 2 });
+//! let mut cache = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, latency: 2 }).unwrap();
 //! let line = CacheLine::non_speculative(LineAddr(3), LineState::Exclusive);
 //! assert!(cache.insert(line, VictimPolicy::PreferSafeOverflow).evicted.is_none());
 //! assert!(cache.find_way(LineAddr(3), |l| l.state == LineState::Exclusive).is_some());
@@ -29,5 +29,5 @@ pub mod memory;
 
 pub use bus::Bus;
 pub use cache::{Cache, InsertOutcome};
-pub use line::{CacheLine, LineData, LineState};
+pub use line::{CacheLine, LineData, LineMeta, LineState};
 pub use memory::MainMemory;

@@ -1,6 +1,16 @@
 //! Cache lines with HMTX version metadata.
+//!
+//! Storage is split ECS-style: [`LineMeta`] is the plain-old-data tag/VID
+//! component the protocol scans and mutates on every access, and
+//! [`LineData`] is the 64-byte payload component, stored separately (see
+//! [`Cache`](crate::Cache)'s payload arena). [`CacheLine`] glues the two
+//! back together as the by-value exchange type used when a line moves
+//! between caches, the overflow table, or main memory; it derefs to its
+//! [`LineMeta`] so metadata fields read naturally (`line.addr`,
+//! `line.state`, ...).
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 
 use hmtx_types::{LineAddr, Vid, LINE_SIZE};
 
@@ -9,29 +19,34 @@ use hmtx_types::{LineAddr, Vid, LINE_SIZE};
 /// The non-speculative states are the classic MOESI states (Invalid lines are
 /// simply absent from the cache, so there is no `Invalid` variant). The
 /// speculative states are the four HMTX additions from §4.1 of the paper.
+///
+/// `repr(u8)` with variant 0 first keeps an all-zero-bytes [`LineMeta`]
+/// valid, which is what lets the cache allocate its flat metadata arrays as
+/// untouched zero pages (see `Cache::new`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
 pub enum LineState {
     /// MOESI Modified: dirty, exclusive, writable.
-    Modified,
+    Modified = 0,
     /// MOESI Owned: dirty, shared, read-only, responds to snoops.
-    Owned,
+    Owned = 1,
     /// MOESI Exclusive: clean, exclusive, writable.
-    Exclusive,
+    Exclusive = 2,
     /// MOESI Shared: clean, shared, read-only.
-    Shared,
+    Shared = 3,
     /// S-M: the *latest* speculative version of the line (paper §4.1).
     /// Dirty with respect to memory; commits to [`LineState::Modified`].
-    SpecModified,
+    SpecModified = 4,
     /// S-O: a speculatively accessed version later superseded by a write
     /// with a higher VID. Holds the data that accesses with VIDs in
     /// `[modVID, highVID)` must observe.
-    SpecOwned,
+    SpecOwned = 5,
     /// S-E: like S-M but never modified since entering the cache
     /// (`modVID` is always zero); commits to a clean state.
-    SpecExclusive,
+    SpecExclusive = 6,
     /// S-S: a shared copy of a speculatively accessed version; never
     /// responds to snoops (an S-M/S-O/S-E copy responds instead).
-    SpecShared,
+    SpecShared = 7,
 }
 
 impl LineState {
@@ -84,13 +99,17 @@ impl fmt::Display for LineState {
 }
 
 /// The 64 bytes of data held by one cache-line version.
+///
+/// Stored inline (not boxed): cloning a payload is a 64-byte copy with no
+/// allocation, which is what makes version splits, peer supplies, and
+/// memory fills allocation-free on the hot path.
 #[derive(Clone, PartialEq, Eq)]
-pub struct LineData(Box<[u8; LINE_SIZE]>);
+pub struct LineData([u8; LINE_SIZE]);
 
 impl LineData {
     /// All-zero line (the content of never-written memory).
     pub fn zeroed() -> Self {
-        LineData(Box::new([0u8; LINE_SIZE]))
+        LineData([0u8; LINE_SIZE])
     }
 
     /// Reads the aligned little-endian u64 at byte `offset`.
@@ -144,11 +163,15 @@ impl fmt::Debug for LineData {
 
 impl From<[u8; LINE_SIZE]> for LineData {
     fn from(bytes: [u8; LINE_SIZE]) -> Self {
-        LineData(Box::new(bytes))
+        LineData(bytes)
     }
 }
 
-/// One cache-line *version* stored in a cache way.
+/// The tag/VID metadata of one cache-line *version* — everything the
+/// protocol's scans, hit rules, and commit/abort transitions touch, and
+/// nothing else. Plain old data, `Copy`, 48 bytes: a whole cache set's
+/// metadata fits in a few hardware cache lines, so the per-access set walks
+/// never chase a pointer.
 ///
 /// The pair `(modVID, highVID)` follows §4.1: `modVID` is the VID of the
 /// speculative write that created this version (zero for non-speculative
@@ -156,8 +179,8 @@ impl From<[u8; LINE_SIZE]> for LineData {
 /// `phantom_high` is *not* hardware state: it records wrong-path
 /// (branch-speculative) marks that SLAs filtered out, used to count the
 /// aborts the SLA mechanism avoided (Table 1).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CacheLine {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineMeta {
     /// The line address of this version.
     pub addr: LineAddr,
     /// Coherence state.
@@ -177,12 +200,10 @@ pub struct CacheLine {
     pub commit_epoch: u64,
     /// LRU recency stamp.
     pub last_used: u64,
-    /// The 64 data bytes of this version.
-    pub data: LineData,
 }
 
-impl CacheLine {
-    /// Creates a non-speculative line version in the given MOESI state.
+impl LineMeta {
+    /// Non-speculative metadata in the given MOESI state.
     ///
     /// # Panics
     ///
@@ -190,9 +211,9 @@ impl CacheLine {
     pub fn non_speculative(addr: LineAddr, state: LineState) -> Self {
         assert!(
             !state.is_speculative(),
-            "use CacheLine fields for speculative versions"
+            "use LineMeta fields for speculative versions"
         );
-        CacheLine {
+        LineMeta {
             addr,
             state,
             mod_vid: Vid::NON_SPECULATIVE,
@@ -201,7 +222,6 @@ impl CacheLine {
             shared_hint: false,
             commit_epoch: 0,
             last_used: 0,
-            data: LineData::zeroed(),
         }
     }
 
@@ -222,6 +242,50 @@ impl CacheLine {
     pub fn safe_to_overflow(&self) -> bool {
         !self.state.is_speculative()
             || (self.state == LineState::SpecOwned && self.mod_vid.is_non_speculative())
+    }
+}
+
+/// One cache-line *version* as a by-value whole: metadata plus payload.
+///
+/// This is the exchange currency between caches, the §8 overflow table, and
+/// main memory. Inside a [`Cache`](crate::Cache) the two halves live in
+/// separate flat arrays; `CacheLine` is only assembled when a version
+/// actually moves. It derefs to [`LineMeta`], so all metadata fields and
+/// helpers ([`describe`](LineMeta::describe),
+/// [`safe_to_overflow`](LineMeta::safe_to_overflow), ...) apply directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheLine {
+    /// Tag/VID metadata.
+    pub meta: LineMeta,
+    /// The 64 data bytes of this version.
+    pub data: LineData,
+}
+
+impl CacheLine {
+    /// Creates a non-speculative line version in the given MOESI state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is speculative.
+    pub fn non_speculative(addr: LineAddr, state: LineState) -> Self {
+        CacheLine {
+            meta: LineMeta::non_speculative(addr, state),
+            data: LineData::zeroed(),
+        }
+    }
+}
+
+impl Deref for CacheLine {
+    type Target = LineMeta;
+
+    fn deref(&self) -> &LineMeta {
+        &self.meta
+    }
+}
+
+impl DerefMut for CacheLine {
+    fn deref_mut(&mut self) -> &mut LineMeta {
+        &mut self.meta
     }
 }
 
@@ -315,5 +379,24 @@ mod tests {
         let s = format!("{d:?}");
         assert!(s.starts_with("LineData["));
         assert!(s.contains("ab"));
+    }
+
+    #[test]
+    fn meta_is_all_zero_valid_and_pod_sized() {
+        // The cache's flat arrays rely on zeroed `LineMeta` being a valid
+        // (if meaningless) value: `LineState` discriminant 0 is `Modified`.
+        assert_eq!(LineState::Modified as u8, 0);
+        // Keep the scanned component compact: a whole 8-way set of metadata
+        // should span at most a handful of hardware cache lines.
+        assert!(std::mem::size_of::<LineMeta>() <= 48);
+    }
+
+    #[test]
+    fn cache_line_derefs_to_meta() {
+        let mut l = CacheLine::non_speculative(LineAddr(3), LineState::Shared);
+        assert_eq!(l.addr, LineAddr(3));
+        l.high_vid = Vid(4);
+        assert_eq!(l.meta.high_vid, Vid(4));
+        assert_eq!(l.vids(), (Vid(0), Vid(4)));
     }
 }

@@ -1,8 +1,6 @@
 //! Sparse main memory backing the cache hierarchy.
 
-use std::collections::HashMap;
-
-use hmtx_types::{Addr, LineAddr};
+use hmtx_types::{hash::FxHashMap, Addr, LineAddr};
 
 use crate::line::LineData;
 
@@ -26,7 +24,9 @@ use crate::line::LineData;
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct MainMemory {
-    lines: HashMap<LineAddr, LineData>,
+    // Fx-hashed: line addresses are simulator-internal small integers, and
+    // this map sits on the miss path of every simulated memory access.
+    lines: FxHashMap<LineAddr, LineData>,
     reads: u64,
     writes: u64,
 }

@@ -40,6 +40,9 @@ impl Error for ConfigError {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum SimError {
+    /// The machine could not be constructed because its configuration is
+    /// invalid (bad cache geometry, zero cores, ...).
+    Config(ConfigError),
     /// A guest memory access crossed a cache-line boundary.
     UnalignedAccess { addr: u64 },
     /// A guest program ran past its instruction budget (likely livelock).
@@ -60,6 +63,7 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SimError::Config(e) => write!(f, "{e}"),
             SimError::UnalignedAccess { addr } => {
                 write!(
                     f,
@@ -105,6 +109,12 @@ impl fmt::Display for SimError {
 }
 
 impl Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

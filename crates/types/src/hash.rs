@@ -1,0 +1,123 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! The simulator's hot paths key hash maps by small fixed-width integers
+//! (line addresses, VIDs). The standard library's SipHash is
+//! DoS-resistant but costs more per lookup than the lookup itself for
+//! such keys. This module provides the well-known Fx multiply-rotate
+//! hash (as used by rustc) — deterministic across runs and platforms,
+//! which also matters for reproducibility: nothing about iteration order
+//! may depend on a per-process random seed.
+//!
+//! Internal maps only — never hash untrusted external input with this.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmtx_types::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(3, "three");
+//! assert_eq!(m.get(&3), Some(&"three"));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplication constant (golden-ratio derived, 64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A [`Hasher`] implementing the Fx multiply-rotate hash.
+///
+/// Deterministic (no random state), very fast on small integer keys,
+/// not collision-resistant against adversarial input.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`] (zero-sized, no seed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`HashMap`] using [`FxHasher`]. Construct with `FxHashMap::default()`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] using [`FxHasher`]. Construct with `FxHashSet::default()`.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_deterministic_and_spread() {
+        let one = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(one(42), one(42));
+        assert_ne!(one(1), one(2));
+        // Sequential keys (typical line addresses) land in distinct slots.
+        let hashes: HashSet<u64> = (0..1024u64).map(one).collect();
+        assert_eq!(hashes.len(), 1024);
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut s: FxHashSet<u16> = FxHashSet::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+            s.insert(i as u16);
+        }
+        assert_eq!(m.get(&7), Some(&14));
+        assert!(s.contains(&99));
+        assert_eq!(m.len(), 100);
+    }
+}

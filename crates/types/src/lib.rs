@@ -24,6 +24,7 @@
 pub mod config;
 pub mod diag;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod json;
 pub mod wire;
@@ -34,6 +35,7 @@ pub use config::{
 };
 pub use diag::{Diagnostic, Severity};
 pub use error::{ConfigError, SimError};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Addr, CoreId, Cycle, LineAddr, QueueId, ThreadId, Vid};
 pub use json::{Json, JsonError};
 pub use wire::{

@@ -42,4 +42,18 @@ bash scripts/explore_smoke.sh
 cargo run --release -p hmtx-bench --bin experiments -- \
   all --quick --jobs "$(nproc)" --json BENCH_pr1.json >/dev/null
 
+# Determinism differentials: two identical runs must produce identical
+# traces and stats (overflow-table order), and the full sweep must render
+# byte-identical whatever the host thread count.
+cargo test -q --release -p hmtx-machine --test determinism
+cargo test -q --release -p hmtx-bench --test differential
+
+# Perf gate: committed-simulated-cycles/sec over the standard sweep must
+# stay within 20% of the BENCH_pr6.json baseline (see EXPERIMENTS.md). The
+# gate also fails if the committed cycle total drifts from the recording —
+# that means the simulation changed, and the baseline must be regenerated
+# in the same PR.
+cargo run --release -p hmtx-bench --bin cyclebench -- \
+  --reps 3 --gate BENCH_pr6.json --threshold 0.8
+
 echo "tier-1 green"
