@@ -1,4 +1,4 @@
-//! Committed-simulated-cycles/sec microbench over the standard 72-job sweep.
+//! Committed-simulated-cycles/sec microbench over the standard 80-job sweep.
 //!
 //! Usage:
 //!
@@ -6,7 +6,7 @@
 //! cyclebench [--reps N] [--json PATH] [--baseline CPS] [--gate PATH] [--threshold R]
 //! ```
 //!
-//! Runs the standard 72-job sweep ([`hmtx_bench::standard_sweep`], the same
+//! Runs the standard 80-job sweep ([`hmtx_bench::standard_sweep`], the same
 //! job list `hmtx-load` submits) serially, sums the committed simulated
 //! cycles of every job, and reports `cycles / wall_seconds` for the best of
 //! `--reps` repetitions (default 3; best-of filters scheduler noise).
@@ -90,7 +90,7 @@ fn measure(reps: usize) -> Measurement {
 fn render(m: &Measurement, baseline_cps: Option<f64>) -> Json {
     let mut pairs = vec![
         ("schema", Json::Str("hmtx-cyclebench/1".into())),
-        ("sweep", Json::Str("standard-72-job".into())),
+        ("sweep", Json::Str("standard-80-job".into())),
         ("scale", Json::Str("quick".into())),
         ("jobs", Json::Uint(m.jobs as u64)),
         ("reps", Json::Uint(m.reps as u64)),

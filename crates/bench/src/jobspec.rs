@@ -11,7 +11,7 @@
 //! job was computed or replayed from the cache.
 
 use hmtx_core::MisspecCause;
-use hmtx_runtime::Paradigm;
+use hmtx_runtime::{DemotionCause, Paradigm};
 use hmtx_smtx::RwSetMode;
 use hmtx_types::{
     BenchRef, FaultConfig, JobSpec, Json, MachineConfig, SimError, WireBase, WireParadigm,
@@ -45,6 +45,7 @@ pub fn materialize(spec: &JobSpec) -> (SimJob, MachineConfig) {
         WireParadigm::Doacross => JobParadigm::Explicit(Paradigm::Doacross),
         WireParadigm::Dswp => JobParadigm::Explicit(Paradigm::Dswp),
         WireParadigm::PsDswp => JobParadigm::Explicit(Paradigm::PsDswp),
+        WireParadigm::Hytm => JobParadigm::Hytm,
     };
     let config = match spec.variant {
         WireVariant::Base => ConfigVariant::Base,
@@ -211,18 +212,47 @@ pub fn render_report(spec: &JobSpec, result: &JobResult) -> Json {
                 ("avg_combined_kb", Json::Num(rw.avg_combined_kb())),
             ]),
         ),
+        (
+            "hytm",
+            match result.report.as_ref().and_then(|r| r.hytm.as_ref()) {
+                None => Json::Null,
+                Some(mix) => Json::obj(vec![
+                    ("fast_commits", Json::Uint(mix.fast_commits)),
+                    ("slow_commits", Json::Uint(mix.slow_commits)),
+                    ("demotions", Json::Uint(mix.demotions())),
+                    (
+                        "demotions_by_cause",
+                        Json::obj(
+                            DemotionCause::ALL
+                                .iter()
+                                .zip(mix.demotions_by_cause.iter())
+                                .map(|(c, n)| (c.name(), Json::Uint(*n)))
+                                .collect(),
+                        ),
+                    ),
+                    ("fast_retries", Json::Uint(mix.fast_retries)),
+                    ("backoff_cycles", Json::Uint(mix.backoff_cycles)),
+                    (
+                        "storm_serializations",
+                        Json::Uint(mix.storm_serializations),
+                    ),
+                ]),
+            },
+        ),
     ])
 }
 
 /// The standard benchmark sweep `hmtx-load` submits: every suite workload
-/// under nine paradigm/variant mixes (sequential baseline, HMTX base, lazy
-/// vs eager commit, SLAs on/off, and three VID widths) — 8 × 9 = 72 jobs,
-/// every combination guaranteed runnable at any scale.
+/// under ten paradigm/variant mixes (sequential baseline, HMTX base, the
+/// hybrid `hytm` mode, lazy vs eager commit, SLAs on/off, and three VID
+/// widths) — 8 × 10 = 80 jobs, every combination guaranteed runnable at
+/// any scale.
 #[must_use]
 pub fn standard_sweep(scale: WireScale) -> Vec<JobSpec> {
-    let mixes: [(WireParadigm, WireVariant); 9] = [
+    let mixes: [(WireParadigm, WireVariant); 10] = [
         (WireParadigm::Sequential, WireVariant::Base),
         (WireParadigm::Paper, WireVariant::Base),
+        (WireParadigm::Hytm, WireVariant::Base),
         (WireParadigm::Paper, WireVariant::Commit { lazy: true }),
         (WireParadigm::Paper, WireVariant::Commit { lazy: false }),
         (WireParadigm::Paper, WireVariant::Sla { enabled: true }),
@@ -310,13 +340,33 @@ mod tests {
     }
 
     #[test]
-    fn standard_sweep_is_72_distinct_runnable_specs() {
+    fn standard_sweep_is_80_distinct_runnable_specs() {
         let sweep = standard_sweep(WireScale::Quick);
-        assert_eq!(sweep.len(), 72);
+        assert_eq!(sweep.len(), 80);
         let keys: std::collections::HashSet<String> =
             sweep.iter().map(JobSpec::key).collect();
-        assert_eq!(keys.len(), 72, "sweep keys must be distinct");
+        assert_eq!(keys.len(), 80, "sweep keys must be distinct");
+        // The sweep carries a hytm column for every workload.
+        let hytm = sweep
+            .iter()
+            .filter(|s| s.paradigm == WireParadigm::Hytm)
+            .count();
+        assert_eq!(hytm, 8, "one hytm job per suite workload");
         // Spot-check that an arbitrary sweep entry actually runs.
         run_job(&sweep[9]).unwrap();
+    }
+
+    #[test]
+    fn hytm_jobs_render_the_path_mix() {
+        let spec = quick_spec(7, WireParadigm::Hytm);
+        let report = run_job_report(&spec).unwrap();
+        let mix = report.get("hytm").expect("hytm block present");
+        assert!(
+            mix.get("fast_commits").and_then(Json::as_u64).is_some(),
+            "{report:?}"
+        );
+        // Non-hytm paradigms render `hytm: null`.
+        let paper = run_job_report(&quick_spec(7, WireParadigm::Paper)).unwrap();
+        assert!(matches!(paper.get("hytm"), Some(Json::Null)));
     }
 }

@@ -111,6 +111,7 @@ impl Section {
             )
         };
         let paper = |i| job(Benchmark::Suite(i), JobParadigm::Paper, ConfigVariant::Base);
+        let hytm = |i| job(Benchmark::Suite(i), JobParadigm::Hytm, ConfigVariant::Base);
         let smtx = |i, m| {
             job(
                 Benchmark::Suite(i),
@@ -150,7 +151,7 @@ impl Section {
                 .collect(),
             Section::Fig8 => all
                 .flat_map(|i| {
-                    let mut jobs = vec![seq(i), paper(i)];
+                    let mut jobs = vec![seq(i), paper(i), hytm(i)];
                     if comparable.contains(&i) {
                         jobs.push(smtx(i, RwSetMode::Minimal));
                     }
@@ -370,6 +371,10 @@ pub struct Fig8Row {
     pub smtx: Option<f64>,
     /// HMTX (maximal R/W set: every load and store validated) speedup.
     pub hmtx: f64,
+    /// HyTM (bounded HMTX fast path with SMTX software fallback) speedup.
+    pub hytm: f64,
+    /// HyTM fast/slow-path mix for this workload.
+    pub hytm_mix: Option<hmtx_runtime::HytmMix>,
 }
 
 /// Summary of Figure 8's geomeans.
@@ -381,6 +386,8 @@ pub struct Fig8Summary {
     pub hmtx_comparable: f64,
     /// SMTX geomean over the comparable benchmarks (paper: 1.44x).
     pub smtx_comparable: f64,
+    /// HyTM geomean over all 8 benchmarks.
+    pub hytm_all: f64,
 }
 
 /// Regenerates Figure 8.
@@ -398,6 +405,8 @@ pub fn fig8(pool: &SimPool) -> Result<(Vec<Fig8Row>, Fig8Summary), SimError> {
         ))?;
         let hmtx =
             pool.get(&pool.job(Benchmark::Suite(i), JobParadigm::Paper, ConfigVariant::Base))?;
+        let hytm =
+            pool.get(&pool.job(Benchmark::Suite(i), JobParadigm::Hytm, ConfigVariant::Base))?;
         let smtx = if w.meta().smtx_comparable {
             let r = pool.get(&pool.job(
                 Benchmark::Suite(i),
@@ -412,9 +421,12 @@ pub fn fig8(pool: &SimPool) -> Result<(Vec<Fig8Row>, Fig8Summary), SimError> {
             name: w.meta().name.to_string(),
             smtx,
             hmtx: speedup(seq.cycles, hmtx.cycles),
+            hytm: speedup(seq.cycles, hytm.cycles),
+            hytm_mix: hytm.report.as_ref().and_then(|r| r.hytm),
         });
     }
     let hmtx_all: Vec<f64> = rows.iter().map(|r| r.hmtx).collect();
+    let hytm_all: Vec<f64> = rows.iter().map(|r| r.hytm).collect();
     let hmtx_comp: Vec<f64> = rows
         .iter()
         .filter(|r| r.smtx.is_some())
@@ -425,6 +437,7 @@ pub fn fig8(pool: &SimPool) -> Result<(Vec<Fig8Row>, Fig8Summary), SimError> {
         hmtx_all: geomean(&hmtx_all),
         hmtx_comparable: geomean(&hmtx_comp),
         smtx_comparable: geomean(&smtx_comp),
+        hytm_all: geomean(&hytm_all),
     };
     Ok((rows, summary))
 }
@@ -439,7 +452,7 @@ fn bar(value: f64, full: f64) -> String {
 pub fn render_fig8(rows: &[Fig8Row], s: &Fig8Summary) -> String {
     let mut out = String::from(
         "Figure 8: hot-loop speedup over sequential (4 cores)\n\
-         benchmark        SMTX (min R/W)    HMTX (max R/W)\n",
+         benchmark        SMTX (min R/W)    HMTX (max R/W)    HyTM (hybrid)\n",
     );
     let full = rows.iter().map(|r| r.hmtx).fold(1.0f64, f64::max);
     for r in rows {
@@ -447,20 +460,21 @@ pub fn render_fig8(rows: &[Fig8Row], s: &Fig8Summary) -> String {
             .smtx
             .map_or("     --".to_string(), |v| format!("{v:>6.2}x"));
         out.push_str(&format!(
-            "{:<16} {:>14} {:>16.2}x  |{}\n",
+            "{:<16} {:>14} {:>16.2}x {:>15.2}x  |{}\n",
             r.name,
             smtx,
             r.hmtx,
+            r.hytm,
             bar(r.hmtx, full)
         ));
     }
     out.push_str(&format!(
-        "{:<16} {:>13.2}x {:>16.2}x\n",
-        "geomean (comp.)", s.smtx_comparable, s.hmtx_comparable
+        "{:<16} {:>13.2}x {:>16.2}x {:>15}\n",
+        "geomean (comp.)", s.smtx_comparable, s.hmtx_comparable, "--"
     ));
     out.push_str(&format!(
-        "{:<16} {:>14} {:>16.2}x\n",
-        "geomean (all)", "--", s.hmtx_all
+        "{:<16} {:>14} {:>16.2}x {:>15.2}x\n",
+        "geomean (all)", "--", s.hmtx_all, s.hytm_all
     ));
     out
 }

@@ -14,6 +14,28 @@ use hmtx_types::{Json, SimError};
 use crate::runner::SimPool;
 use crate::Section;
 
+fn hytm_mix_json(mix: Option<&hmtx_runtime::HytmMix>) -> Json {
+    let Some(m) = mix else { return Json::Null };
+    Json::obj(vec![
+        ("fast_commits", Json::Uint(m.fast_commits)),
+        ("slow_commits", Json::Uint(m.slow_commits)),
+        ("demotions", Json::Uint(m.demotions())),
+        (
+            "demotions_by_cause",
+            Json::obj(
+                hmtx_runtime::DemotionCause::ALL
+                    .iter()
+                    .zip(m.demotions_by_cause.iter())
+                    .map(|(c, n)| (c.name(), Json::Uint(*n)))
+                    .collect(),
+            ),
+        ),
+        ("fast_retries", Json::Uint(m.fast_retries)),
+        ("backoff_cycles", Json::Uint(m.backoff_cycles)),
+        ("storm_serializations", Json::Uint(m.storm_serializations)),
+    ])
+}
+
 fn ablation_json(rows: &[crate::AblationRow]) -> Json {
     Json::Arr(
         rows.iter()
@@ -88,6 +110,8 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
                                         ("name", Json::Str(r.name.clone())),
                                         ("smtx", r.smtx.map_or(Json::Null, Json::Num)),
                                         ("hmtx", Json::Num(r.hmtx)),
+                                        ("hytm", Json::Num(r.hytm)),
+                                        ("hytm_mix", hytm_mix_json(r.hytm_mix.as_ref())),
                                     ])
                                 })
                                 .collect(),
@@ -99,6 +123,7 @@ pub fn build_report(pool: &SimPool, sections: &[Section]) -> Result<Json, SimErr
                             ("hmtx_all", Json::Num(summary.hmtx_all)),
                             ("hmtx_comparable", Json::Num(summary.hmtx_comparable)),
                             ("smtx_comparable", Json::Num(summary.smtx_comparable)),
+                            ("hytm_all", Json::Num(summary.hytm_all)),
                         ]),
                     ),
                 ])

@@ -25,7 +25,7 @@ use std::time::Instant;
 
 use hmtx_machine::Machine;
 use hmtx_runtime::{run_loop, Paradigm, RunReport};
-use hmtx_smtx::{run_smtx, RwSetMode};
+use hmtx_smtx::{run_hytm, run_smtx, RwSetMode};
 use hmtx_types::{CacheConfig, Interconnect, MachineConfig, SimError, VictimPolicy};
 use hmtx_workloads::{suite, Scale};
 
@@ -59,6 +59,9 @@ pub enum JobParadigm {
     Paper,
     /// The software-MTX port with the given validation mode.
     Smtx(RwSetMode),
+    /// Hybrid TM: the workload's paper paradigm on the bounded HMTX fast
+    /// path with the SMTX software slow path (suite workloads only).
+    Hytm,
     /// An explicitly chosen paradigm (Figure 1, synthetic loops).
     Explicit(Paradigm),
 }
@@ -252,6 +255,7 @@ impl SimJob {
             JobParadigm::Smtx(RwSetMode::Minimal) => "smtx-min".into(),
             JobParadigm::Smtx(RwSetMode::Substantial) => "smtx-sub".into(),
             JobParadigm::Smtx(RwSetMode::Maximal) => "smtx-max".into(),
+            JobParadigm::Hytm => "hytm".into(),
             JobParadigm::Explicit(p) => p.name().to_lowercase(),
         };
         let scale = match self.scale {
@@ -282,12 +286,18 @@ impl SimJob {
                         let (m, r) = run_smtx(w.as_ref(), &cfg, mode, BUDGET)?;
                         (m, r.cycles, 0, None)
                     }
+                    JobParadigm::Hytm => {
+                        let (m, r) = run_hytm(w.meta().paradigm, w.as_ref(), &cfg, BUDGET)?;
+                        (m, r.cycles, r.recoveries, Some(r))
+                    }
                     _ => {
                         let paradigm = match self.paradigm {
                             JobParadigm::Sequential => Paradigm::Sequential,
                             JobParadigm::Paper => w.meta().paradigm,
                             JobParadigm::Explicit(p) => p,
-                            JobParadigm::Smtx(_) => unreachable!("handled above"),
+                            JobParadigm::Smtx(_) | JobParadigm::Hytm => {
+                                unreachable!("handled above")
+                            }
                         };
                         let (m, r) = run_loop(paradigm, w.as_ref(), &cfg, BUDGET)?;
                         (m, r.cycles, r.recoveries, Some(r))

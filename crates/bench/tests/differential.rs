@@ -52,6 +52,39 @@ fn full_sweep_is_byte_identical_serial_vs_parallel() {
 }
 
 #[test]
+fn hytm_sweep_is_byte_identical_serial_vs_parallel() {
+    // The hybrid-mode column of the standard sweep: demotions, backoff
+    // stalls, and slow-path slabs are all seeded-deterministic, so each
+    // job's rendered report must not depend on host concurrency.
+    use hmtx_bench::{run_job_report, standard_sweep};
+    use hmtx_types::{WireParadigm, WireScale};
+    let specs: Vec<_> = standard_sweep(WireScale::Quick)
+        .into_iter()
+        .filter(|s| s.paradigm == WireParadigm::Hytm)
+        .collect();
+    assert_eq!(specs.len(), 8, "one hytm job per suite workload");
+    let serial: Vec<String> = specs
+        .iter()
+        .map(|s| run_job_report(s).unwrap().pretty())
+        .collect();
+    let parallel: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|s| scope.spawn(move || run_job_report(s).unwrap().pretty()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(serial, parallel, "hytm reports depend on host concurrency");
+    for (spec, text) in specs.iter().zip(&serial) {
+        assert!(
+            text.contains("\"fast_commits\""),
+            "{} report missing the path mix: {text}",
+            spec.key()
+        );
+    }
+}
+
+#[test]
 fn json_report_has_rows_and_wall_clock() {
     let path: PathBuf =
         std::env::temp_dir().join(format!("hmtx_bench_diff_{}.json", std::process::id()));

@@ -300,7 +300,43 @@ impl MemorySystem {
                 }
             }
         }
-        let response = self.access_impl(now, req)?;
+        let mut response = self.access_impl(now, req)?;
+        // HyTM capacity bounds (§11): with `hytm.enabled`, a speculative
+        // correct-path access whose transaction's distinct-line read or
+        // write set now exceeds the configured cap answers `SpecOverflow`,
+        // exactly as if the line had been evicted past the LLC — the
+        // runtime's ordinary abort path cleans up any cache state this
+        // access installed, so partial effects are safe. `0` = unbounded.
+        if self.cfg.hytm.enabled
+            && req.vid.is_speculative()
+            && !req.wrong_path
+            && matches!(response, AccessResponse::Done { .. })
+        {
+            let is_write = matches!(req.kind, AccessKind::Write(_));
+            let (live, bound) = if is_write {
+                (
+                    self.stats.live_write_lines(req.vid),
+                    self.cfg.hytm.max_write_lines,
+                )
+            } else {
+                (
+                    self.stats.live_read_lines(req.vid),
+                    self.cfg.hytm.max_read_lines,
+                )
+            };
+            if bound != 0 && live > bound as usize {
+                let latency = match response {
+                    AccessResponse::Done { latency, .. } => latency,
+                    AccessResponse::Misspec { latency, .. } => latency,
+                };
+                response = AccessResponse::Misspec {
+                    cause: MisspecCause::SpecOverflow {
+                        addr: req.addr.line().base(),
+                    },
+                    latency,
+                };
+            }
+        }
         if self.tracer.enabled() {
             match &response {
                 AccessResponse::Done { latency, .. } => {

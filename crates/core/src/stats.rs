@@ -182,6 +182,18 @@ impl MemStats {
         self.live_write_sets.clear();
     }
 
+    /// Distinct cache lines speculatively read so far by live transaction
+    /// `vid` (HyTM fast-path capacity bound checks).
+    pub fn live_read_lines(&self, vid: Vid) -> usize {
+        self.live_read_sets.get(&vid).map_or(0, FxHashSet::len)
+    }
+
+    /// Distinct cache lines speculatively written so far by live transaction
+    /// `vid` (HyTM fast-path capacity bound checks).
+    pub fn live_write_lines(&self, vid: Vid) -> usize {
+        self.live_write_sets.get(&vid).map_or(0, FxHashSet::len)
+    }
+
     /// Read/write set totals over committed transactions (Figure 9).
     pub fn rw_totals(&self) -> RwSetTotals {
         self.rw_totals

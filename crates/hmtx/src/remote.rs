@@ -162,15 +162,17 @@ pub fn run_remote(opts: &RemoteOptions) -> Result<String, SimError> {
             let v = parse_response(&response).map_err(bad)?;
             let report = v.get("report").ok_or_else(|| bad("result without report"))?;
             let field = |name: &str| report.get(name).and_then(Json::as_u64).unwrap_or(0);
-            Ok(format!(
-                "key:     {}\nlabel:   {}\ncycles:  {}\ninstructions: {}\nrecoveries: {}\n\nreport:\n{}",
+            let mut summary = format!(
+                "key:     {}\nlabel:   {}\ncycles:  {}\ninstructions: {}\nrecoveries: {}\n",
                 v.get("key").and_then(Json::as_str).unwrap_or("?"),
                 report.get("label").and_then(Json::as_str).unwrap_or("?"),
                 field("cycles"),
                 field("instructions"),
                 field("recoveries"),
-                report.pretty(),
-            ))
+            );
+            summary.push_str(&render_hytm_summary(report));
+            summary.push_str(&format!("\nreport:\n{}", report.pretty()));
+            Ok(summary)
         }
         Some("draining") => Err(bad("server is draining; retry against another instance")),
         Some("busy") => Err(bad("server is at capacity (busy after retries)")),
@@ -186,6 +188,39 @@ pub fn run_remote(opts: &RemoteOptions) -> Result<String, SimError> {
         }
         other => Err(bad(format!("unexpected response type {other:?}"))),
     }
+}
+
+/// The hybrid-mode recovery summary lines: the fast/slow-path split and
+/// every demotion classified by cause (capacity, vid-exhaustion,
+/// abort-storm, injected-fault). Empty for non-`hytm` reports, whose
+/// `hytm` block is `null`.
+#[must_use]
+pub fn render_hytm_summary(report: &Json) -> String {
+    let Some(mix) = report.get("hytm") else {
+        return String::new();
+    };
+    if matches!(mix, Json::Null) {
+        return String::new();
+    }
+    let n = |name: &str| mix.get(name).and_then(Json::as_u64).unwrap_or(0);
+    let causes = mix.get("demotions_by_cause").map_or_else(String::new, |by| {
+        ["capacity", "vid-exhaustion", "abort-storm", "injected-fault"]
+            .iter()
+            .map(|c| format!("{c}={}", by.get(c).and_then(Json::as_u64).unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    });
+    format!(
+        "path mix: {} fast / {} slow commits\n\
+         demotions: {} ({causes})\n\
+         fast retries: {} ({} backoff cycles), storm serializations: {}\n",
+        n("fast_commits"),
+        n("slow_commits"),
+        n("demotions"),
+        n("fast_retries"),
+        n("backoff_cycles"),
+        n("storm_serializations"),
+    )
 }
 
 #[cfg(test)]
@@ -238,6 +273,39 @@ mod tests {
             let args = bad_args.into_iter().map(String::from);
             assert!(parse_remote_args(args).is_err());
         }
+    }
+
+    #[test]
+    fn hytm_summary_prints_classified_demotion_causes() {
+        let report = Json::obj(vec![(
+            "hytm",
+            Json::obj(vec![
+                ("fast_commits", Json::Uint(17)),
+                ("slow_commits", Json::Uint(3)),
+                ("demotions", Json::Uint(3)),
+                (
+                    "demotions_by_cause",
+                    Json::obj(vec![
+                        ("capacity", Json::Uint(2)),
+                        ("vid-exhaustion", Json::Uint(0)),
+                        ("abort-storm", Json::Uint(0)),
+                        ("injected-fault", Json::Uint(1)),
+                    ]),
+                ),
+                ("fast_retries", Json::Uint(5)),
+                ("backoff_cycles", Json::Uint(640)),
+                ("storm_serializations", Json::Uint(1)),
+            ]),
+        )]);
+        let summary = render_hytm_summary(&report);
+        assert!(summary.contains("17 fast / 3 slow"), "{summary}");
+        assert!(summary.contains("capacity=2"), "{summary}");
+        assert!(summary.contains("injected-fault=1"), "{summary}");
+        assert!(summary.contains("storm serializations: 1"), "{summary}");
+        // Non-hytm reports stay silent.
+        let plain = Json::obj(vec![("hytm", Json::Null)]);
+        assert_eq!(render_hytm_summary(&plain), "");
+        assert_eq!(render_hytm_summary(&Json::obj(Vec::<(&str, Json)>::new())), "");
     }
 
     #[test]

@@ -530,6 +530,19 @@ impl Machine {
         self.pending_outputs.clear();
     }
 
+    /// Stalls every core for `cycles` past the current completion time
+    /// (HyTM backoff: the charge survives thread unload/re-dispatch because
+    /// per-core clocks persist across loads). A no-op for `cycles == 0`.
+    pub fn stall_all(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let now = self.high_water;
+        for r in &mut self.ready_at {
+            *r = (*r).max(now + cycles);
+        }
+    }
+
     /// Performs a VID reset (§4.6) at the current completion time,
     /// stalling every core for the reset latency. The runtime must have
     /// committed every outstanding transaction first.

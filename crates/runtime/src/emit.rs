@@ -87,6 +87,12 @@ fn emit_prologue(b: &mut ProgramBuilder, env: &LoopEnv, n0: u64) {
 fn emit_begin_guarded(b: &mut ProgramBuilder, env: &LoopEnv) -> Result<(), SimError> {
     let spin = b.new_label();
     let window = env.pipeline_window.min(env.max_vid as u64);
+    if let Some(spins) = env.vid_watchdog {
+        // HyTM watchdog budget, reset on every guard entry. Only VID-space
+        // spins consume it — the pipeline-window spin always drains on its
+        // own as predecessors commit.
+        b.li(regs::BOUND, spins as i64);
+    }
     b.bind(spin)?;
     // Depth bound: at most `pipeline_window` live transactions, so the live
     // versions of any hot line fit in the hierarchy's associativity.
@@ -96,7 +102,24 @@ fn emit_begin_guarded(b: &mut ProgramBuilder, env: &LoopEnv) -> Result<(), SimEr
     // VID-space bound (§4.6): wait for a reset once the VIDs are exhausted.
     b.load(regs::T0, regs::RCB, rcb::VID_BASE);
     b.sub(regs::VID, regs::N, regs::T0);
-    b.branch_imm(Cond::GeU, regs::VID, env.max_vid as i64 + 1, spin);
+    match env.vid_watchdog {
+        None => {
+            b.branch_imm(Cond::GeU, regs::VID, env.max_vid as i64 + 1, spin);
+        }
+        Some(_) => {
+            // Bounded spin: when the budget runs dry the thread aborts with
+            // the exhaustion sentinel VID, which the HyTM runtime classifies
+            // as `DemotionCause::VidExhaustion` and routes to the software
+            // slow path instead of waiting forever for a reset.
+            let proceed = b.new_label();
+            b.branch_imm(Cond::LtU, regs::VID, env.max_vid as i64 + 1, proceed);
+            b.addi(regs::BOUND, regs::BOUND, -1);
+            b.branch_imm(Cond::Ne, regs::BOUND, 0, spin);
+            b.li(regs::T0, crate::runner::VID_EXHAUSTION_SENTINEL as i64);
+            b.abort_mtx(regs::T0);
+            b.bind(proceed)?;
+        }
+    }
     b.begin_mtx(regs::VID);
     Ok(())
 }

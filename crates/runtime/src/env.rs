@@ -87,6 +87,12 @@ pub struct LoopEnv {
     /// Maximum in-flight transactions (see
     /// [`MachineConfig::pipeline_window`](hmtx_types::MachineConfig)).
     pub pipeline_window: u64,
+    /// VID-exhaustion watchdog budget for the begin guard (HyTM mode).
+    /// `None` (the default, and every non-HyTM paradigm) emits the plain
+    /// unbounded guard spin; `Some(n)` bounds the VID-space spin to `n`
+    /// iterations and then aborts with the exhaustion sentinel VID so the
+    /// runtime can demote instead of livelocking.
+    pub vid_watchdog: Option<u64>,
 }
 
 impl LoopEnv {
@@ -100,12 +106,20 @@ impl LoopEnv {
             max_vid,
             workers,
             pipeline_window: 16,
+            vid_watchdog: None,
         }
     }
 
     /// Sets the in-flight transaction bound.
     pub fn with_pipeline_window(mut self, window: u64) -> Self {
         self.pipeline_window = window;
+        self
+    }
+
+    /// Bounds the begin guard's VID-space spin (HyTM mode; `0` = unbounded,
+    /// identical to the default `None`).
+    pub fn with_vid_watchdog(mut self, spins: u64) -> Self {
+        self.vid_watchdog = if spins == 0 { None } else { Some(spins) };
         self
     }
 

@@ -51,7 +51,10 @@ pub use emit::{
     Paradigm,
 };
 pub use env::LoopEnv;
-pub use runner::{run_loop, speedup, RecoveryRecord, RecoveryRung, RunReport};
+pub use runner::{
+    chaos_invariant_check, resync_rcb, run_loop, speedup, squeezed_config, DemotionCause,
+    HytmMix, RecoveryRecord, RecoveryRung, RunReport, VID_EXHAUSTION_SENTINEL,
+};
 
 #[cfg(test)]
 mod emit_tests;

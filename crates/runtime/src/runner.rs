@@ -45,6 +45,11 @@ const VID_SQUEEZE_STREAM: u64 = 0x5649_4453_5155_455A;
 /// Stream tag for the deterministic cache-capacity squeeze (chaos testing).
 const CACHE_SQUEEZE_STREAM: u64 = 0x4341_4348_4553_515A;
 
+/// Sentinel VID the begin guard's VID-exhaustion watchdog aborts with
+/// (HyTM mode). Real VIDs are at most `2^12 - 1 = 4095` (`vid_bits` is
+/// validated to `2..=12`), so the sentinel can never collide with one.
+pub const VID_EXHAUSTION_SENTINEL: u16 = 0x7FFF;
+
 /// Which rung of the recovery ladder a recovery used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecoveryRung {
@@ -57,6 +62,10 @@ pub enum RecoveryRung {
     /// Fully non-speculative sequential execution of the remaining
     /// iterations (terminal: the run finishes on this rung).
     NonSpec,
+    /// HyTM demotion: the stuck transaction (or a whole storming group) ran
+    /// on the SMTX-style instrumented software slow path, then the fast
+    /// path resumed (non-terminal, unlike [`RecoveryRung::NonSpec`]).
+    SoftwareSlowPath,
 }
 
 impl RecoveryRung {
@@ -66,6 +75,57 @@ impl RecoveryRung {
             RecoveryRung::Parallel => "parallel",
             RecoveryRung::SingleTx => "single-tx",
             RecoveryRung::NonSpec => "non-spec",
+            RecoveryRung::SoftwareSlowPath => "software-slow-path",
+        }
+    }
+}
+
+/// Why a HyTM transaction was demoted to the software slow path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemotionCause {
+    /// The read or write set outgrew the configured fast-path bounds (or
+    /// the cache hierarchy itself): `SpecOverflow`.
+    Capacity,
+    /// The begin guard's watchdog expired waiting for VID space (§4.6
+    /// reset starvation under a squeezed VID range).
+    VidExhaustion,
+    /// `K` consecutive aborts of the same transaction by genuine conflicts.
+    AbortStorm,
+    /// A fault-planner injected conflict (chaos testing).
+    InjectedFault,
+}
+
+impl DemotionCause {
+    /// Short display name used in reports and the recovery summary.
+    pub fn name(self) -> &'static str {
+        match self {
+            DemotionCause::Capacity => "capacity",
+            DemotionCause::VidExhaustion => "vid-exhaustion",
+            DemotionCause::AbortStorm => "abort-storm",
+            DemotionCause::InjectedFault => "injected-fault",
+        }
+    }
+
+    /// All causes, in the order reports tabulate them.
+    pub const ALL: [DemotionCause; 4] = [
+        DemotionCause::Capacity,
+        DemotionCause::VidExhaustion,
+        DemotionCause::AbortStorm,
+        DemotionCause::InjectedFault,
+    ];
+
+    /// Classifies an abort as an *immediate* demotion cause, if it is one.
+    /// Conflict-class aborts return `None` here; they only demote once `K`
+    /// consecutive failures of one transaction make them an
+    /// [`DemotionCause::AbortStorm`].
+    pub fn immediate(cause: &MisspecCause) -> Option<Self> {
+        match cause {
+            MisspecCause::SpecOverflow { .. } => Some(DemotionCause::Capacity),
+            MisspecCause::ExplicitAbort { vid } if vid.0 == VID_EXHAUSTION_SENTINEL => {
+                Some(DemotionCause::VidExhaustion)
+            }
+            MisspecCause::InjectedConflict { .. } => Some(DemotionCause::InjectedFault),
+            _ => None,
         }
     }
 }
@@ -82,6 +142,34 @@ pub struct RecoveryRecord {
     pub depth: u64,
     /// The ladder rung the runtime chose.
     pub rung: RecoveryRung,
+    /// HyTM only: why this recovery demoted to the software slow path
+    /// (`None` for fast-path retries and every non-HyTM run).
+    pub demotion: Option<DemotionCause>,
+}
+
+/// Fast/slow-path mix of one HyTM run (`None` on every other paradigm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HytmMix {
+    /// Transactions committed on the HMTX fast path.
+    pub fast_commits: u64,
+    /// Transactions committed on the software slow path.
+    pub slow_commits: u64,
+    /// Demotions by cause, indexed as [`DemotionCause::ALL`].
+    pub demotions_by_cause: [u64; 4],
+    /// Fast-path re-dispatches that did *not* demote (backoff retries).
+    pub fast_retries: u64,
+    /// Total stall cycles charged by the exponential backoff.
+    pub backoff_cycles: u64,
+    /// Times the storm breaker serialized a whole group on the slow path.
+    pub storm_serializations: u64,
+}
+
+impl HytmMix {
+    /// Total demotions across all causes.
+    #[must_use]
+    pub fn demotions(&self) -> u64 {
+        self.demotions_by_cause.iter().sum()
+    }
 }
 
 /// Result of running a parallelized loop to completion.
@@ -104,6 +192,8 @@ pub struct RunReport {
     pub outputs: Vec<u64>,
     /// Machine statistics snapshot.
     pub machine_stats: MachineStats,
+    /// HyTM fast/slow-path mix (`None` unless the `hytm` mode ran).
+    pub hytm: Option<HytmMix>,
 }
 
 impl RunReport {
@@ -133,7 +223,7 @@ pub fn speedup(baseline_cycles: Cycle, cycles: Cycle) -> f64 {
 /// halved L1 ways/capacity (forcing §5.4 overflow traffic). Both are pure
 /// functions of the fault seed. Returns the (possibly modified) machine
 /// configuration and the usable VID ceiling for the loop environment.
-fn squeezed_config(cfg: &MachineConfig) -> (MachineConfig, u16) {
+pub fn squeezed_config(cfg: &MachineConfig) -> (MachineConfig, u16) {
     let mut run_cfg = cfg.clone();
     let mut max_vid = cfg.hmtx.max_vid().0;
     if let Some(f) = cfg.faults {
@@ -249,6 +339,7 @@ pub fn run_loop(
                     cycle,
                     depth,
                     rung,
+                    demotion: None,
                 });
             }
         }
@@ -269,13 +360,18 @@ pub fn run_loop(
         recovery_log,
         outputs: machine.committed_output().to_vec(),
         machine_stats: *machine.stats(),
+        hytm: None,
     };
     Ok((machine, report))
 }
 
 /// When the fault configuration asks for it, scan the hierarchy for
 /// protocol invariant violations (quiescent points only).
-fn chaos_invariant_check(cfg: &MachineConfig, machine: &Machine) -> Result<(), SimError> {
+///
+/// # Errors
+///
+/// Returns [`SimError::BadProgram`] naming the first violation found.
+pub fn chaos_invariant_check(cfg: &MachineConfig, machine: &Machine) -> Result<(), SimError> {
     if !cfg.faults.is_some_and(|f| f.check_invariants) {
         return Ok(());
     }
@@ -310,7 +406,7 @@ fn dispatch(
 /// that hits lingering speculative marks retries after draining all
 /// speculative state (a conflict here means some cache still holds
 /// speculative versions — exactly what an abort flush removes).
-pub(crate) fn resync_rcb(
+pub fn resync_rcb(
     machine: &mut Machine,
     env: &LoopEnv,
     committed: u64,

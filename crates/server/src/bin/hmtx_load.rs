@@ -6,7 +6,7 @@
 //!           [--limit N] [--deadline-ms N] [--retries N] [--json PATH] [--check]
 //! ```
 //!
-//! Submits the standard 72-job sweep ([`hmtx_bench::standard_sweep`]) over
+//! Submits the standard 80-job sweep ([`hmtx_bench::standard_sweep`]) over
 //! `N` concurrent client connections, `--rounds` times. With the default
 //! two rounds, round 0 measures the **cold** cache (every job simulates)
 //! and round 1 the **warm** cache (every job replays), so one invocation

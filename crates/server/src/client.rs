@@ -53,9 +53,13 @@ impl Client {
         })
     }
 
-    /// Submits a job, sleeping out `busy` responses (honoring the server's
-    /// `retry_after_ms` hint) up to `max_retries` times. Returns the final
-    /// raw response bytes — possibly still `busy` if retries ran out.
+    /// Submits a job, sleeping out `busy` responses up to `max_retries`
+    /// times. Each wait starts from the server's `retry_after_ms` hint and
+    /// backs off exponentially per attempt (capped at
+    /// [`RETRY_BACKOFF_CAP_MS`]), plus a deterministic jitter derived from
+    /// the job spec so a fleet of loaders retrying the same instant
+    /// de-synchronizes instead of re-stampeding the server. Returns the
+    /// final raw response bytes — possibly still `busy` if retries ran out.
     ///
     /// # Errors
     ///
@@ -66,13 +70,15 @@ impl Client {
         deadline_ms: Option<u64>,
         max_retries: u32,
     ) -> io::Result<Vec<u8>> {
+        let jitter_seed = spec_jitter_seed(spec);
         let mut attempt = 0;
         loop {
             let response = self.job(spec, deadline_ms)?;
             match busy_retry_after(&response) {
                 Some(retry_after_ms) if attempt < max_retries => {
+                    let wait = backoff_ms(retry_after_ms, attempt, jitter_seed);
                     attempt += 1;
-                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                    std::thread::sleep(Duration::from_millis(wait));
                 }
                 _ => return Ok(response),
             }
@@ -142,4 +148,78 @@ pub fn busy_retry_after(bytes: &[u8]) -> Option<u64> {
         return None;
     }
     v.get("retry_after_ms").and_then(Json::as_u64)
+}
+
+/// Ceiling on one backed-off busy wait. The server's hint still wins when
+/// it is larger — the cap bounds the client's exponential growth, not the
+/// server's explicit request.
+pub const RETRY_BACKOFF_CAP_MS: u64 = 2_000;
+
+/// The wait before retry number `attempt` (0-based): the server's hint,
+/// doubled per prior attempt up to the cap, plus a jitter in
+/// `[0, hint)` derived from `(seed, attempt)`.
+#[must_use]
+pub fn backoff_ms(retry_after_ms: u64, attempt: u32, seed: u64) -> u64 {
+    let base = retry_after_ms.max(1);
+    let grown = base.checked_shl(attempt.min(20)).unwrap_or(u64::MAX);
+    let backed = grown.min(RETRY_BACKOFF_CAP_MS.max(base));
+    let jitter = hmtx_core::faults::derive(seed, u64::from(attempt), base);
+    backed.saturating_add(jitter)
+}
+
+/// A deterministic jitter seed for `spec`: FNV-1a over its canonical
+/// content key, so distinct jobs land on distinct backoff schedules while
+/// replays of the same job stay reproducible.
+#[must_use]
+pub fn spec_jitter_seed(spec: &JobSpec) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in spec.key().bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_types::{BenchRef, WireBase, WireParadigm, WireScale};
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        // Growth: doubling from the hint until the cap.
+        assert!(backoff_ms(10, 0, 7) < backoff_ms(10, 3, 7) + 10);
+        for attempt in 0..40 {
+            let w = backoff_ms(10, attempt, 7);
+            assert!(w >= 10, "never below the hint: {w}");
+            assert!(
+                w <= RETRY_BACKOFF_CAP_MS + 10,
+                "cap plus jitter bounds the wait: {w}"
+            );
+            // Deterministic: same inputs, same wait.
+            assert_eq!(w, backoff_ms(10, attempt, 7));
+        }
+        // A hint above the cap is honored as-is.
+        assert!(backoff_ms(5_000, 0, 7) >= 5_000);
+        // Zero hints still make progress.
+        assert!(backoff_ms(0, 0, 7) >= 1);
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_jitter_seeds() {
+        let a = JobSpec::new(
+            BenchRef::Suite(0),
+            WireParadigm::Paper,
+            WireScale::Quick,
+            WireBase::Test,
+        );
+        let b = JobSpec::new(
+            BenchRef::Suite(1),
+            WireParadigm::Paper,
+            WireScale::Quick,
+            WireBase::Test,
+        );
+        assert_ne!(spec_jitter_seed(&a), spec_jitter_seed(&b));
+        assert_eq!(spec_jitter_seed(&a), spec_jitter_seed(&a));
+    }
 }

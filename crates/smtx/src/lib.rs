@@ -28,9 +28,11 @@
 #![warn(missing_docs)]
 
 pub mod emit;
+pub mod hytm;
 pub mod runner;
 
 pub use emit::RwSetMode;
+pub use hytm::run_hytm;
 pub use runner::{run_smtx, SmtxReport};
 
 #[cfg(test)]

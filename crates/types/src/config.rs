@@ -309,6 +309,116 @@ impl FaultConfig {
     }
 }
 
+/// Configuration of the hybrid-TM (`hytm`) execution mode.
+///
+/// HyTM bounds the HMTX fast path — per-transaction read/write-set line
+/// caps on top of the architectural `vid_bits` limit — and demotes a
+/// transaction that trips a bound (or storms with aborts) to an SMTX-style
+/// instrumented software slow path. The bounds model a hardware TM whose
+/// speculative tracking structures are smaller than the cache hierarchy,
+/// the setting where Alistarh et al. show a software fallback is mandatory
+/// for progress.
+///
+/// `enabled == false` (the default) makes every field inert, so existing
+/// HMTX configurations and their cycle counts are untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HytmConfig {
+    /// Master switch. When `false`, the memory system never checks the
+    /// set bounds and the runtime never demotes.
+    pub enabled: bool,
+    /// Maximum distinct cache lines a transaction may speculatively read
+    /// before the access answers with `SpecOverflow` (`0` = unbounded).
+    pub max_read_lines: u32,
+    /// Maximum distinct cache lines a transaction may speculatively write
+    /// before the access answers with `SpecOverflow` (`0` = unbounded).
+    pub max_write_lines: u32,
+    /// Demote a transaction to the software slow path after this many
+    /// consecutive aborts at the same transaction (the `K` of the demotion
+    /// ladder). Capacity and VID-exhaustion aborts demote immediately.
+    pub demote_after_aborts: u64,
+    /// Base of the seeded exponential backoff charged (in stall cycles)
+    /// before re-dispatching after a conflict abort.
+    pub backoff_base_cycles: u64,
+    /// Cap on one backoff stall (the exponential is clamped here).
+    pub backoff_cap_cycles: u64,
+    /// Seed of the deterministic backoff jitter stream.
+    pub backoff_seed: u64,
+    /// After this many consecutive demotions across *different*
+    /// transactions, the storm breaker serializes a whole group on the
+    /// slow path instead of demoting one transaction at a time.
+    pub storm_threshold: u64,
+    /// Number of consecutive transactions the storm breaker serializes on
+    /// the slow path in one slab.
+    pub storm_group: u64,
+    /// VID-exhaustion watchdog: number of VID-space spin iterations the
+    /// begin guard tolerates before aborting with the exhaustion sentinel
+    /// (`0` disables the watchdog and the guard spins forever, the plain
+    /// HMTX behaviour).
+    pub watchdog_spins: u64,
+}
+
+impl HytmConfig {
+    /// HyTM disabled: plain HMTX behaviour, all bounds inert.
+    pub fn disabled() -> Self {
+        HytmConfig {
+            enabled: false,
+            max_read_lines: 0,
+            max_write_lines: 0,
+            demote_after_aborts: 4,
+            backoff_base_cycles: 64,
+            backoff_cap_cycles: 4096,
+            backoff_seed: 0x4859_544D_5F42_4F46, // "HYTM_BOF"
+            storm_threshold: 4,
+            storm_group: 8,
+            watchdog_spins: 10_000,
+        }
+    }
+
+    /// The bounded fast path the `hytm` paradigm runs: finite read/write
+    /// sets sized well above the common case but small enough that capacity
+    /// squeezes and pathological workloads trip them.
+    pub fn paper_default() -> Self {
+        HytmConfig {
+            enabled: true,
+            max_read_lines: 64,
+            max_write_lines: 32,
+            ..Self::disabled()
+        }
+    }
+
+    /// Validates the knobs that interact (§11 of DESIGN.md).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if enabled with a zero demotion threshold,
+    /// a zero storm group, or a backoff cap below the base.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.demote_after_aborts == 0 {
+            return Err(ConfigError::new("hytm demote_after_aborts must be nonzero"));
+        }
+        if self.storm_threshold == 0 || self.storm_group == 0 {
+            return Err(ConfigError::new(
+                "hytm storm threshold and group must be nonzero",
+            ));
+        }
+        if self.backoff_cap_cycles < self.backoff_base_cycles {
+            return Err(ConfigError::new(
+                "hytm backoff cap must be >= backoff base",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for HytmConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Full machine configuration (Table 2 plus simulator knobs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineConfig {
@@ -353,6 +463,9 @@ pub struct MachineConfig {
     pub hmtx: HmtxConfig,
     /// SMTX baseline cost model.
     pub smtx: SmtxConfig,
+    /// Hybrid-TM fast-path bounds and fallback policy (inert unless
+    /// `hytm.enabled`; see [`HytmConfig`]).
+    pub hytm: HytmConfig,
     /// Deterministic fault injection (`None` = no faults, the default).
     pub faults: Option<FaultConfig>,
     /// Safety valve: a run that recovers this many times without completing
@@ -386,6 +499,7 @@ impl MachineConfig {
             interrupt_handler_instrs: 200,
             hmtx: HmtxConfig::paper_default(),
             smtx: SmtxConfig::paper_default(),
+            hytm: HytmConfig::disabled(),
             faults: None,
             max_recoveries: 1_000,
             recovery_parallel_retries: 1,
@@ -437,6 +551,7 @@ impl MachineConfig {
                 return Err(ConfigError::new("fault rate_ppm must be <= 1,000,000"));
             }
         }
+        self.hytm.validate()?;
         Ok(())
     }
 }
@@ -538,6 +653,43 @@ mod tests {
                 && f.cache_squeeze
                 && f.check_invariants
         );
+    }
+
+    #[test]
+    fn hytm_disabled_is_inert_and_default() {
+        let cfg = MachineConfig::paper_default();
+        assert!(!cfg.hytm.enabled);
+        assert_eq!(cfg.hytm, HytmConfig::default());
+        // Nonsense knobs are fine while disabled.
+        let mut h = HytmConfig::disabled();
+        h.demote_after_aborts = 0;
+        h.storm_group = 0;
+        h.backoff_cap_cycles = 0;
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn hytm_enabled_knobs_validated() {
+        let mut cfg = MachineConfig::test_default();
+        cfg.hytm = HytmConfig::paper_default();
+        cfg.validate().unwrap();
+        cfg.hytm.demote_after_aborts = 0;
+        assert!(cfg.validate().is_err());
+        cfg.hytm.demote_after_aborts = 4;
+        cfg.hytm.storm_group = 0;
+        assert!(cfg.validate().is_err());
+        cfg.hytm.storm_group = 8;
+        cfg.hytm.backoff_cap_cycles = cfg.hytm.backoff_base_cycles - 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn hytm_paper_default_bounds_finite() {
+        let h = HytmConfig::paper_default();
+        assert!(h.enabled);
+        assert!(h.max_read_lines > 0 && h.max_write_lines > 0);
+        assert!(h.watchdog_spins > 0);
+        h.validate().unwrap();
     }
 
     #[test]

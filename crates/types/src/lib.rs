@@ -30,8 +30,8 @@ pub mod json;
 pub mod wire;
 
 pub use config::{
-    CacheConfig, FaultConfig, HmtxConfig, Interconnect, MachineConfig, SeedBug, SmtxConfig,
-    VictimPolicy, LINE_SIZE, LINE_SIZE_BITS,
+    CacheConfig, FaultConfig, HmtxConfig, HytmConfig, Interconnect, MachineConfig, SeedBug,
+    SmtxConfig, VictimPolicy, LINE_SIZE, LINE_SIZE_BITS,
 };
 pub use diag::{Diagnostic, Severity};
 pub use error::{ConfigError, SimError};

@@ -79,6 +79,8 @@ pub enum WireParadigm {
     Dswp,
     /// Explicit parallel-stage DSWP.
     PsDswp,
+    /// Hybrid TM: bounded HMTX fast path with an SMTX software slow path.
+    Hytm,
 }
 
 impl WireParadigm {
@@ -95,6 +97,7 @@ impl WireParadigm {
             WireParadigm::Doacross => "doacross",
             WireParadigm::Dswp => "dswp",
             WireParadigm::PsDswp => "ps-dswp",
+            WireParadigm::Hytm => "hytm",
         }
     }
 
@@ -106,7 +109,7 @@ impl WireParadigm {
     pub fn from_name(s: &str) -> Result<Self, WireError> {
         use WireParadigm::*;
         for p in [
-            Sequential, Paper, SmtxMin, SmtxSub, SmtxMax, Doall, Doacross, Dswp, PsDswp,
+            Sequential, Paper, SmtxMin, SmtxSub, SmtxMax, Doall, Doacross, Dswp, PsDswp, Hytm,
         ] {
             if p.name() == s {
                 return Ok(p);
@@ -660,6 +663,15 @@ mod tests {
                 rate_ppm: 200,
             }),
         }
+    }
+
+    #[test]
+    fn hytm_paradigm_name_round_trips() {
+        assert_eq!(WireParadigm::Hytm.name(), "hytm");
+        assert_eq!(
+            WireParadigm::from_name("hytm").unwrap(),
+            WireParadigm::Hytm
+        );
     }
 
     #[test]

@@ -48,6 +48,12 @@ cargo run --release -p hmtx-bench --bin experiments -- \
 cargo test -q --release -p hmtx-machine --test determinism
 cargo test -q --release -p hmtx-bench --test differential
 
+# HyTM determinism differential: the hybrid-mode column of the standard
+# sweep (fast-path retries, seeded backoff, slow-path slabs) must render
+# byte-identical serial vs parallel.
+cargo test -q --release -p hmtx-bench --test differential \
+  hytm_sweep_is_byte_identical_serial_vs_parallel
+
 # Perf gate: committed-simulated-cycles/sec over the standard sweep must
 # stay within 20% of the BENCH_pr6.json baseline (see EXPERIMENTS.md). The
 # gate also fails if the committed cycle total drifts from the recording —

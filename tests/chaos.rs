@@ -5,8 +5,9 @@
 //! fault-free run, keep the protocol invariants clean, and never report
 //! `BadProgram` for a recoverable condition.
 
-use hmtx::runtime::{run_loop, RecoveryRung, RunReport};
-use hmtx::types::{FaultConfig, MachineConfig, SimError};
+use hmtx::runtime::{run_loop, DemotionCause, RecoveryRung, RunReport};
+use hmtx::smtx::run_hytm;
+use hmtx::types::{FaultConfig, HytmConfig, MachineConfig, SimError};
 use hmtx::workloads::{suite, Scale, Workload};
 use proptest::prelude::*;
 
@@ -150,6 +151,154 @@ fn injected_runs_replay_identically() {
         r1.recovery_log.iter().map(|r| r.cycle).collect::<Vec<_>>(),
         r2.recovery_log.iter().map(|r| r.cycle).collect::<Vec<_>>()
     );
+}
+
+// ---------------------------------------------------------- HyTM fallback
+
+/// The hytm-mode differential: a fault plan (and/or capacity squeeze) may
+/// demote transactions to the software slow path, but committed outputs
+/// must stay byte-identical to the fault-free hytm run — and to the plain
+/// HMTX run, since the slow path computes the same loop.
+fn assert_hytm_chaos_matches(
+    bench: &dyn Workload,
+    baseline: &RunReport,
+    cfg: &MachineConfig,
+    label: &str,
+) -> RunReport {
+    let name = bench.meta().name;
+    let result = run_hytm(bench.meta().paradigm, bench, cfg, BUDGET);
+    let (_, report) = match result {
+        Ok(r) => r,
+        Err(SimError::BadProgram(msg)) => {
+            panic!("{name} {label}: recoverable fallback storm ended in BadProgram: {msg}")
+        }
+        Err(e) => panic!("{name} {label}: {e}"),
+    };
+    assert_eq!(
+        report.outputs, baseline.outputs,
+        "{name} {label}: committed outputs must be byte-identical to the \
+         fault-free run"
+    );
+    assert_eq!(
+        report.recovery_log.len() as u64,
+        report.recoveries,
+        "{name} {label}: every recovery must be logged"
+    );
+    // Every slow-path record carries its demotion cause; fast-path retries
+    // carry none.
+    for r in &report.recovery_log {
+        assert_eq!(
+            r.rung == RecoveryRung::SoftwareSlowPath,
+            r.demotion.is_some(),
+            "{name} {label}: demotion cause iff slow-path rung: {r:?}"
+        );
+    }
+    report
+}
+
+/// Pinned fallback-storm schedule 1: a capacity squeeze. Write bounds far
+/// below the workloads' footprints plus the fault planner's cache squeeze
+/// force `SpecOverflow` demotions on most transactions.
+#[test]
+fn hytm_fallback_storm_capacity_squeeze_seed_stays_green() {
+    const SEED: u64 = 0xCA9A_51F7;
+    let benches = suite(Scale::Quick);
+    for &i in &CHAOS_BENCHES {
+        let bench = benches[i].as_ref();
+        let mut cfg = MachineConfig::test_default();
+        cfg.hytm = HytmConfig {
+            enabled: true,
+            max_read_lines: 6,
+            max_write_lines: 2,
+            ..HytmConfig::paper_default()
+        };
+        let baseline = run_hytm(bench.meta().paradigm, bench, &cfg, BUDGET)
+            .expect("fault-free hytm run must complete")
+            .1;
+        assert_eq!(
+            baseline.outputs,
+            fault_free(bench).outputs,
+            "hytm and plain HMTX must commit identical outputs"
+        );
+        cfg.faults = Some(FaultConfig::chaos(SEED, 500));
+        let report = assert_hytm_chaos_matches(bench, &baseline, &cfg, "capacity-squeeze");
+        let mix = report.hytm.expect("hytm mix present");
+        let capacity = DemotionCause::ALL
+            .iter()
+            .position(|c| *c == DemotionCause::Capacity)
+            .unwrap();
+        assert!(
+            mix.demotions_by_cause[capacity] > 0,
+            "{}: the squeeze must force capacity demotions: {mix:?}",
+            bench.meta().name
+        );
+    }
+}
+
+/// Pinned fallback-storm schedule 2: a spurious-conflict burst. An
+/// aggressive injected-conflict rate demotes transactions immediately
+/// (injected faults bypass the retry budget), driving the storm breaker.
+#[test]
+fn hytm_fallback_storm_spurious_conflict_burst_seed_stays_green() {
+    const SEED: u64 = 0x5B00_B157;
+    let benches = suite(Scale::Quick);
+    let mut any_injected_demotion = false;
+    for &i in &CHAOS_BENCHES {
+        let bench = benches[i].as_ref();
+        let mut cfg = MachineConfig::test_default();
+        cfg.hytm = HytmConfig::paper_default();
+        let baseline = run_hytm(bench.meta().paradigm, bench, &cfg, BUDGET)
+            .expect("fault-free hytm run must complete")
+            .1;
+        cfg.faults = Some(FaultConfig {
+            seed: SEED,
+            rate_ppm: 3_000,
+            spurious_conflicts: true,
+            wrong_path_storms: false,
+            queue_delays: false,
+            vid_squeeze: false,
+            cache_squeeze: false,
+            check_invariants: true,
+        });
+        let report = assert_hytm_chaos_matches(bench, &baseline, &cfg, "conflict-burst");
+        let mix = report.hytm.expect("hytm mix present");
+        let injected = DemotionCause::ALL
+            .iter()
+            .position(|c| *c == DemotionCause::InjectedFault)
+            .unwrap();
+        any_injected_demotion |= mix.demotions_by_cause[injected] > 0;
+    }
+    assert!(
+        any_injected_demotion,
+        "a 3000 ppm conflict burst must demote at least one transaction \
+         across the chaos benchmarks"
+    );
+}
+
+#[test]
+fn hytm_chaos_differential_sweep() {
+    // The full chaos plan against the hybrid mode: whatever mix of faults
+    // fires, fast path + slow path together must reproduce the fault-free
+    // outputs.
+    let benches = suite(Scale::Quick);
+    for &i in &CHAOS_BENCHES {
+        let bench = benches[i].as_ref();
+        let mut cfg = MachineConfig::test_default();
+        cfg.hytm = HytmConfig {
+            enabled: true,
+            max_read_lines: 16,
+            max_write_lines: 8,
+            ..HytmConfig::paper_default()
+        };
+        let baseline = run_hytm(bench.meta().paradigm, bench, &cfg, BUDGET)
+            .expect("fault-free hytm run must complete")
+            .1;
+        for seed in 0..20u64 {
+            let mut faulty = cfg.clone();
+            faulty.faults = Some(FaultConfig::chaos(seed, 400));
+            assert_hytm_chaos_matches(bench, &baseline, &faulty, &format!("seed {seed}"));
+        }
+    }
 }
 
 proptest! {
