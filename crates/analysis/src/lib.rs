@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod cfg;
+pub mod corpus;
 pub mod dataflow;
 pub mod escape;
 pub mod mtx;
@@ -62,6 +63,7 @@ use hmtx_isa::{Program, ProgramBuilder};
 use hmtx_types::{Diagnostic, Severity, SimError};
 
 pub use cfg::{Block, Cfg};
+pub use corpus::{lower_counterexample, model_counterexamples, CounterOp, ModelCounterexample};
 pub use dataflow::{AbsVal, MtxState, State};
 pub use mtx::{ProgramFacts, QueueOpFact, QueueOpKind, StoreFact};
 pub use report::VerifyReport;

@@ -16,14 +16,17 @@
 //! | `mtx-end-without-begin` | warning | commit/abort with no MTX ever begun on the path |
 //! | `reg-use-before-def` | warning | read of a register no path has written (reads zero) |
 //!
-//! The pass deliberately understands two runtime idioms so that every
+//! The pass deliberately understands three runtime idioms so that every
 //! shipped emitter verifies clean (see `crates/runtime/src/emit.rs`):
 //! `li T0, 0; beginMTX T0` is *leaving* a transaction (constant propagation
-//! resolves the zero), and halting in the [`MtxState::Left`] state is legal —
-//! PS-DSWP stage 1 begins transactions that its consumers commit.
+//! resolves the zero); halting in the [`MtxState::Left`] state is legal —
+//! PS-DSWP stage 1 begins transactions that its consumers commit; and
+//! `li T0, 0x7FFF; abortMTX T0` is the HyTM VID-exhaustion watchdog
+//! (constant propagation resolves the sentinel), which legally aborts in
+//! any MTX state to re-enter through the software slow path.
 
 use hmtx_isa::{Instr, Program, Reg};
-use hmtx_types::{Diagnostic, QueueId, Severity};
+use hmtx_types::{Diagnostic, QueueId, Severity, VID_EXHAUSTION_SENTINEL};
 
 use crate::cfg::Cfg;
 use crate::dataflow::{reg_reads, reg_write, transfer_regs, AbsVal, MtxState, State};
@@ -352,7 +355,16 @@ fn step(state: &mut State, pc: usize, instr: &Instr, ctx: &mut Ctx<'_>, emit: bo
             state.mtx = MtxState::Committed { reg: rvid };
         }
         Instr::AbortMtx { rvid } => {
+            // The HyTM watchdog idiom aborts with the VID-exhaustion
+            // sentinel (`li T0, 0x7FFF; abortMTX T0`) to escape a starved
+            // VID-space spin and re-enter through the software slow path
+            // (see `hmtx_runtime::emit`). The sentinel deliberately names
+            // no pending VID and is legal in any MTX state, so constant
+            // propagation suppresses both naming rules for it.
+            let sentinel = state.regs[rvid.index()]
+                == AbsVal::Const(u64::from(VID_EXHAUSTION_SENTINEL));
             match state.mtx {
+                _ if sentinel => {}
                 MtxState::Spec { reg, begin_pc } | MtxState::Left { reg, begin_pc } => {
                     if emit && reg != rvid && !same_known_value(state, reg, rvid) {
                         ctx.diag(
@@ -539,6 +551,45 @@ mod tests {
         b.halt();
         let (diags, _) = analyze(&b.build().unwrap());
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn hytm_watchdog_sentinel_abort_is_legal_anywhere() {
+        // The watchdog fires before any MTX was begun on the path
+        // (`li T0, 0x7FFF; abortMTX T0`): no `mtx-end-without-begin`.
+        let mut b = ProgramBuilder::new();
+        let proceed = b.new_label();
+        b.li(Reg::R2, 1);
+        b.branch_imm(hmtx_isa::Cond::Eq, Reg::R2, 1, proceed);
+        b.li(Reg::R1, VID_EXHAUSTION_SENTINEL as i64);
+        b.abort_mtx(Reg::R1);
+        b.bind(proceed).unwrap();
+        b.halt();
+        let (diags, _) = analyze(&b.build().unwrap());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn sentinel_abort_inside_a_pending_mtx_is_not_a_vid_mismatch() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 2);
+        b.begin_mtx(Reg::R1);
+        b.li(Reg::R2, VID_EXHAUSTION_SENTINEL as i64);
+        b.abort_mtx(Reg::R2); // watchdog escape, not a naming bug
+        let (diags, _) = analyze(&b.build().unwrap());
+        assert!(
+            !rules(&diags).contains(&"mtx-vid-mismatch"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn non_sentinel_abort_without_begin_still_warns() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 3);
+        b.abort_mtx(Reg::R1);
+        let (diags, _) = analyze(&b.build().unwrap());
+        assert!(rules(&diags).contains(&"mtx-end-without-begin"), "{diags:?}");
     }
 
     #[test]

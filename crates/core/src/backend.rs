@@ -1,0 +1,115 @@
+//! The pluggable protocol-transition seam.
+//!
+//! [`MemorySystem`](crate::MemorySystem) is generic over a
+//! [`ProtocolBackend`]: the four pure per-line transition rules (hit
+//! predicate, commit, abort, VID reset) that define a coherence protocol's
+//! speculative behaviour. The default backend, [`MoesiHmtx`], is the
+//! paper's MOESI+HMTX protocol as implemented in
+//! [`crate::transitions`]; the explicit-state model checker
+//! (`hmtx-modelcheck`) consumes the *same* backend through the same
+//! `MemorySystem`, so the model can never drift from the simulator. Future
+//! backends (MESI base protocol, Dragon-style update protocols — ROADMAP
+//! item 3) plug in here and inherit both the simulator and the exhaustive
+//! checker for free.
+//!
+//! Backends are zero-sized types dispatched statically: the trait methods
+//! are associated functions, so the genericization costs no simulator
+//! throughput (the `cyclebench` gate enforces this).
+
+use hmtx_mem::LineMeta;
+use hmtx_types::Vid;
+
+use crate::transitions::{self, Outcome};
+
+/// The per-line transition rules of a coherence protocol with HMTX-style
+/// versioning.
+///
+/// Implementations must be pure per-line state machines: no access to the
+/// cache, the bus, or any global state. That is what makes the same rules
+/// usable both inside the cycle-level simulator and under exhaustive
+/// reachability analysis.
+pub trait ProtocolBackend:
+    std::fmt::Debug + Copy + Default + Send + Sync + 'static
+{
+    /// Short protocol name for reports (e.g. `"moesi-hmtx"`).
+    const NAME: &'static str;
+
+    /// The hit predicate: does a request with VID `a` hit this version?
+    /// The address tag is assumed to have matched already.
+    fn version_hits(line: &LineMeta, a: Vid) -> bool;
+
+    /// Applies commit processing for latest-committed VID `lc` in place.
+    fn apply_commit(line: &mut LineMeta, lc: Vid) -> Outcome;
+
+    /// Applies abort processing in place. Callers must apply pending
+    /// commit processing first.
+    fn apply_abort(line: &mut LineMeta) -> Outcome;
+
+    /// Applies a VID reset (§4.6) in place. Callers guarantee every
+    /// outstanding transaction has committed.
+    fn apply_vid_reset(line: &mut LineMeta) -> Outcome;
+}
+
+/// The paper's protocol: MOESI extended with the speculative states and
+/// version rules of §4 (the default [`crate::MemorySystem`] backend).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MoesiHmtx;
+
+impl ProtocolBackend for MoesiHmtx {
+    const NAME: &'static str = "moesi-hmtx";
+
+    #[inline]
+    fn version_hits(line: &LineMeta, a: Vid) -> bool {
+        transitions::version_hits(line, a)
+    }
+
+    #[inline]
+    fn apply_commit(line: &mut LineMeta, lc: Vid) -> Outcome {
+        transitions::apply_commit(line, lc)
+    }
+
+    #[inline]
+    fn apply_abort(line: &mut LineMeta) -> Outcome {
+        transitions::apply_abort(line)
+    }
+
+    #[inline]
+    fn apply_vid_reset(line: &mut LineMeta) -> Outcome {
+        transitions::apply_vid_reset(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_mem::{CacheLine, LineState};
+    use hmtx_types::LineAddr;
+
+    #[test]
+    fn default_backend_matches_free_transitions() {
+        // The trait is a pass-through: byte-for-byte the same outcomes as
+        // the free functions the simulator historically called.
+        let mut a = CacheLine::non_speculative(LineAddr(7), LineState::Exclusive);
+        a.state = LineState::SpecModified;
+        a.mod_vid = Vid(1);
+        a.high_vid = Vid(2);
+        let mut b = a.clone();
+        assert_eq!(
+            MoesiHmtx::version_hits(&a, Vid(1)),
+            transitions::version_hits(&b, Vid(1))
+        );
+        assert_eq!(
+            MoesiHmtx::apply_commit(&mut a, Vid(2)),
+            transitions::apply_commit(&mut b, Vid(2))
+        );
+        assert_eq!(a.meta, b.meta);
+        assert_eq!(MoesiHmtx::apply_abort(&mut a), transitions::apply_abort(&mut b));
+        assert_eq!(a.meta, b.meta);
+        assert_eq!(
+            MoesiHmtx::apply_vid_reset(&mut a),
+            transitions::apply_vid_reset(&mut b)
+        );
+        assert_eq!(a.meta, b.meta);
+        assert_eq!(MoesiHmtx::NAME, "moesi-hmtx");
+    }
+}

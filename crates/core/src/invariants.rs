@@ -12,8 +12,9 @@ use std::collections::HashMap;
 use hmtx_mem::LineState;
 use hmtx_types::{LineAddr, Vid};
 
+use crate::backend::ProtocolBackend;
 use crate::protocol::MemorySystem;
-use crate::transitions::{apply_commit, Outcome};
+use crate::transitions::Outcome;
 
 /// One violated invariant (all fields are pre-rendered for reporting).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,7 +25,7 @@ pub struct Violation {
     pub detail: String,
 }
 
-impl MemorySystem {
+impl<B: ProtocolBackend> MemorySystem<B> {
     /// Scans the entire hierarchy for protocol invariant violations:
     ///
     /// 1. `modVID <= highVID` on every version;
@@ -56,7 +57,7 @@ impl MemorySystem {
                     // the paper's set-CB-bit state and are never served.
                     let mut processed = *stored;
                     if processed.commit_epoch < cache.commit_epoch()
-                        && apply_commit(&mut processed, cache.lc_vid()) == Outcome::Invalidate
+                        && B::apply_commit(&mut processed, cache.lc_vid()) == Outcome::Invalidate
                     {
                         continue;
                     }
@@ -133,6 +134,98 @@ impl MemorySystem {
                     rule: "at most one dirty non-speculative owner",
                     detail: format!("{addr}: {versions:?}"),
                 });
+            }
+        }
+        violations
+    }
+}
+
+impl<B: ProtocolBackend> MemorySystem<B> {
+    /// Extended rules the explicit-state model checker evaluates on every
+    /// reachable state, *beyond* [`Self::check_invariants`]:
+    ///
+    /// 1. **Commit safety** (`committed modVID never stays speculative`):
+    ///    once VID `c` has committed, no served version anywhere may still
+    ///    carry a speculative `modVID <= c`, and no superseded
+    ///    `S-O`/`S-S (m,h)` with `h <= c` may survive — Figure 6 requires
+    ///    the commit broadcast (or its lazy §5.3 processing) to have
+    ///    promoted or invalidated them. Violations here mean a commit was
+    ///    applied out of modVID order somewhere in the hierarchy.
+    /// 2. **Exclusivity after abort** (`no duplicate Exclusive after
+    ///    abort`): once any abort has happened since the last VID reset, an
+    ///    `E` copy must be the *only* non-speculative copy of its address.
+    ///    The PR 2 bug class (Figure 7 restoring forwarding replicas in
+    ///    isolation) manifests first as `E` coexisting with `S` — the state
+    ///    from which a later speculative upgrade mints the second
+    ///    Exclusive head.
+    ///
+    /// Lines are judged exactly as in [`Self::check_invariants`]: pending
+    /// lazy commit processing is applied to a snapshot first, and the §8
+    /// overflow table (processed eagerly at commit) is included in the
+    /// commit-safety scan.
+    pub fn check_model_invariants(&self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let committed = self.last_committed();
+        let mut per_addr: HashMap<LineAddr, Vec<(String, LineState)>> = HashMap::new();
+
+        let mut commit_safety = |name: &str, line: &hmtx_mem::LineMeta| {
+            let superseded = matches!(
+                line.state,
+                LineState::SpecOwned | LineState::SpecShared
+            ) && line.high_vid <= committed;
+            let stale_mod = line.state.is_speculative()
+                && line.mod_vid.is_speculative()
+                && line.mod_vid <= committed;
+            if superseded || stale_mod {
+                violations.push(Violation {
+                    rule: "committed modVID never stays speculative",
+                    detail: format!(
+                        "{name}: {} {} after commit of v{}",
+                        line.addr,
+                        line.describe(),
+                        committed.0
+                    ),
+                });
+            }
+        };
+
+        for (name, cache) in self.caches_for_scan() {
+            for set_idx in 0..cache.config().num_sets() {
+                for stored in cache.set_metas(set_idx) {
+                    let mut processed = *stored;
+                    if processed.commit_epoch < cache.commit_epoch()
+                        && B::apply_commit(&mut processed, cache.lc_vid()) == Outcome::Invalidate
+                    {
+                        continue;
+                    }
+                    commit_safety(&name, &processed);
+                    per_addr
+                        .entry(processed.addr)
+                        .or_default()
+                        .push((name.clone(), processed.state));
+                }
+            }
+        }
+        for line in self.overflow_lines() {
+            commit_safety("overflow", &line.meta);
+        }
+
+        if self.abort_seen() {
+            for (addr, versions) in &per_addr {
+                let exclusive = versions
+                    .iter()
+                    .filter(|(_, s)| *s == LineState::Exclusive)
+                    .count();
+                let nonspec = versions
+                    .iter()
+                    .filter(|(_, s)| !s.is_speculative())
+                    .count();
+                if exclusive >= 1 && nonspec > 1 {
+                    violations.push(Violation {
+                        rule: "no duplicate Exclusive after abort",
+                        detail: format!("{addr}: {versions:?}"),
+                    });
+                }
             }
         }
         violations
@@ -310,6 +403,62 @@ mod tests {
         plant(&mut mem, 0, 0x10, LineState::Modified, 0, 0);
         plant(&mut mem, 1, 0x10, LineState::Owned, 0, 0);
         expect_rule(&mem, "at most one dirty non-speculative owner");
+    }
+
+    // ---- model-checker extended rules ----
+
+    #[track_caller]
+    fn expect_model_rule(mem: &MemorySystem, rule: &str) {
+        let violations = mem.check_model_invariants();
+        assert!(
+            violations.iter().any(|v| v.rule == rule),
+            "expected model violation of `{rule}`, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn model_violation_stale_speculative_mod_vid_after_commit() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        mem.commit(1, Vid(1)).unwrap();
+        plant(&mut mem, 0, 0x10, LineState::SpecModified, 1, 2);
+        expect_model_rule(&mem, "committed modVID never stays speculative");
+    }
+
+    #[test]
+    fn model_violation_superseded_version_survives_commit() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        mem.commit(1, Vid(1)).unwrap();
+        plant(&mut mem, 1, 0x10, LineState::SpecOwned, 0, 1);
+        expect_model_rule(&mem, "committed modVID never stays speculative");
+    }
+
+    #[test]
+    fn model_future_versions_survive_commit_cleanly() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        mem.commit(1, Vid(1)).unwrap();
+        plant(&mut mem, 0, 0x10, LineState::SpecModified, 2, 2);
+        plant(&mut mem, 1, 0x50, LineState::SpecOwned, 0, 3);
+        assert_eq!(mem.check_model_invariants(), vec![]);
+    }
+
+    #[test]
+    fn model_violation_duplicate_exclusive_after_abort() {
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        mem.abort_all(1);
+        plant(&mut mem, 0, 0x10, LineState::Exclusive, 0, 0);
+        plant(&mut mem, 1, 0x10, LineState::Shared, 0, 0);
+        expect_model_rule(&mem, "no duplicate Exclusive after abort");
+    }
+
+    #[test]
+    fn model_exclusive_rule_is_gated_on_abort() {
+        // The same planted state without a preceding abort is judged only
+        // by the six base rules (which it does not violate), so the model
+        // rule stays quiet — it is specifically the post-Figure-7 scan.
+        let mut mem = MemorySystem::new(MachineConfig::test_default());
+        plant(&mut mem, 0, 0x10, LineState::Exclusive, 0, 0);
+        plant(&mut mem, 1, 0x10, LineState::Shared, 0, 0);
+        assert_eq!(mem.check_model_invariants(), vec![]);
     }
 
     #[test]

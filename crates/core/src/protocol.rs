@@ -25,15 +25,17 @@
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::marker::PhantomData;
 
 use hmtx_mem::cache::LineFate;
 use hmtx_mem::{Bus, Cache, CacheLine, LineData, LineMeta, LineState, MainMemory};
 use hmtx_types::{Addr, CoreId, Cycle, Interconnect, LineAddr, MachineConfig, SimError, Vid};
 
+use crate::backend::{MoesiHmtx, ProtocolBackend};
 use crate::faults::{FaultPlan, FaultSite};
 use crate::stats::MemStats;
 use crate::trace::{ServedFrom, TraceEvent, Tracer};
-use crate::transitions::{apply_abort, apply_commit, apply_vid_reset, version_hits, Outcome};
+use crate::transitions::Outcome;
 
 /// Kind of memory access, with the store payload inline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,9 +141,13 @@ pub enum AccessResponse {
     },
 }
 
-/// The full HMTX memory system.
-#[derive(Debug)]
-pub struct MemorySystem {
+/// The full HMTX memory system, generic over the protocol's per-line
+/// transition rules (see [`ProtocolBackend`]). The default backend is the
+/// paper's MOESI+HMTX protocol; dispatch is static, so the seam costs no
+/// simulator throughput. Cloning snapshots the entire simulation state —
+/// the explicit-state model checker forks states this way.
+#[derive(Debug, Clone)]
+pub struct MemorySystem<B: ProtocolBackend = MoesiHmtx> {
     cfg: MachineConfig,
     l1s: Vec<Cache>,
     l2: Cache,
@@ -158,10 +164,12 @@ pub struct MemorySystem {
     last_served: ServedFrom,
     last_committed: Vid,
     abort_seen_since_reset: bool,
+    backend: PhantomData<B>,
 }
 
 impl MemorySystem {
-    /// Builds the memory system for `cfg`.
+    /// Builds the memory system for `cfg` with the default MOESI+HMTX
+    /// backend.
     ///
     /// # Panics
     ///
@@ -171,14 +179,28 @@ impl MemorySystem {
         Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Builds the memory system for `cfg`, reporting an invalid
-    /// configuration as an error instead of panicking.
+    /// Builds the memory system for `cfg` with the default MOESI+HMTX
+    /// backend, reporting an invalid configuration as an error instead of
+    /// panicking.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Config`] if the machine configuration or any
     /// cache geometry is invalid.
     pub fn try_new(cfg: MachineConfig) -> Result<Self, SimError> {
+        Self::try_new_backend(cfg)
+    }
+}
+
+impl<B: ProtocolBackend> MemorySystem<B> {
+    /// Builds the memory system for `cfg` over the backend `B` (named
+    /// explicitly; [`MemorySystem::try_new`] picks the default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the machine configuration or any
+    /// cache geometry is invalid.
+    pub fn try_new_backend(cfg: MachineConfig) -> Result<Self, SimError> {
         cfg.validate()?;
         let mut l1s = Vec::with_capacity(cfg.num_cores);
         for _ in 0..cfg.num_cores {
@@ -209,6 +231,7 @@ impl MemorySystem {
             stats: MemStats::new(),
             last_committed: Vid::NON_SPECULATIVE,
             abort_seen_since_reset: false,
+            backend: PhantomData,
             cfg,
         })
     }
@@ -238,14 +261,21 @@ impl MemorySystem {
         self.last_committed
     }
 
+    /// Whether any abort has occurred since the last VID reset. The model
+    /// checker's exclusivity-after-abort rule is gated on this.
+    pub fn abort_seen(&self) -> bool {
+        self.abort_seen_since_reset
+    }
+
     /// The shared bus (snoopy-mode data requests and control broadcasts),
     /// for bandwidth statistics.
     pub fn bus(&self) -> &Bus {
         &self.bus
     }
 
-    /// Iterates `(name, cache)` over the hierarchy for diagnostic scans.
-    pub(crate) fn caches_for_scan(&self) -> Vec<(String, &Cache)> {
+    /// Iterates `(name, cache)` over the hierarchy for diagnostic scans
+    /// (invariant checking, the model checker's canonical state encoding).
+    pub fn caches_for_scan(&self) -> Vec<(String, &Cache)> {
         let mut v: Vec<(String, &Cache)> = self
             .l1s
             .iter()
@@ -261,6 +291,13 @@ impl MemorySystem {
     #[cfg(test)]
     pub(crate) fn l1_mut(&mut self, core: usize) -> &mut Cache {
         &mut self.l1s[core]
+    }
+
+    /// Iterates the §8 overflow table's spilled versions in sorted
+    /// `(address, modVID)` order (diagnostic view; the model checker folds
+    /// these into its canonical state encoding).
+    pub fn overflow_lines(&self) -> impl Iterator<Item = &CacheLine> + '_ {
+        self.overflow.values()
     }
 
     /// Performs one memory access at cycle `now`.
@@ -456,7 +493,7 @@ impl MemorySystem {
                 } else {
                     cascaded += 1;
                 }
-                if version_hits(l, lookup) {
+                if B::version_hits(l, lookup) {
                     debug_assert!(
                         hit.is_none(),
                         "hit predicate matched two versions of {line:?}"
@@ -468,7 +505,7 @@ impl MemorySystem {
         if stale {
             Self::process_addr(&mut self.l1s[c], line);
             self.count_compares(c, line, lookup);
-            hit = find_hit(&self.l1s[c], line, lookup);
+            hit = find_hit::<B>(&self.l1s[c], line, lookup);
         } else {
             crate::stats::add(&mut self.stats.short_vid_compares, short);
             crate::stats::add(&mut self.stats.cascaded_vid_compares, cascaded);
@@ -830,7 +867,7 @@ impl MemorySystem {
                 shared_seen = true;
             }
             if supplier.is_none() {
-                if let Some(way) = find_hit(&self.l1s[p], line, lookup) {
+                if let Some(way) = find_hit::<B>(&self.l1s[p], line, lookup) {
                     let set = self.l1s[p].set_index(line);
                     if self.l1s[p].meta(set, way).state.responds_to_snoops() {
                         supplier = Some((p, way));
@@ -849,7 +886,7 @@ impl MemorySystem {
         // L2 probe.
         Self::process_addr(&mut self.l2, line);
         spec_mod_assert |= asserts_spec_modified(&self.l2, line);
-        if let Some(way) = find_hit(&self.l2, line, lookup) {
+        if let Some(way) = find_hit::<B>(&self.l2, line, lookup) {
             crate::stats::inc(&mut self.stats.l2_hits);
             self.last_served = ServedFrom::L2;
             let set = self.l2.set_index(line);
@@ -889,7 +926,7 @@ impl MemorySystem {
             let key = self
                 .overflow
                 .iter()
-                .find(|((a, _), l)| *a == line && version_hits(l, lookup))
+                .find(|((a, _), l)| *a == line && B::version_hits(l, lookup))
                 .map(|(k, _)| *k);
             if let Some(key) = key {
                 let mut version = self.overflow.remove(&key).unwrap();
@@ -1079,7 +1116,7 @@ impl MemorySystem {
         if let Err(cause) = self.install_l1(c, version) {
             return AccessResponse::Misspec { cause, latency };
         }
-        let way = find_hit(&self.l1s[c], line, lookup)
+        let way = find_hit::<B>(&self.l1s[c], line, lookup)
             .expect("freshly installed version must satisfy the hit predicate");
         let set = self.l1s[c].set_index(line);
         self.l1s[c].touch(set, way);
@@ -1180,7 +1217,7 @@ impl MemorySystem {
                 cache.for_each_line_mut(|l, _| {
                     walked += 1;
                     l.commit_epoch = epoch;
-                    match apply_commit(l, vid) {
+                    match B::apply_commit(l, vid) {
                         Outcome::Keep => LineFate::Keep,
                         Outcome::Invalidate => LineFate::Invalidate,
                     }
@@ -1206,7 +1243,7 @@ impl MemorySystem {
         let walked = self.overflow.len() as u64;
         let mut dirty: Vec<(LineAddr, LineData)> = Vec::new();
         self.overflow
-            .retain(|_, line| match apply_commit(line, lc) {
+            .retain(|_, line| match B::apply_commit(line, lc) {
                 Outcome::Invalidate => false,
                 Outcome::Keep => {
                     if line.state.is_speculative() {
@@ -1237,10 +1274,10 @@ impl MemorySystem {
             let epoch = cache.commit_epoch();
             cache.for_each_line_mut(|l, _| {
                 l.commit_epoch = epoch;
-                if apply_commit(l, lc) == Outcome::Invalidate {
+                if B::apply_commit(l, lc) == Outcome::Invalidate {
                     return LineFate::Invalidate;
                 }
-                match apply_abort(l) {
+                match B::apply_abort(l) {
                     Outcome::Keep => LineFate::Keep,
                     Outcome::Invalidate => LineFate::Invalidate,
                 }
@@ -1249,10 +1286,10 @@ impl MemorySystem {
         let lc = self.last_committed;
         let mut dirty: Vec<(LineAddr, LineData)> = Vec::new();
         self.overflow.retain(|_, line| {
-            if apply_commit(line, lc) == Outcome::Invalidate {
+            if B::apply_commit(line, lc) == Outcome::Invalidate {
                 return false;
             }
-            if apply_abort(line) == Outcome::Invalidate {
+            if B::apply_abort(line) == Outcome::Invalidate {
                 return false;
             }
             if line.state.is_dirty() {
@@ -1326,10 +1363,10 @@ impl MemorySystem {
             let epoch = cache.commit_epoch();
             cache.for_each_line_mut(|l, _| {
                 l.commit_epoch = epoch;
-                if apply_commit(l, lc) == Outcome::Invalidate {
+                if B::apply_commit(l, lc) == Outcome::Invalidate {
                     return LineFate::Invalidate;
                 }
-                match apply_vid_reset(l) {
+                match B::apply_vid_reset(l) {
                     Outcome::Keep => LineFate::Keep,
                     Outcome::Invalidate => LineFate::Invalidate,
                 }
@@ -1359,7 +1396,7 @@ impl MemorySystem {
         let line = addr.line();
         let offset = addr.line_offset();
         for cache in self.l1s.iter().chain(std::iter::once(&self.l2)) {
-            if let Some(way) = find_hit(cache, line, vid) {
+            if let Some(way) = find_hit::<B>(cache, line, vid) {
                 let set = cache.set_index(line);
                 let v = cache.meta(set, way);
                 if v.state.responds_to_snoops() || cache.ways_of(line).len() == 1 {
@@ -1392,7 +1429,7 @@ impl MemorySystem {
         for cache in self.l1s.iter_mut().chain(std::iter::once(&mut self.l2)) {
             let lc = cache.lc_vid();
             cache.for_each_line_mut(|l, d| {
-                if apply_commit(l, lc) == Outcome::Invalidate {
+                if B::apply_commit(l, lc) == Outcome::Invalidate {
                     return LineFate::Invalidate;
                 }
                 if l.state.is_speculative() {
@@ -1451,7 +1488,7 @@ impl MemorySystem {
             } else {
                 cache.lc_vid()
             };
-            if let Some(way) = find_hit(cache, line, vid) {
+            if let Some(way) = find_hit::<B>(cache, line, vid) {
                 let set = cache.set_index(line);
                 if cache.meta(set, way).state.responds_to_snoops() {
                     return cache.data(set, way).read_u64(offset);
@@ -1465,7 +1502,7 @@ impl MemorySystem {
             } else {
                 cache.lc_vid()
             };
-            if let Some(way) = find_hit(cache, line, vid) {
+            if let Some(way) = find_hit::<B>(cache, line, vid) {
                 let set = cache.set_index(line);
                 return cache.data(set, way).read_u64(offset);
             }
@@ -1491,7 +1528,7 @@ impl MemorySystem {
                 return LineFate::Keep;
             }
             l.commit_epoch = epoch;
-            match apply_commit(l, lc) {
+            match B::apply_commit(l, lc) {
                 Outcome::Keep => LineFate::Keep,
                 Outcome::Invalidate => LineFate::Invalidate,
             }
@@ -1596,12 +1633,12 @@ impl MemorySystem {
 
 /// Finds the way holding the version of `line` that the hit predicate
 /// selects for `lookup`, if any. Debug builds assert hit uniqueness.
-fn find_hit(cache: &Cache, line: LineAddr, lookup: Vid) -> Option<usize> {
+fn find_hit<B: ProtocolBackend>(cache: &Cache, line: LineAddr, lookup: Vid) -> Option<usize> {
     let set = cache.set_index(line);
     let lines = cache.set_metas(set);
     let mut found: Option<usize> = None;
     for (i, l) in lines.iter().enumerate() {
-        if l.addr == line && version_hits(l, lookup) {
+        if l.addr == line && B::version_hits(l, lookup) {
             debug_assert!(
                 found.is_none(),
                 "hit predicate matched two versions: {} and {}",

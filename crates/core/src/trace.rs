@@ -140,7 +140,7 @@ impl fmt::Display for TraceEvent {
 }
 
 /// A bounded trace buffer (oldest events dropped past the capacity).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Tracer {
     events: Vec<TraceEvent>,
     capacity: usize,

@@ -152,6 +152,70 @@ pub fn op_kernels() -> Vec<OpKernel> {
     ]
 }
 
+/// Base value of the model checker's write payloads: transaction `vid`
+/// stores `MODEL_VALUE_BASE + vid` into every line it writes. The payload
+/// depends only on the VID — never on the line or the core — which is what
+/// makes the checker's line-permutation symmetry reduction sound.
+pub const MODEL_VALUE_BASE: u64 = 0xD000;
+
+/// Builds the model checker's kernel for a [`hmtx_types::ModelCheckConfig`]:
+/// `2^vid_bits - 1` transactions, where transaction `t` (VID `t + 1`) runs
+/// on core `t % cores` and, for each of the `lines` lines in ascending
+/// order, reads it and then writes `MODEL_VALUE_BASE + vid`. Every pair of
+/// transactions conflicts on every line, so the interleaving space
+/// exercises version splitting, uncommitted value forwarding, migration,
+/// and misspeculation.
+///
+/// The kernel's name is [`hmtx_types::ModelCheckConfig::kernel_name`], so
+/// counterexample seeds lowered from the checker carry everything a replay
+/// needs to reconstruct the kernel (see [`resolve_kernel`]).
+pub fn model_kernel(cfg: &hmtx_types::ModelCheckConfig) -> OpKernel {
+    assert!(
+        cfg.cores >= 1 && cfg.lines >= 1 && cfg.vid_bits >= 1,
+        "degenerate model"
+    );
+    let tracked: Vec<u64> = (0..cfg.lines).map(|l| ADDR_A + 0x40 * l as u64).collect();
+    let txs: Vec<Vec<OpSpec>> = (0..cfg.max_vid() as usize)
+        .map(|t| {
+            let core = t % cfg.cores;
+            let vid = t as u64 + 1;
+            tracked
+                .iter()
+                .flat_map(|&addr| {
+                    [
+                        OpSpec {
+                            core,
+                            addr,
+                            write: None,
+                        },
+                        OpSpec {
+                            core,
+                            addr,
+                            write: Some(MODEL_VALUE_BASE + vid),
+                        },
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    OpKernel {
+        name: Box::leak(cfg.kernel_name().into_boxed_str()),
+        txs,
+        tracked,
+    }
+}
+
+/// Resolves an op-kernel by name: a built-in from [`op_kernels`], or a
+/// model-checker kernel (`model-cN-lK-vV`) rebuilt from its encoded
+/// configuration. Returns `None` for unknown names.
+pub fn resolve_kernel(name: &str) -> Option<OpKernel> {
+    if let Some(k) = op_kernels().into_iter().find(|k| k.name == name) {
+        return Some(k);
+    }
+    let cfg = hmtx_types::ModelCheckConfig::parse_kernel_name(name)?;
+    Some(model_kernel(&cfg))
+}
+
 /// The built-in machine-level kernels. Both are two-thread MTX kernels with
 /// commit order enforced by queue tokens under **every** schedule (the
 /// machine faults on out-of-order `commitMTX`, so kernels must synchronize

@@ -30,7 +30,10 @@ pub mod opexplore;
 pub mod seed;
 pub mod shrink;
 
-pub use kernel::{asm_kernels, op_kernels, AsmKernel, OpKernel, OpSpec};
+pub use kernel::{
+    asm_kernels, model_kernel, op_kernels, resolve_kernel, AsmKernel, OpKernel, OpSpec,
+};
+pub use opexplore::{execute_order_checked, model_machine_config, OpMachine};
 
 /// Why a schedule is considered failing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +44,28 @@ pub struct Failure {
     pub kind: &'static str,
     /// Human-readable detail.
     pub detail: String,
+}
+
+impl Failure {
+    /// The stable rule id of this failure: invariant failures carry the
+    /// violated rule in their rendered detail (`{context}: {rule}: {detail}`),
+    /// oracle and drain failures map to their respective properties, and the
+    /// remaining kinds are themselves the rule. The model checker
+    /// deduplicates counterexamples and the CLI names violations by this id.
+    #[must_use]
+    pub fn rule(&self) -> String {
+        match self.kind {
+            "oracle" => "forwarded values serialize".to_string(),
+            "drain" => "drain leaves no speculative lines".to_string(),
+            "invariant" => self
+                .detail
+                .split(": ")
+                .nth(1)
+                .unwrap_or(self.kind)
+                .to_string(),
+            other => other.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for Failure {

@@ -246,6 +246,310 @@ fn execute_inner(kernel: &OpKernel, order: &[usize], seed_bug: Option<SeedBug>) 
     outcome
 }
 
+/// The machine configuration the model checker and [`execute_order_checked`]
+/// share: the test geometry, core count covering every core the kernel
+/// names, and a VID space of at least `txs + 1`. Checker and replay **must**
+/// build identical configurations or counterexamples would not reproduce.
+pub fn model_machine_config(kernel: &OpKernel, seed_bug: Option<SeedBug>) -> MachineConfig {
+    let mut cfg = MachineConfig::test_default();
+    let max_core = kernel
+        .txs
+        .iter()
+        .flatten()
+        .map(|op| op.core)
+        .max()
+        .unwrap_or(0);
+    cfg.num_cores = max_core + 1;
+    let need_bits = (usize::BITS - kernel.txs.len().leading_zeros()).max(2);
+    cfg.hmtx.vid_bits = cfg.hmtx.vid_bits.max(need_bits);
+    cfg.hmtx.seed_bug = seed_bug;
+    cfg
+}
+
+/// An incremental, forkable executor of an [`OpKernel`] with the model
+/// checker's *strict* checking discipline: the six protocol invariants plus
+/// the extended model rules (`check_model_invariants`) after **every** op,
+/// the serial last-writer-wins oracle at every group commit, and a drain +
+/// VID-reset epilogue on finished runs.
+///
+/// Semantics differ from [`execute_order`] in one deliberate way: a
+/// transaction auto-commits only once **all** its kernel ops have been
+/// issued (orders are treated as *prefixes* of a full run, not
+/// subsequences). That is exactly the transition relation the model checker
+/// explores, so any action trace the checker records replays here
+/// step-for-step — [`execute_order_checked`] is the replay entry point.
+#[derive(Debug, Clone)]
+pub struct OpMachine {
+    /// The live memory system (cloning forks the whole simulation state).
+    pub mem: MemorySystem,
+    /// Ops issued so far, per transaction.
+    pub next: Vec<usize>,
+    /// Highest VID committed.
+    pub committed: u16,
+    /// Terminal misspeculation, if any (rendered cause). Misspeculation
+    /// aborts everything; no further steps are legal.
+    pub misspec: Option<String>,
+    /// Issued global op ids, in order (the replayable trace).
+    pub trace: Vec<usize>,
+    now: u64,
+}
+
+impl OpMachine {
+    /// A fresh machine over [`model_machine_config`] for the kernel.
+    pub fn new(kernel: &OpKernel, seed_bug: Option<SeedBug>) -> Self {
+        OpMachine {
+            mem: MemorySystem::new(model_machine_config(kernel, seed_bug)),
+            next: vec![0; kernel.txs.len()],
+            committed: 0,
+            misspec: None,
+            trace: Vec::new(),
+            now: 100,
+        }
+    }
+
+    /// Transactions that still have ops to issue (empty once terminal).
+    pub fn enabled(&self, kernel: &OpKernel) -> Vec<usize> {
+        if self.misspec.is_some() {
+            return Vec::new();
+        }
+        (0..kernel.txs.len())
+            .filter(|&t| self.next[t] < kernel.txs[t].len())
+            .collect()
+    }
+
+    /// Whether no further steps are possible (all ops issued, or aborted).
+    pub fn terminal(&self, kernel: &OpKernel) -> bool {
+        self.enabled(kernel).is_empty()
+    }
+
+    fn strict_check(&self, context: &str) -> Result<(), Failure> {
+        let mut violations = self.mem.check_invariants();
+        violations.extend(self.mem.check_model_invariants());
+        match violations.first() {
+            None => Ok(()),
+            Some(v) => Err(Failure {
+                kind: "invariant",
+                detail: format!("{context}: {}: {}", v.rule, v.detail),
+            }),
+        }
+    }
+
+    /// Commits every transaction whose ops are all issued (in VID order),
+    /// checking invariants and the oracle after each commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check.
+    pub fn settle(&mut self, kernel: &OpKernel) -> Result<(), Failure> {
+        while self.misspec.is_none()
+            && (self.committed as usize) < kernel.txs.len()
+            && self.next[self.committed as usize] == kernel.txs[self.committed as usize].len()
+        {
+            let vid = Vid(self.committed + 1);
+            self.mem.commit(self.now, vid).map_err(|e| Failure {
+                kind: "sim-error",
+                detail: format!("commit of v{}: {e}", vid.0),
+            })?;
+            self.committed += 1;
+            let ctx = format!("after commit of v{}", self.committed);
+            self.strict_check(&ctx)?;
+            let expect = reference(kernel, &self.trace, self.committed);
+            for &addr in &kernel.tracked {
+                let got = self.mem.peek_word(Addr(addr), Vid(self.committed));
+                let want = *expect.get(&addr).unwrap_or(&0);
+                if got != want {
+                    return Err(Failure {
+                        kind: "oracle",
+                        detail: format!(
+                            "{ctx}: forwarded values serialize: \
+                             word {addr:#x} is {got}, oracle says {want}"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Issues transaction `tx`'s next op, settles commits, and runs the
+    /// strict checks. Legal only on non-terminal states with `tx` enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check (misspeculation is *not* a failure;
+    /// it marks the machine terminal).
+    pub fn step(&mut self, kernel: &OpKernel, tx: usize) -> Result<(), Failure> {
+        assert!(self.misspec.is_none(), "step on an aborted machine");
+        let op = kernel.txs[tx][self.next[tx]];
+        let id = kernel
+            .txs
+            .iter()
+            .take(tx)
+            .map(Vec::len)
+            .sum::<usize>()
+            + self.next[tx];
+        let req = AccessRequest {
+            core: CoreId(op.core),
+            addr: Addr(op.addr),
+            kind: match op.write {
+                Some(value) => AccessKind::Write(value),
+                None => AccessKind::Read,
+            },
+            vid: Vid(tx as u16 + 1),
+            wrong_path: false,
+        };
+        self.now += 10;
+        self.next[tx] += 1;
+        self.trace.push(id);
+        match self.mem.access(self.now, &req).map_err(|e| Failure {
+            kind: "sim-error",
+            detail: e.to_string(),
+        })? {
+            AccessResponse::Done { .. } => {}
+            AccessResponse::Misspec { cause, .. } => {
+                self.mem.abort_all(self.now);
+                self.misspec = Some(format!("{cause:?}"));
+                return self.strict_check("after abort");
+            }
+        }
+        let ctx = format!(
+            "after op {id} (tx{tx} core{} {} {:#x})",
+            op.core,
+            if op.write.is_some() { "st" } else { "ld" },
+            op.addr
+        );
+        self.strict_check(&ctx)?;
+        self.settle(kernel)
+    }
+
+    /// End-of-run checks on a terminal state, on clones (the machine itself
+    /// is left untouched): the drained committed image must match the
+    /// oracle, and on fully committed runs a VID reset must leave a clean
+    /// hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check.
+    pub fn finish(&self, kernel: &OpKernel) -> Result<(), Failure> {
+        let fully_committed = (self.committed as usize) == kernel.txs.len();
+        let mut end = self.mem.clone();
+        if self.misspec.is_none() && fully_committed {
+            let mut reset = self.mem.clone();
+            reset.vid_reset(self.now + 10);
+            let mut violations = reset.check_invariants();
+            violations.extend(reset.check_model_invariants());
+            if let Some(v) = violations.first() {
+                return Err(Failure {
+                    kind: "invariant",
+                    detail: format!("after vid-reset: {}: {}", v.rule, v.detail),
+                });
+            }
+            end.drain_committed().map_err(|v| Failure {
+                kind: "drain",
+                detail: v.join("; "),
+            })?;
+        }
+        let expect = reference(kernel, &self.trace, self.committed);
+        for &addr in &kernel.tracked {
+            let got = end.peek_word(Addr(addr), Vid(self.committed));
+            let want = *expect.get(&addr).unwrap_or(&0);
+            if got != want {
+                return Err(Failure {
+                    kind: "oracle",
+                    detail: format!(
+                        "at end of run (v{} committed): forwarded values serialize: \
+                         word {addr:#x} is {got}, oracle says {want}",
+                        self.committed
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Replays an order as a *prefix* trace under the model checker's strict
+/// semantics (see [`OpMachine`]); this is how `hmtx-run --replay` executes
+/// counterexample seeds lowered from `hmtx-model`. The order must follow
+/// each transaction's program order with no gaps; replay stops at the first
+/// misspeculation (matching the checker's terminal-abort rule).
+pub fn execute_order_checked(
+    kernel: &OpKernel,
+    order: &[usize],
+    seed_bug: Option<SeedBug>,
+) -> OpOutcome {
+    let run = || -> OpOutcome {
+        let mut m = OpMachine::new(kernel, seed_bug);
+        let mut outcome = OpOutcome {
+            order: order.to_vec(),
+            committed: 0,
+            misspec: None,
+            failure: None,
+        };
+        let fail = |m: &OpMachine, outcome: &mut OpOutcome, f: Failure| {
+            outcome.committed = m.committed;
+            outcome.misspec = m.misspec.clone();
+            outcome.failure = Some(f);
+        };
+        if let Err(f) = m.settle(kernel) {
+            fail(&m, &mut outcome, f);
+            return outcome;
+        }
+        for &id in order {
+            if m.misspec.is_some() {
+                break;
+            }
+            let (tx, _) = kernel.locate(id);
+            let expected: usize =
+                kernel.txs.iter().take(tx).map(Vec::len).sum::<usize>() + m.next[tx];
+            if id != expected {
+                fail(
+                    &m,
+                    &mut outcome,
+                    Failure {
+                        kind: "sim-error",
+                        detail: format!(
+                            "order is not a program-order prefix: op {id} arrived when \
+                             tx{tx} is at op {expected}"
+                        ),
+                    },
+                );
+                return outcome;
+            }
+            if let Err(f) = m.step(kernel, tx) {
+                fail(&m, &mut outcome, f);
+                return outcome;
+            }
+        }
+        if let Err(f) = m.finish(kernel) {
+            fail(&m, &mut outcome, f);
+            return outcome;
+        }
+        outcome.committed = m.committed;
+        outcome.misspec = m.misspec.clone();
+        outcome
+    };
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into());
+            OpOutcome {
+                order: order.to_vec(),
+                committed: 0,
+                misspec: None,
+                failure: Some(Failure {
+                    kind: "panic",
+                    detail: msg,
+                }),
+            }
+        }
+    }
+}
+
 /// Statically enumerates schedules: DFS over transaction draws preserving
 /// program order, bounded by `preemptions` context switches away from an
 /// unfinished transaction. With `reduce`, a candidate beyond the first is

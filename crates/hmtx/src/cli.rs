@@ -144,7 +144,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Si
             }
         }
     }
-    if opts.programs.is_empty() {
+    // `ops` replay seeds name their kernel, so `--replay` alone is a
+    // complete invocation; assembly programs are only mandatory without it.
+    if opts.programs.is_empty() && opts.replay.is_none() {
         return Err(bad(
             "usage: hmtx-run [--cores N] [--trace N] [--budget N] [--quick] \
              [--faults SEED] [--fault-rate PPM] [--replay SEED.json] \
@@ -153,6 +155,71 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, Si
         ));
     }
     Ok(opts)
+}
+
+/// Replays an `"ops"` schedule seed: the named op kernel (a hand-written
+/// corpus kernel or an `hmtx-model` model kernel) re-executed in the stored
+/// order. Model-family kernels replay under the checker's strict
+/// prefix semantics ([`hmtx_explore::execute_order_checked`], invariants and
+/// the serializability oracle evaluated after every step); corpus kernels
+/// replay under the explorer's original subsequence semantics. Any violation
+/// surfaces as an error carrying the violated rule, so the process exits
+/// nonzero — exactly what a lowered counterexample should do.
+fn replay_ops_seed(seed: &ScheduleSeed) -> Result<CliReport, SimError> {
+    let bad = |msg: String| SimError::BadProgram(msg);
+    let kernel = hmtx_explore::resolve_kernel(&seed.name)
+        .ok_or_else(|| bad(format!("unknown op kernel `{}`", seed.name)))?;
+    let seed_bug = match &seed.seed_bug {
+        None => None,
+        Some(name) => Some(
+            SeedBug::from_name(name).ok_or_else(|| bad(format!("unknown seed bug `{name}`")))?,
+        ),
+    };
+    let strict = hmtx_types::ModelCheckConfig::parse_kernel_name(&seed.name).is_some();
+    let outcome = if strict {
+        hmtx_explore::execute_order_checked(&kernel, &seed.order, seed_bug)
+    } else {
+        hmtx_explore::opexplore::execute_order(&kernel, &seed.order, seed_bug)
+    };
+    if let Some(f) = &outcome.failure {
+        return Err(SimError::Replay(format!(
+            "ops replay of `{}` violated [{}]: {}",
+            seed.name,
+            f.rule(),
+            f.detail
+        )));
+    }
+    let mut stats = format!(
+        "kernel: {} ({} ops over {} transactions)\nsemantics: {}\n\
+         replayed ops: {}\ncommitted transactions: {}",
+        seed.name,
+        kernel.len(),
+        kernel.txs.len(),
+        if strict {
+            "strict prefix (model checker)"
+        } else {
+            "subsequence (explorer corpus)"
+        },
+        seed.order.len(),
+        outcome.committed,
+    );
+    if let Some(cause) = &outcome.misspec {
+        stats.push_str(&format!("\nmisspeculation: {cause}"));
+    }
+    if !seed.note.is_empty() {
+        stats.push_str(&format!("\nnote: {}", seed.note));
+    }
+    Ok(CliReport {
+        outcome: match &outcome.misspec {
+            Some(cause) => format!("ops replay misspeculated ({cause}), invariants clean"),
+            None => "ops replay clean".to_string(),
+        },
+        cycles: 0,
+        outputs: Vec::new(),
+        dumps: Vec::new(),
+        stats,
+        trace: String::new(),
+    })
 }
 
 fn parse_u64(s: &str) -> Result<u64, SimError> {
@@ -179,15 +246,27 @@ pub fn run(opts: &Options) -> Result<CliReport, SimError> {
                 .map_err(|e| bad(format!("cannot read `{path}`: {e}")))?;
             let doc = Json::parse(&text).map_err(|e| bad(format!("`{path}`: {e}")))?;
             let seed = ScheduleSeed::from_json(&doc)?;
-            if seed.kind != "machine" {
-                return Err(bad(format!(
-                    "`{path}` is a `{}` seed; hmtx-run replays `machine` seeds",
-                    seed.kind
-                )));
+            match seed.kind.as_str() {
+                // Op-kernel seeds (the `hmtx-explore` op corpus and
+                // `hmtx-model` counterexamples) carry their whole program:
+                // replay them directly, no assembly involved.
+                "ops" => return replay_ops_seed(&seed),
+                "machine" => {}
+                other => {
+                    return Err(bad(format!(
+                        "`{path}` is a `{other}` seed; hmtx-run replays \
+                         `machine` and `ops` seeds"
+                    )));
+                }
             }
             Some(seed)
         }
     };
+    if opts.programs.is_empty() {
+        return Err(bad(
+            "replaying a `machine` seed needs the original assembly programs".into(),
+        ));
+    }
     let mut cfg = if opts.quick {
         MachineConfig::test_default()
     } else {
@@ -418,6 +497,85 @@ mod tests {
             "{}",
             report.stats
         );
+    }
+
+    fn write_seed(tag: &str, seed: &ScheduleSeed) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "hmtx-cli-{}-{tag}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, seed.to_json().pretty()).unwrap();
+        path
+    }
+
+    #[test]
+    fn ops_seed_replays_clean_without_programs() {
+        let cfg = hmtx_types::ModelCheckConfig::default();
+        let kernel = hmtx_explore::model_kernel(&cfg);
+        let seed = ScheduleSeed {
+            kind: "ops".to_string(),
+            name: kernel.name.to_string(),
+            seed_bug: None,
+            picks: Vec::new(),
+            order: (0..kernel.len()).collect(),
+            note: "serial order".to_string(),
+        };
+        let path = write_seed("clean", &seed);
+        let opts = parse_args(vec!["--replay".to_string(), path.display().to_string()]).unwrap();
+        let report = run(&opts).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(report.outcome, "ops replay clean");
+        assert!(report.stats.contains("strict prefix"), "{}", report.stats);
+        assert!(
+            report.stats.contains("committed transactions: 3"),
+            "{}",
+            report.stats
+        );
+    }
+
+    #[test]
+    fn lowered_model_counterexample_replays_to_the_same_rule() {
+        // End-to-end differential check: the model checker finds the planted
+        // defect, lowers the trace to a seed, and `hmtx-run --replay` on
+        // that seed reproduces the *same* violated invariant and exits
+        // nonzero.
+        let cfg = hmtx_types::ModelCheckConfig {
+            seed_bug: Some(SeedBug::StaleMigrationReplica),
+            ..hmtx_types::ModelCheckConfig::default()
+        };
+        let kernel = hmtx_explore::model_kernel(&cfg);
+        let report = hmtx_modelcheck::check_kernel(&kernel, &cfg);
+        let v = report
+            .violations
+            .first()
+            .expect("the planted defect must be rediscovered");
+        let seed = hmtx_modelcheck::lower(&kernel, &cfg, v);
+        let path = write_seed("defect", &seed);
+        let opts = parse_args(vec!["--replay".to_string(), path.display().to_string()]).unwrap();
+        let err = run(&opts).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            err.to_string().contains(&v.rule),
+            "replay must name the violated rule `{}`: {err}",
+            v.rule
+        );
+    }
+
+    #[test]
+    fn unknown_ops_kernel_is_an_error() {
+        let seed = ScheduleSeed {
+            kind: "ops".to_string(),
+            name: "no-such-kernel".to_string(),
+            seed_bug: None,
+            picks: Vec::new(),
+            order: vec![0],
+            note: String::new(),
+        };
+        let path = write_seed("unknown", &seed);
+        let opts = parse_args(vec!["--replay".to_string(), path.display().to_string()]).unwrap();
+        let err = run(&opts).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("unknown op kernel"), "{err}");
     }
 
     #[test]

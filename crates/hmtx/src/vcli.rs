@@ -18,7 +18,7 @@
 
 use hmtx_analysis::{verify_set, VerifyReport};
 use hmtx_isa::{assemble, Program};
-use hmtx_runtime::{build_paradigm, emit, verify_generated, LoopEnv, Paradigm};
+use hmtx_runtime::{build_paradigm, emit, squeezed_config, verify_generated, LoopEnv, Paradigm};
 use hmtx_smtx::emit::build_smtx_pipeline;
 use hmtx_smtx::RwSetMode;
 use hmtx_types::{MachineConfig, SimError};
@@ -208,6 +208,36 @@ fn verify_all_workloads(scale: Scale) -> Result<Vec<SetResult>, SimError> {
             let generated = emit::build_single_tx(body, &env, 1)?;
             results.push(SetResult {
                 label: format!("{name}/single-tx"),
+                report: verify_generated(&generated),
+                programs: generated
+                    .threads
+                    .iter()
+                    .map(|t| (*t.program).clone())
+                    .collect(),
+            });
+        }
+        // The HyTM fast path: the workload's own paradigm emitted with the
+        // VID-exhaustion watchdog armed, exactly as `smtx::hytm::run_hytm`
+        // builds it (the watchdog's sentinel-abort escape is the idiom the
+        // analyzer's `mtx` pass resolves via constant propagation).
+        {
+            let mut base = cfg.clone();
+            if !base.hytm.enabled {
+                base.hytm = hmtx_types::HytmConfig::paper_default();
+            }
+            let paradigm = workload.meta().paradigm;
+            let workers = match paradigm {
+                Paradigm::Sequential | Paradigm::Dswp => 1,
+                Paradigm::Doall | Paradigm::Doacross => base.num_cores,
+                Paradigm::PsDswp => base.num_cores.saturating_sub(1).max(1),
+            };
+            let (run_cfg, hytm_max_vid) = squeezed_config(&base);
+            let env = LoopEnv::new(hytm_max_vid, workers)
+                .with_pipeline_window(run_cfg.pipeline_window)
+                .with_vid_watchdog(run_cfg.hytm.watchdog_spins);
+            let generated = build_paradigm(paradigm, body, &env, 1)?;
+            results.push(SetResult {
+                label: format!("{name}/hytm-{}", paradigm.name()),
                 report: verify_generated(&generated),
                 programs: generated
                     .threads

@@ -75,6 +75,10 @@ unsafe fn zeroed_slice<T>(n: usize) -> Box<[T]> {
 /// *same address* but different `(modVID, highVID)` version ranges (paper
 /// §4.1). Lookups therefore take a caller-supplied predicate that encodes
 /// the HMTX hit rules.
+///
+/// Cloning snapshots the full cache contents (the model checker forks
+/// whole memory systems this way).
+#[derive(Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     ways: usize,
@@ -411,6 +415,97 @@ impl Cache {
     /// Total number of ways in the cache.
     pub fn capacity(&self) -> usize {
         self.cfg.num_lines()
+    }
+
+    /// Returns the protocol-visible *abstract view* of every stored
+    /// version, sorted into a canonical order.
+    ///
+    /// The view erases everything a request cannot observe: absolute
+    /// `commit_epoch` values collapse to a "pending lazy commit" flag
+    /// (§5.3), absolute `last_used` timestamps collapse to per-set LRU
+    /// ranks, and way order within a set is normalized by sorting. Two
+    /// caches that no sequence of requests can tell apart produce
+    /// identical views — which is exactly what the explicit-state model
+    /// checker needs to fold equivalent states together.
+    pub fn abstract_view(&self) -> Vec<AbstractLine> {
+        let mut out = Vec::with_capacity(self.occupancy());
+        for set in 0..self.cfg.num_sets() {
+            let metas = self.set_metas(set);
+            // Per-set LRU ranks: position of each way in ascending
+            // `last_used` order (way index breaks exact ties, matching the
+            // deterministic tie-break of `lru_index`).
+            let mut order: Vec<usize> = (0..metas.len()).collect();
+            order.sort_by_key(|&w| (metas[w].last_used, w));
+            let mut rank = vec![0u8; metas.len()];
+            for (r, &w) in order.iter().enumerate() {
+                rank[w] = r as u8;
+            }
+            for (w, l) in metas.iter().enumerate() {
+                out.push(AbstractLine {
+                    set,
+                    addr: l.addr,
+                    state: l.state,
+                    mod_vid: l.mod_vid,
+                    high_vid: l.high_vid,
+                    phantom_high: l.phantom_high,
+                    shared_hint: l.shared_hint,
+                    commit_pending: l.commit_epoch < self.commit_epoch,
+                    lru_rank: rank[w],
+                    word0: self.data(set, w).read_u64(0),
+                });
+            }
+        }
+        out.sort_by_key(AbstractLine::sort_key);
+        out
+    }
+}
+
+/// One stored line version as the protocol can observe it (see
+/// [`Cache::abstract_view`]): no absolute epochs, clocks, or way indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AbstractLine {
+    /// Set index the version lives in.
+    pub set: usize,
+    /// Line address tag.
+    pub addr: LineAddr,
+    /// Coherence state.
+    pub state: LineState,
+    /// Version-creating VID.
+    pub mod_vid: Vid,
+    /// Highest observing VID.
+    pub high_vid: Vid,
+    /// Highest wrong-path phantom mark (§5.1).
+    pub phantom_high: Vid,
+    /// Uncommitted-value-forwarding residue hint.
+    pub shared_hint: bool,
+    /// `true` if lazy commit processing (§5.3) has not yet been applied.
+    pub commit_pending: bool,
+    /// LRU position within the set (0 = least recently used).
+    pub lru_rank: u8,
+    /// First data word (the model checker abstracts line data to one
+    /// deterministically stamped word).
+    pub word0: u64,
+}
+
+impl AbstractLine {
+    /// Canonical sort key (also usable as an encoding tuple).
+    #[allow(clippy::type_complexity)]
+    #[must_use]
+    pub fn sort_key(
+        &self,
+    ) -> (usize, u64, u8, u16, u16, u16, bool, bool, u8, u64) {
+        (
+            self.set,
+            self.addr.0,
+            self.state as u8,
+            self.mod_vid.0,
+            self.high_vid.0,
+            self.phantom_high.0,
+            self.shared_hint,
+            self.commit_pending,
+            self.lru_rank,
+            self.word0,
+        )
     }
 }
 

@@ -28,6 +28,6 @@ pub mod line;
 pub mod memory;
 
 pub use bus::Bus;
-pub use cache::{Cache, InsertOutcome};
+pub use cache::{AbstractLine, Cache, InsertOutcome};
 pub use line::{CacheLine, LineData, LineMeta, LineState};
 pub use memory::MainMemory;

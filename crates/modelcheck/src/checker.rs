@@ -1,0 +1,257 @@
+//! Breadth-first exhaustive search over the protocol model.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use hmtx_explore::opexplore::OpMachine;
+use hmtx_explore::{model_kernel, Failure, OpKernel};
+use hmtx_types::{
+    FxHashSet, ModelCheckConfig, ModelCheckReport, ModelViolation,
+};
+
+use crate::canon::Encoder;
+
+/// The stable rule id of a failed check (see [`Failure::rule`]).
+pub fn failure_rule(f: &Failure) -> String {
+    f.rule()
+}
+
+/// Runs the checker on the model kernel described by `cfg`.
+pub fn check(cfg: &ModelCheckConfig) -> ModelCheckReport {
+    let kernel = model_kernel(cfg);
+    check_kernel(&kernel, cfg)
+}
+
+fn render_trace(kernel: &OpKernel, order: &[usize]) -> Vec<String> {
+    order
+        .iter()
+        .map(|&id| {
+            let (tx, op) = kernel.locate(id);
+            format!(
+                "op {id}: tx{tx} vid{} core{} {} {:#x}{}",
+                tx + 1,
+                op.core,
+                if op.write.is_some() { "st" } else { "ld" },
+                op.addr,
+                op.write.map_or(String::new(), |v| format!(" = {v:#x}")),
+            )
+        })
+        .collect()
+}
+
+/// Exhausts the reachable states of `kernel` (any op kernel, not just the
+/// model family) under the strict [`OpMachine`] transition relation and
+/// returns the report. `cfg` supplies the planted defect, the symmetry
+/// switch, the state cap, and the core count used for symmetry (the
+/// kernel's own core span when checking a non-model kernel).
+pub fn check_kernel(kernel: &OpKernel, cfg: &ModelCheckConfig) -> ModelCheckReport {
+    let cores = kernel
+        .txs
+        .iter()
+        .flatten()
+        .map(|op| op.core + 1)
+        .max()
+        .unwrap_or(1)
+        .max(cfg.cores);
+    let encoder = Encoder::new(kernel, cores, cfg.symmetry);
+
+    let mut report = ModelCheckReport {
+        config: *cfg,
+        reachable: 0,
+        transitions: 0,
+        frontier_peak: 0,
+        exhausted: true,
+        violations: Vec::new(),
+    };
+    let mut seen_rules: FxHashSet<String> = FxHashSet::default();
+    let mut record = |report: &mut ModelCheckReport, m: &OpMachine, f: &Failure| {
+        let rule = failure_rule(f);
+        if seen_rules.insert(rule.clone()) {
+            report.violations.push(ModelViolation {
+                rule,
+                detail: f.detail.clone(),
+                depth: m.trace.len(),
+                trace: render_trace(kernel, &m.trace),
+                order: m.trace.clone(),
+            });
+        }
+    };
+
+    let mut root = OpMachine::new(kernel, cfg.seed_bug);
+    if let Err(f) = root.settle(kernel) {
+        record(&mut report, &root, &f);
+        return report;
+    }
+    let mut visited: FxHashSet<u64> = FxHashSet::default();
+    visited.insert(encoder.state_hash(kernel, &root));
+    report.reachable = 1;
+
+    let mut queue: VecDeque<OpMachine> = VecDeque::new();
+    queue.push_back(root);
+    report.frontier_peak = 1;
+
+    while let Some(state) = queue.pop_front() {
+        let enabled = state.enabled(kernel);
+        if enabled.is_empty() {
+            // Terminal: end-of-run drain, final oracle, VID-reset epilogue.
+            let outcome = catch_unwind(AssertUnwindSafe(|| state.finish(kernel)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(f)) => record(&mut report, &state, &f),
+                Err(payload) => record(&mut report, &state, &panic_failure(payload)),
+            }
+            continue;
+        }
+        for tx in enabled {
+            report.transitions += 1;
+            let mut child = state.clone();
+            let stepped = catch_unwind(AssertUnwindSafe(|| child.step(kernel, tx)));
+            match stepped {
+                Ok(Ok(())) => {}
+                Ok(Err(f)) => {
+                    record(&mut report, &child, &f);
+                    continue;
+                }
+                Err(payload) => {
+                    record(&mut report, &child, &panic_failure(payload));
+                    continue;
+                }
+            }
+            if visited.insert(encoder.state_hash(kernel, &child)) {
+                report.reachable += 1;
+                queue.push_back(child);
+                report.frontier_peak = report.frontier_peak.max(queue.len());
+                if cfg.max_states > 0 && report.reachable >= cfg.max_states {
+                    report.exhausted = false;
+                    return report;
+                }
+            }
+        }
+    }
+    report
+}
+
+fn panic_failure(payload: Box<dyn std::any::Any + Send>) -> Failure {
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".into());
+    Failure {
+        kind: "panic",
+        detail: msg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmtx_explore::execute_order_checked;
+    use hmtx_types::SeedBug;
+
+    #[test]
+    fn smoke_config_exhausts_clean() {
+        let cfg = ModelCheckConfig::default(); // 2 cores × 2 lines × vid_bits 2
+        let report = check(&cfg);
+        assert!(report.exhausted, "{report}");
+        assert!(report.is_clean(), "{report}");
+        assert!(report.reachable > 100, "suspiciously small: {report}");
+    }
+
+    #[test]
+    fn symmetry_never_changes_the_verdict_or_grows_the_state_count() {
+        // The reduction is sound (it can only merge isomorphic-future
+        // states), so it must preserve the verdict and never *increase*
+        // the canonical state count. On VID-ordered kernels the orbits are
+        // provably singletons — the VID total order pins every transaction
+        // to its core and line-visit order, so no nontrivial permutation
+        // maps a reachable state to another reachable state (DESIGN.md
+        // §12.4) — which is why this asserts `<=`, not `<`.
+        let sym = check(&ModelCheckConfig::default());
+        let asym = check(&ModelCheckConfig {
+            symmetry: false,
+            ..ModelCheckConfig::default()
+        });
+        assert!(sym.is_clean() && asym.is_clean());
+        assert_eq!(sym.exhausted, asym.exhausted);
+        assert!(
+            sym.reachable <= asym.reachable,
+            "a sound reduction cannot split orbits: {} vs {}",
+            sym.reachable,
+            asym.reachable
+        );
+    }
+
+    #[test]
+    fn max_states_cuts_the_search_off() {
+        let report = check(&ModelCheckConfig {
+            max_states: 10,
+            ..ModelCheckConfig::default()
+        });
+        assert!(!report.exhausted);
+        assert_eq!(report.reachable, 10);
+    }
+
+    #[test]
+    fn shared_counterexample_corpus_is_rediscovered_and_replays() {
+        // The pinned corpus in `hmtx_analysis::corpus` records traces this
+        // checker found; re-running the checker must rediscover each
+        // entry's rule, the stored ops must still match the kernel, and
+        // the recorded order must replay to the same violation.
+        for entry in hmtx_analysis::model_counterexamples() {
+            let kernel = hmtx_explore::resolve_kernel(entry.kernel)
+                .unwrap_or_else(|| panic!("{}: kernel `{}` resolves", entry.name, entry.kernel));
+            let bug = SeedBug::from_name(entry.seed_bug);
+            assert!(bug.is_some(), "{}: seed bug resolves", entry.name);
+
+            // Stored ops are the kernel's ops at the recorded ids.
+            for (&id, op) in entry.order.iter().zip(&entry.ops) {
+                let (tx, spec) = kernel.locate(id);
+                assert_eq!(op.core, spec.core, "{} op {id}", entry.name);
+                assert_eq!(op.addr, spec.addr, "{} op {id}", entry.name);
+                assert_eq!(op.write, spec.write, "{} op {id}", entry.name);
+                assert_eq!(usize::from(op.vid), tx + 1, "{} op {id}", entry.name);
+            }
+
+            let cfg = ModelCheckConfig {
+                seed_bug: bug,
+                ..ModelCheckConfig::default()
+            };
+            let report = check_kernel(&kernel, &cfg);
+            assert!(
+                report.violations.iter().any(|v| v.rule == entry.model_rule),
+                "{}: rule `{}` must be rediscovered, got {report}",
+                entry.name,
+                entry.model_rule
+            );
+
+            let replay = execute_order_checked(&kernel, &entry.order, bug);
+            let f = replay
+                .failure
+                .unwrap_or_else(|| panic!("{}: pinned order must still violate", entry.name));
+            assert_eq!(failure_rule(&f), entry.model_rule, "{}: {f}", entry.name);
+        }
+    }
+
+    #[test]
+    fn planted_defect_is_rediscovered_with_a_replayable_trace() {
+        let cfg = ModelCheckConfig {
+            seed_bug: Some(SeedBug::StaleMigrationReplica),
+            ..ModelCheckConfig::default()
+        };
+        let kernel = model_kernel(&cfg);
+        let report = check_kernel(&kernel, &cfg);
+        assert!(
+            !report.is_clean(),
+            "the planted migration defect must be rediscovered: {report}"
+        );
+        // Every counterexample replays to the same violated rule.
+        for v in &report.violations {
+            let replay = execute_order_checked(&kernel, &v.order, cfg.seed_bug);
+            let f = replay
+                .failure
+                .unwrap_or_else(|| panic!("trace for `{}` did not replay: {v:?}", v.rule));
+            assert_eq!(failure_rule(&f), v.rule, "{f}");
+        }
+    }
+}

@@ -48,7 +48,8 @@ const CACHE_SQUEEZE_STREAM: u64 = 0x4341_4348_4553_515A;
 /// Sentinel VID the begin guard's VID-exhaustion watchdog aborts with
 /// (HyTM mode). Real VIDs are at most `2^12 - 1 = 4095` (`vid_bits` is
 /// validated to `2..=12`), so the sentinel can never collide with one.
-pub const VID_EXHAUSTION_SENTINEL: u16 = 0x7FFF;
+/// Defined in `hmtx-types` so the static analyzer recognizes the idiom.
+pub use hmtx_types::VID_EXHAUSTION_SENTINEL;
 
 /// Which rung of the recovery ladder a recovery used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

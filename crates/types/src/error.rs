@@ -58,6 +58,11 @@ pub enum SimError {
     /// `hmtx-analysis` crate). Carries every diagnostic the verifier
     /// produced, errors first.
     Verification(Vec<crate::Diagnostic>),
+    /// A replayed schedule seed (`hmtx-run --replay`) reproduced a
+    /// protocol violation. This is the *expected* outcome when replaying
+    /// a model-checker counterexample; the message names the violated
+    /// rule.
+    Replay(String),
 }
 
 impl fmt::Display for SimError {
@@ -104,6 +109,7 @@ impl fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::Replay(msg) => write!(f, "replay failed: {msg}"),
         }
     }
 }

@@ -4,6 +4,13 @@ use std::fmt;
 
 use crate::config::{LINE_SIZE, LINE_SIZE_BITS};
 
+/// The reserved VID value software passes to `abortMTX` to signal that a
+/// worker exhausted the configured VID space while waiting for a slot (the
+/// hytm vid-watchdog idiom, §4.6 interplay). The value is outside every
+/// legal `vid_bits` width (max 12 bits), so it can never collide with a
+/// real transaction VID.
+pub const VID_EXHAUSTION_SENTINEL: u16 = 0x7FFF;
+
 /// A transaction *version ID*.
 ///
 /// Every multithreaded transaction is assigned a VID corresponding to the

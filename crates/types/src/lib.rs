@@ -27,6 +27,7 @@ pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod json;
+pub mod model;
 pub mod wire;
 
 pub use config::{
@@ -36,8 +37,9 @@ pub use config::{
 pub use diag::{Diagnostic, Severity};
 pub use error::{ConfigError, SimError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use ids::{Addr, CoreId, Cycle, LineAddr, QueueId, ThreadId, Vid};
+pub use ids::{Addr, CoreId, Cycle, LineAddr, QueueId, ThreadId, Vid, VID_EXHAUSTION_SENTINEL};
 pub use json::{Json, JsonError};
+pub use model::{ModelCheckConfig, ModelCheckReport, ModelViolation};
 pub use wire::{
     diagnostic_to_json,
     content_key, BenchRef, FaultSpec, JobSpec, StatsSnapshot, WireBase, WireError, WireParadigm,

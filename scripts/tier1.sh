@@ -10,8 +10,9 @@ cargo build --release
 # Per-crate test matrix: the union equals `cargo test -q --workspace`, but a
 # failure names its crate in the log instead of drowning in the firehose.
 for CRATE in hmtx-types hmtx-isa hmtx-analysis hmtx-mem hmtx-core \
-             hmtx-machine hmtx-explore hmtx-runtime hmtx-smtx \
-             hmtx-workloads hmtx-power hmtx-bench hmtx-server hmtx; do
+             hmtx-machine hmtx-explore hmtx-modelcheck hmtx-runtime \
+             hmtx-smtx hmtx-workloads hmtx-power hmtx-bench hmtx-server \
+             hmtx; do
   echo "--- cargo test -p ${CRATE}"
   cargo test -q -p "$CRATE"
 done
@@ -20,13 +21,27 @@ done
 # (including the pinned regression seeds) must match the fault-free run.
 cargo test -q -p hmtx --test chaos
 
-# Lint gate: warnings are errors across the workspace.
-cargo clippy --workspace --all-targets -- -D warnings
+# Lint gate: the deny-by-default policy lives in `[workspace.lints]`
+# (warnings denied, unsafe_code forbidden outside hmtx-mem/hmtx-server),
+# so a plain clippy run enforces it.
+cargo clippy --workspace --all-targets
 
 # Static verification gate: every workload emitter, under every paradigm and
 # SMTX mode, must produce programs the analyzer certifies clean (MTX
 # protocol, register dataflow, queue matching/deadlock, store escape).
 cargo run --release -p hmtx --bin hmtx-verify -- --all-workloads
+
+# Protocol model-check gate: the 2-core × 2-line × vid_bits=2 model must
+# exhaust clean in seconds — every reachable state satisfies every cache
+# invariant, commit safety, and the serializability oracle — and the
+# planted stale-migration-replica defect must be rediscovered (nonzero
+# exit), proving the checker can still find real bugs.
+cargo run --release -p hmtx-modelcheck --bin hmtx-model
+if cargo run --release -p hmtx-modelcheck --bin hmtx-model -- \
+    --seed-bug stale-migration-replica >/dev/null; then
+  echo "hmtx-model failed to rediscover the planted defect" >&2
+  exit 1
+fi
 
 # Serving-layer smoke: ephemeral hmtx-serve + hmtx-load burst; verifies
 # byte-identical cold/warm responses, cache-hit accounting, SIGTERM drain.

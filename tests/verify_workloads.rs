@@ -92,6 +92,39 @@ fn all_smtx_pipeline_emitters_verify_clean() {
 }
 
 #[test]
+fn hytm_watchdog_emitters_verify_clean() {
+    // The HyTM fast path arms the VID-exhaustion watchdog, whose
+    // sentinel-abort escape (`li T0, 0x7FFF; abortMTX T0`) the analyzer
+    // resolves via constant propagation.
+    let mut cfg = MachineConfig::paper_default();
+    if !cfg.hytm.enabled {
+        cfg.hytm = hmtx::types::HytmConfig::paper_default();
+    }
+    for workload in suite(Scale::Quick) {
+        let paradigm = workload.meta().paradigm;
+        let workers = match paradigm {
+            Paradigm::Sequential | Paradigm::Dswp => 1,
+            Paradigm::Doall | Paradigm::Doacross => cfg.num_cores,
+            Paradigm::PsDswp => cfg.num_cores.saturating_sub(1).max(1),
+        };
+        let (run_cfg, max_vid) = hmtx::runtime::squeezed_config(&cfg);
+        let env = LoopEnv::new(max_vid, workers)
+            .with_pipeline_window(run_cfg.pipeline_window)
+            .with_vid_watchdog(run_cfg.hytm.watchdog_spins);
+        let generated =
+            build_paradigm(paradigm, workload.as_ref(), &env, 1).expect("emission succeeds");
+        let report = verify_generated(&generated);
+        assert!(
+            report.is_clean(),
+            "{}/hytm-{} flagged:\n{}",
+            workload.meta().name,
+            paradigm.name(),
+            report.render_text()
+        );
+    }
+}
+
+#[test]
 fn vcli_all_workloads_gate_is_clean() {
     let opts = hmtx::vcli::Options {
         all_workloads: true,
@@ -100,6 +133,13 @@ fn vcli_all_workloads_gate_is_clean() {
     let report = hmtx::vcli::run(&opts).expect("vcli runs");
     assert_eq!(report.exit_code(), 0, "{}", report.output);
     assert_eq!(report.diagnostics, 0);
+    // 8 workloads × (5 paradigms + single-tx + hytm + 3 smtx modes).
+    assert!(
+        report.output.contains("80 set(s) verified"),
+        "{}",
+        report.output
+    );
+    assert!(report.output.contains("/hytm-"), "{}", report.output);
 }
 
 // ---------------------------------------------------------------------------
@@ -494,6 +534,37 @@ fn corpus_queue_rate_surplus() {
         b.halt();
     });
     expect_flag(&verify_two(&p0, &p1), "queue-rate-surplus", Severity::Warning, 0, 1);
+}
+
+#[test]
+fn corpus_model_checker_counterexamples() {
+    // Model-checker-sourced entries (shared with `hmtx-modelcheck`, which
+    // rediscovers and replays them at the protocol level): the lowered
+    // trace leaves its transactions open at the violating access, so the
+    // verifier flags every speculative core and the set.
+    use hmtx::analysis::{lower_counterexample, model_counterexamples};
+    let entries = model_counterexamples();
+    assert!(entries.len() >= 2, "corpus must hold at least two entries");
+    for entry in &entries {
+        let programs = lower_counterexample(&entry.ops);
+        let refs: Vec<&Program> = programs.iter().collect();
+        let report = verify_set(&refs);
+        match entry.name {
+            // core 0: li,begin,li,ld,halt; core 1: li,begin,li,ld,halt.
+            "read-migration-replica" => {
+                expect_flag(&report, "mtx-halt-speculative", Severity::Error, 0, 4);
+                expect_flag(&report, "mtx-halt-speculative", Severity::Error, 1, 4);
+                expect_flag(&report, "mtx-never-committed", Severity::Error, 0, 1);
+            }
+            // core 0: li,begin,li,ld,halt; core 1: li,begin,li,li,st,halt.
+            "dirty-migration-replica" => {
+                expect_flag(&report, "mtx-halt-speculative", Severity::Error, 0, 4);
+                expect_flag(&report, "mtx-halt-speculative", Severity::Error, 1, 5);
+                expect_flag(&report, "mtx-never-committed", Severity::Error, 0, 1);
+            }
+            other => panic!("unpinned corpus entry `{other}`"),
+        }
+    }
 }
 
 #[test]
