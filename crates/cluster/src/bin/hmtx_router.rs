@@ -1,0 +1,94 @@
+//! `hmtx-router` — consistent-hash routing across `hmtx-serve` backends.
+//!
+//! ```text
+//! hmtx-router --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+//!             [--replicas N] [--health-interval-ms N]
+//!             [--retries N] [--retry-base-ms N]
+//! ```
+//!
+//! Prints `listening on ADDR` once bound (scripts parse this to learn an
+//! ephemeral port). Speaks the same frame protocol as `hmtx-serve`, so
+//! `hmtx-load` and `hmtx-run --remote` point at it unchanged. SIGTERM or
+//! SIGINT begins a graceful drain of the router only — backends keep
+//! running (stop them with their own signals or a direct `shutdown`).
+
+use std::time::Duration;
+
+use hmtx_cluster::{RouterConfig, RouterHandle};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hmtx-router --backends HOST:PORT,... [--addr HOST:PORT] \
+         [--replicas N] [--health-interval-ms N] [--retries N] [--retry-base-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7871".to_string();
+    let mut backends: Vec<String> = Vec::new();
+    let mut cfg_replicas = None;
+    let mut cfg_health_ms = None;
+    let mut cfg_retries = None;
+    let mut cfg_retry_base_ms = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--addr" => addr = value(),
+            "--backends" => {
+                backends = value()
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
+            "--replicas" => cfg_replicas = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--health-interval-ms" => {
+                cfg_health_ms = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--retries" => cfg_retries = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--retry-base-ms" => {
+                cfg_retry_base_ms = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    if backends.is_empty() {
+        eprintln!("hmtx-router: --backends is required");
+        usage();
+    }
+    let mut cfg = RouterConfig::new(backends);
+    if let Some(r) = cfg_replicas {
+        cfg.replicas = r;
+    }
+    if let Some(ms) = cfg_health_ms {
+        cfg.health_interval = Duration::from_millis(ms);
+    }
+    if let Some(r) = cfg_retries {
+        cfg.failover_retries = r;
+    }
+    if let Some(ms) = cfg_retry_base_ms {
+        cfg.retry_base_ms = ms;
+    }
+
+    hmtx_server::install_drain_handlers();
+
+    let handle = match RouterHandle::start(&addr, cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("hmtx-router: binding {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.addr());
+
+    while !hmtx_server::drain_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("hmtx-router: draining");
+    handle.drain();
+    handle.wait();
+    eprintln!("hmtx-router: drained, exiting");
+}

@@ -326,6 +326,28 @@ impl LatencyHistogram {
         add(&mut self.sum_us, other.sum_us);
         self.max_us = self.max_us.max(other.max_us);
     }
+
+    /// The non-mutating form of [`LatencyHistogram::merge`]: a new histogram
+    /// holding both inputs' samples (saturating). Associative and
+    /// commutative, so a router can fold any number of per-backend (or
+    /// per-connection) histograms in any order and report one set of
+    /// quantiles over the union.
+    #[must_use]
+    pub fn combine(&self, other: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// The `(p50, p99, p999)` quantile triple every latency report uses.
+    #[must_use]
+    pub fn quantile_triple_us(&self) -> (u64, u64, u64) {
+        (
+            self.quantile_us(0.50),
+            self.quantile_us(0.99),
+            self.quantile_us(0.999),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -471,6 +493,83 @@ mod tests {
         h.record_us(u64::MAX);
         assert_eq!(h.sum_us(), u64::MAX, "sum pins instead of overflowing");
         assert_eq!(h.quantile_us(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn p999_separates_the_one_in_a_thousand_tail() {
+        let mut h = LatencyHistogram::new();
+        // 1995 fast samples and 5 slow ones: p99 (rank 1980) stays fast,
+        // p999 (rank 1998) must land in the slow bucket.
+        for _ in 0..1995 {
+            h.record_us(50);
+        }
+        for _ in 0..5 {
+            h.record_us(500_000);
+        }
+        let (p50, p99, p999) = h.quantile_triple_us();
+        assert!((50..=63).contains(&p50), "p50 = {p50}");
+        assert!((50..=63).contains(&p99), "p99 = {p99}");
+        assert!(p999 >= 500_000, "p999 must see the tail: {p999}");
+    }
+
+    #[test]
+    fn combine_is_empty_neutral_and_order_independent() {
+        let empty = LatencyHistogram::new();
+        // Empty × empty stays empty at every quantile.
+        let both = empty.combine(&LatencyHistogram::new());
+        assert_eq!(both.count(), 0);
+        assert_eq!(both.quantile_triple_us(), (0, 0, 0));
+
+        // Single sample: combining with empty (either side) changes nothing.
+        let mut one = LatencyHistogram::new();
+        one.record_us(777);
+        for combined in [one.combine(&empty), empty.combine(&one)] {
+            assert_eq!(combined.count(), 1);
+            assert_eq!(combined.max_us(), 777);
+            let (p50, p99, p999) = combined.quantile_triple_us();
+            assert_eq!((p50, p99, p999), (777, 777, 777), "clamped to the max");
+        }
+
+        // Order independence over three shards.
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for i in 0..100 {
+            a.record_us(10 + i);
+            b.record_us(10_000 + i);
+        }
+        c.record_us(9_999_999);
+        let abc = a.combine(&b).combine(&c);
+        let cba = c.combine(&b).combine(&a);
+        assert_eq!(abc.count(), cba.count());
+        assert_eq!(abc.sum_us(), cba.sum_us());
+        assert_eq!(abc.quantile_triple_us(), cba.quantile_triple_us());
+        assert_eq!(abc.count(), 201);
+    }
+
+    #[test]
+    fn combine_saturates_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_us(u64::MAX);
+        b.record_us(u64::MAX);
+        let both = a.combine(&b);
+        assert_eq!(both.count(), 2);
+        assert_eq!(both.sum_us(), u64::MAX, "sum pins at the ceiling");
+        // Force bucket-count saturation: pre-pin a bucket and combine.
+        let mut pinned = LatencyHistogram::new();
+        pinned.record_us(8);
+        for _ in 0..3 {
+            pinned = pinned.combine(&pinned); // doubles every count
+        }
+        assert_eq!(pinned.count(), 8);
+        let mut maxed = LatencyHistogram::new();
+        maxed.record_us(8);
+        maxed.buckets[3] = u64::MAX;
+        maxed.count = u64::MAX;
+        let over = maxed.combine(&pinned);
+        assert_eq!(over.count(), u64::MAX, "count saturates, never wraps");
+        assert_eq!(over.buckets[3], u64::MAX, "bucket saturates, never wraps");
     }
 
     #[test]

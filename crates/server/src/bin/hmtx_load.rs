@@ -17,19 +17,29 @@
 //! that responses for the same spec are **byte-identical across rounds**,
 //! exiting nonzero otherwise. `--json PATH` writes the measurements
 //! (per-round wall/throughput/latency quantiles and server counter deltas).
+//!
+//! `--sustained` switches to **open-loop** load: arrivals are scheduled on
+//! a fixed clock at `--rate` per second for `--duration-s` seconds,
+//! independent of how fast the server answers. Each arrival's latency is
+//! measured from its *scheduled* time, so queueing delay when the server
+//! falls behind shows up in the tail instead of silently throttling the
+//! offered rate (the closed-loop coordinated-omission trap). The report
+//! carries offered vs achieved throughput and p50/p99/p999.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hmtx_core::LatencyHistogram;
 use hmtx_server::{response_type, Client};
-use hmtx_types::{Json, StatsSnapshot, WireScale};
+use hmtx_types::{Json, JobSpec, StatsSnapshot, WireScale};
 
 fn usage() -> ! {
     eprintln!(
         "usage: hmtx-load --addr HOST:PORT [--clients N] [--rounds N] \
          [--scale quick|standard|stress] [--limit N] [--deadline-ms N] \
-         [--retries N] [--json PATH] [--check]"
+         [--retries N] [--json PATH] [--check] \
+         [--sustained --rate R --duration-s D]"
     );
     std::process::exit(2);
 }
@@ -52,6 +62,9 @@ fn main() {
     let mut retries: u32 = 60;
     let mut json_path: Option<String> = None;
     let mut check = false;
+    let mut sustained = false;
+    let mut rate: f64 = 200.0;
+    let mut duration_s: f64 = 10.0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -65,6 +78,9 @@ fn main() {
             "--retries" => retries = value().parse().unwrap_or_else(|_| usage()),
             "--json" => json_path = Some(value()),
             "--check" => check = true,
+            "--sustained" => sustained = true,
+            "--rate" => rate = value().parse().unwrap_or_else(|_| usage()),
+            "--duration-s" => duration_s = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -80,6 +96,24 @@ fn main() {
     if specs.is_empty() {
         eprintln!("hmtx-load: nothing to submit");
         std::process::exit(2);
+    }
+
+    if sustained {
+        if !rate.is_finite() || rate <= 0.0 || !duration_s.is_finite() || duration_s <= 0.0 {
+            usage();
+        }
+        run_sustained(
+            &addr,
+            &specs,
+            clients,
+            rate,
+            duration_s,
+            deadline_ms,
+            retries,
+            json_path.as_deref(),
+            check,
+        );
+        return;
     }
 
     let mut round_results: Vec<RoundResult> = Vec::with_capacity(rounds);
@@ -180,6 +214,147 @@ fn main() {
     }
 }
 
+/// Open-loop sustained load: arrival `i` is *scheduled* at
+/// `start + i/rate` regardless of server speed. `clients` threads claim
+/// arrival indexes from one shared counter, sleep until their arrival's
+/// scheduled time (or not at all once the generator is behind), and cycle
+/// round-robin through the sweep's specs. Latency runs from the scheduled
+/// time, so a saturated server's queueing shows up as tail latency and a
+/// shortfall of `achieved_rps` against `offered_rps` — never as a quietly
+/// slower offered rate.
+#[allow(clippy::too_many_arguments)]
+fn run_sustained(
+    addr: &str,
+    specs: &[JobSpec],
+    clients: usize,
+    rate: f64,
+    duration_s: f64,
+    deadline_ms: Option<u64>,
+    retries: u32,
+    json_path: Option<&str>,
+    check: bool,
+) {
+    let next_arrival = AtomicUsize::new(0);
+    let ok = AtomicUsize::new(0);
+    let still_busy = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let latencies: Mutex<LatencyHistogram> = Mutex::new(LatencyHistogram::new());
+    let before = Client::connect(addr).and_then(|mut c| c.stats()).ok();
+
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs_f64(duration_s);
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let next_arrival = &next_arrival;
+            let ok = &ok;
+            let still_busy = &still_busy;
+            let failed = &failed;
+            let latencies = &latencies;
+            s.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                loop {
+                    let i = next_arrival.fetch_add(1, Ordering::Relaxed);
+                    let scheduled = start + Duration::from_secs_f64(i as f64 / rate);
+                    if scheduled >= deadline {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if scheduled > now {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    let spec = &specs[i % specs.len()];
+                    match client.job_with_retry(spec, deadline_ms, retries) {
+                        Ok(response) => {
+                            let us = u64::try_from(scheduled.elapsed().as_micros())
+                                .unwrap_or(u64::MAX);
+                            latencies.lock().unwrap().record_us(us);
+                            match response_type(&response).as_deref() {
+                                Some("result") => ok.fetch_add(1, Ordering::Relaxed),
+                                Some("busy") => still_busy.fetch_add(1, Ordering::Relaxed),
+                                _ => failed.fetch_add(1, Ordering::Relaxed),
+                            };
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            // Reconnect; a dropped connection must not
+                            // silently retire this generator thread.
+                            match Client::connect(addr) {
+                                Ok(c) => client = c,
+                                Err(_) => return,
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let after = Client::connect(addr).and_then(|mut c| c.stats()).ok();
+
+    let ok = ok.into_inner();
+    let still_busy = still_busy.into_inner();
+    let failed = failed.into_inner();
+    let latencies = latencies.into_inner().unwrap();
+    let scheduled_arrivals = next_arrival.into_inner().min((rate * duration_s).ceil() as usize);
+    let achieved_rps = if wall_seconds > 0.0 {
+        ok as f64 / wall_seconds
+    } else {
+        0.0
+    };
+    let (p50, p99, p999) = latencies.quantile_triple_us();
+    eprintln!(
+        "hmtx-load: sustained {rate:.0}/s for {duration_s:.1}s: \
+         {ok}/{scheduled_arrivals} ok ({still_busy} busy, {failed} failed), \
+         achieved {achieved_rps:.1}/s, p50 {p50}us p99 {p99}us p999 {p999}us"
+    );
+
+    let mut fields = vec![
+        ("schema", Json::Str("hmtx-load-sustained/1".into())),
+        ("clients", Json::Uint(clients as u64)),
+        ("offered_rps", Json::Num(rate)),
+        ("duration_s", Json::Num(duration_s)),
+        ("wall_seconds", Json::Num(wall_seconds)),
+        ("scheduled_arrivals", Json::Uint(scheduled_arrivals as u64)),
+        ("ok", Json::Uint(ok as u64)),
+        ("still_busy", Json::Uint(still_busy as u64)),
+        ("failed", Json::Uint(failed as u64)),
+        ("achieved_rps", Json::Num(achieved_rps)),
+        ("p50_us", Json::Uint(p50)),
+        ("p99_us", Json::Uint(p99)),
+        ("p999_us", Json::Uint(p999)),
+    ];
+    if let (Some(before), Some(after)) = (before, after) {
+        let delta =
+            |get: fn(&StatsSnapshot) -> u64| Json::Uint(get(&after).saturating_sub(get(&before)));
+        fields.push((
+            "server_delta",
+            Json::obj(vec![
+                ("cache_hits", delta(StatsSnapshot::cache_hits)),
+                ("mem_hits", delta(|s| s.mem_hits)),
+                ("misses", delta(|s| s.misses)),
+                ("executed", delta(|s| s.executed)),
+                ("rejected_busy", delta(|s| s.rejected_busy)),
+            ]),
+        ));
+    }
+    let report = Json::obj(fields);
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(path, report.pretty()) {
+            eprintln!("hmtx-load: writing {path}: {e}");
+            std::process::exit(1);
+        }
+    } else {
+        print!("{}", report.pretty());
+    }
+    if check && (ok == 0 || failed > 0) {
+        eprintln!("hmtx-load: sustained check failed: ok={ok} failed={failed}");
+        std::process::exit(1);
+    }
+}
+
 fn render_report(jobs: &usize, clients: usize, rounds: &[RoundResult]) -> Json {
     let round_json: Vec<Json> = rounds
         .iter()
@@ -198,6 +373,7 @@ fn render_report(jobs: &usize, clients: usize, rounds: &[RoundResult]) -> Json {
                 ("throughput_jobs_per_s", Json::Num(throughput)),
                 ("p50_us", Json::Uint(r.latencies.quantile_us(0.50))),
                 ("p99_us", Json::Uint(r.latencies.quantile_us(0.99))),
+                ("p999_us", Json::Uint(r.latencies.quantile_us(0.999))),
             ];
             if let Some((before, after)) = &r.stats_delta {
                 let delta = |get: fn(&StatsSnapshot) -> u64| {

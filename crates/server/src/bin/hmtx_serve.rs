@@ -2,39 +2,29 @@
 //!
 //! ```text
 //! hmtx-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
-//!            [--mem-cache N] [--cache-dir DIR] [--deadline-ms N]
-//!            [--retry-after-ms N]
+//!            [--mem-cache N] [--shards N] [--cache-dir DIR] [--mem-only]
+//!            [--deadline-ms N] [--retry-after-ms N]
 //! ```
 //!
 //! Prints `listening on ADDR` once bound (scripts parse this to learn an
 //! ephemeral port). SIGTERM or SIGINT begins a graceful drain: in-flight
 //! jobs finish and answer, new job requests answer `draining`, and the
 //! process exits once the workers are idle.
+//!
+//! `--mem-only` disables the disk tier entirely (otherwise a default cache
+//! directory under `target/` is used when `--cache-dir` is not given) —
+//! the capacity-bound configuration the cluster benchmark uses to show
+//! aggregate-cache scaling.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use hmtx_server::{ServerConfig, ServerHandle};
 
-static DRAIN: AtomicBool = AtomicBool::new(false);
-
-extern "C" fn on_signal(_signum: i32) {
-    DRAIN.store(true, Ordering::SeqCst);
-}
-
-// Minimal libc FFI (std links libc already): install an async-signal-safe
-// handler that only flips an atomic; the main loop does the actual drain.
-extern "C" {
-    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-}
-
-const SIGINT: i32 = 2;
-const SIGTERM: i32 = 15;
-
 fn usage() -> ! {
     eprintln!(
         "usage: hmtx-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
-         [--mem-cache N] [--cache-dir DIR] [--deadline-ms N] [--retry-after-ms N]"
+         [--mem-cache N] [--shards N] [--cache-dir DIR] [--mem-only] \
+         [--deadline-ms N] [--retry-after-ms N]"
     );
     std::process::exit(2);
 }
@@ -42,6 +32,7 @@ fn usage() -> ! {
 fn main() {
     let mut addr = "127.0.0.1:7870".to_string();
     let mut cfg = ServerConfig::default();
+    let mut mem_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -50,7 +41,9 @@ fn main() {
             "--workers" => cfg.workers = value().parse().unwrap_or_else(|_| usage()),
             "--queue-cap" => cfg.queue_cap = value().parse().unwrap_or_else(|_| usage()),
             "--mem-cache" => cfg.mem_cache_cap = value().parse().unwrap_or_else(|_| usage()),
+            "--shards" => cfg.shards = value().parse().unwrap_or_else(|_| usage()),
             "--cache-dir" => cfg.cache_dir = Some(value().into()),
+            "--mem-only" => mem_only = true,
             "--deadline-ms" => {
                 cfg.default_deadline_ms = value().parse().unwrap_or_else(|_| usage());
             }
@@ -58,16 +51,15 @@ fn main() {
             _ => usage(),
         }
     }
-    if cfg.cache_dir.is_none() {
+    if mem_only {
+        cfg.cache_dir = None;
+    } else if cfg.cache_dir.is_none() {
         // Default the disk tier under target/ so repeated local sessions
         // warm each other without polluting the tree.
         cfg.cache_dir = Some("target/hmtx-serve-cache".into());
     }
 
-    unsafe {
-        signal(SIGINT, on_signal);
-        signal(SIGTERM, on_signal);
-    }
+    hmtx_server::install_drain_handlers();
 
     let handle = match ServerHandle::start(&addr, cfg) {
         Ok(h) => h,
@@ -78,7 +70,7 @@ fn main() {
     };
     println!("listening on {}", handle.addr());
 
-    while !DRAIN.load(Ordering::SeqCst) {
+    while !hmtx_server::drain_requested() {
         std::thread::sleep(Duration::from_millis(50));
     }
     eprintln!("hmtx-serve: draining (finishing in-flight jobs)");

@@ -34,7 +34,20 @@ impl Client {
     ///
     /// Propagates I/O errors; an EOF before the response is an error.
     pub fn request(&mut self, req: &Request) -> io::Result<Vec<u8>> {
-        proto::write_frame(&mut self.stream, &req.to_bytes())?;
+        self.request_raw(&req.to_bytes())
+    }
+
+    /// Sends an already-serialized request payload verbatim and reads the
+    /// response frame. `hmtx-router` forwards client frames through this
+    /// without re-serializing, so the bytes a backend sees (and hashes into
+    /// nothing — responses splice back verbatim too) are exactly the bytes
+    /// the client produced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; an EOF before the response is an error.
+    pub fn request_raw(&mut self, payload: &[u8]) -> io::Result<Vec<u8>> {
+        proto::write_frame(&mut self.stream, payload)?;
         proto::read_frame(&mut self.stream)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
         })
@@ -83,6 +96,17 @@ impl Client {
                 _ => return Ok(response),
             }
         }
+    }
+
+    /// Bounds how long a single response read may block (`None` removes the
+    /// bound). `hmtx-router` uses this on health-probe connections so a hung
+    /// backend costs one timeout, not a stuck checker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     /// Fetches the serving counters.

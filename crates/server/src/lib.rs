@@ -8,11 +8,14 @@
 //! **byte-identical** reports whether computed or replayed.
 //!
 //! The serving layer is production-shaped without leaving the standard
-//! library: a bounded admission queue with explicit backpressure
-//! (`busy` + retry hint), request coalescing (identical concurrent specs
-//! simulate once), per-request deadlines, graceful drain on
-//! SIGTERM/`shutdown`, and a `stats` endpoint with cache and latency
-//! counters.
+//! library: a poll(2)-based readiness loop (thousands of idle connections
+//! cost buffers, not threads), a configurable worker pool over a bounded
+//! admission queue with explicit backpressure (`busy` + retry hint),
+//! request coalescing (identical concurrent specs simulate once) sharded
+//! by key prefix alongside the memory cache, per-request deadlines,
+//! graceful drain on SIGTERM/`shutdown`, and a `stats` endpoint with cache
+//! and latency counters. `hmtx-router` (crates/cluster) consistent-hashes
+//! keys across many such nodes over the same frame protocol.
 //!
 //! # Example
 //!
@@ -41,10 +44,15 @@ pub mod cache;
 pub mod client;
 pub mod metrics;
 pub mod proto;
+mod ready;
 pub mod server;
+pub mod signals;
 
-pub use cache::{ReportCache, Tier};
-pub use client::{busy_retry_after, parse_response, response_type, Client};
+pub use cache::{shard_index, ReportCache, Tier};
+pub use client::{
+    backoff_ms, busy_retry_after, parse_response, response_type, spec_jitter_seed, Client,
+};
 pub use metrics::Metrics;
 pub use proto::{read_frame, write_frame, Request, MAX_FRAME};
 pub use server::{ServerConfig, ServerHandle};
+pub use signals::{drain_requested, install_drain_handlers};

@@ -58,10 +58,7 @@ impl Metrics {
     #[must_use]
     pub fn snapshot(&self, queue_depth: u64, inflight: u64) -> StatsSnapshot {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        let (p50, p99) = {
-            let h = self.service.lock().unwrap();
-            (h.quantile_us(0.50), h.quantile_us(0.99))
-        };
+        let (p50, p99, p999) = self.service.lock().unwrap().quantile_triple_us();
         StatsSnapshot {
             requests: get(&self.requests),
             job_requests: get(&self.job_requests),
@@ -78,6 +75,7 @@ impl Metrics {
             inflight,
             p50_service_us: p50,
             p99_service_us: p99,
+            p999_service_us: p999,
         }
     }
 }

@@ -10,6 +10,7 @@
 //! ```text
 //! {"type":"job","spec":{...JobSpec...},"deadline_ms":2000}   // deadline optional
 //! {"type":"stats"}
+//! {"type":"cluster"}                                         // router-aggregated stats
 //! {"type":"ping"}
 //! {"type":"shutdown"}                                        // begin graceful drain
 //! ```
@@ -23,6 +24,7 @@
 //! {"type":"timeout","key":"<32 hex>"}                 // deadline expired (job still runs)
 //! {"type":"error","message":"...","diagnostics":[..]} // simulation failed
 //! {"type":"stats","stats":{...StatsSnapshot...}}
+//! {"type":"cluster","backends":[...],"aggregate":{...}}      // from hmtx-router only
 //! {"type":"pong"} / {"type":"ok"}
 //! ```
 //!
@@ -108,6 +110,9 @@ pub enum Request {
     },
     /// Snapshot the serving counters.
     Stats,
+    /// Cluster-wide stats: per-backend snapshots plus the aggregate.
+    /// Answered by `hmtx-router`; a lone backend answers `error`.
+    Cluster,
     /// Liveness probe.
     Ping,
     /// Begin graceful drain: finish in-flight jobs, reject new ones.
@@ -130,6 +135,7 @@ impl Request {
                 Json::Obj(fields)
             }
             Request::Stats => Json::obj(vec![("type", Json::Str("stats".into()))]),
+            Request::Cluster => Json::obj(vec![("type", Json::Str("cluster".into()))]),
             Request::Ping => Json::obj(vec![("type", Json::Str("ping".into()))]),
             Request::Shutdown => Json::obj(vec![("type", Json::Str("shutdown".into()))]),
         };
@@ -165,6 +171,7 @@ impl Request {
                 Ok(Request::Job { spec, deadline_ms })
             }
             "stats" => Ok(Request::Stats),
+            "cluster" => Ok(Request::Cluster),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type `{other}`")),
@@ -295,6 +302,7 @@ mod tests {
                 deadline_ms: None,
             },
             Request::Stats,
+            Request::Cluster,
             Request::Ping,
             Request::Shutdown,
         ] {

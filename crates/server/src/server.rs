@@ -1,33 +1,43 @@
-//! The `hmtx-serve` server: bounded admission, single-flight execution,
-//! two-tier caching, graceful drain.
+//! The `hmtx-serve` server: bounded admission, sharded single-flight
+//! execution, two-tier caching, a poll-based connection loop, graceful
+//! drain.
 //!
 //! Request lifecycle for a `job`:
 //!
 //! 1. **Cache probe** — memory then disk; a hit answers immediately with the
 //!    stored bytes spliced into the response envelope.
-//! 2. **Admission** — under the scheduler lock: an identical in-flight job
-//!    coalesces (the request waits on the same [`JobCell`], no duplicate
-//!    simulation); a full queue answers `busy` with a retry hint; otherwise
-//!    the job enqueues and the miss is counted.
-//! 3. **Wait with deadline** — the connection thread waits on the cell up to
-//!    the request's deadline. A timeout answers `timeout`, but the job keeps
-//!    running and its report still lands in the cache — a retry is a hit.
+//! 2. **Admission** — under the key's *shard* lock (the same prefix shard
+//!    the memory cache uses): an identical in-flight job coalesces (the
+//!    request waits on the same [`JobCell`], no duplicate simulation); a
+//!    full queue answers `busy` with a retry hint; otherwise the job
+//!    enqueues and the miss is counted. There is no global single-flight
+//!    lock — two different keys almost never touch the same shard.
+//! 3. **Wait with deadline** — the connection's pending slot in the event
+//!    loop waits on the cell up to the request's deadline. A timeout
+//!    answers `timeout`, but the job keeps running and its report still
+//!    lands in the cache — a retry is a hit.
 //! 4. **Execution** — a worker pops the cell, runs
 //!    [`hmtx_bench::run_job_report`], and inserts the report bytes into the
 //!    cache *before* publishing the cell result and removing it from the
-//!    in-flight map. A requester that misses the in-flight map therefore
-//!    re-probes the cache under the scheduler lock and can never lose the
-//!    race into a duplicate simulation.
+//!    in-flight shard. A requester that misses the in-flight shard
+//!    therefore re-probes the cache under the same shard lock and can never
+//!    lose the race into a duplicate simulation.
+//!
+//! Connections are **not** thread-per-connection: a single readiness loop
+//! ([`crate::ready`]) owns every accepted socket through a `poll(2)` set,
+//! so thousands of idle connections cost a few bytes of buffer each instead
+//! of a pinned thread. Workers hand finished results back to the loop
+//! through a self-pipe wakeup.
 //!
 //! **Drain** ([`ServerHandle::drain`], or a `shutdown` request, or SIGTERM
 //! in the binary): the listener stops accepting, queued and executing jobs
 //! finish and answer normally, and new job requests on existing connections
-//! answer `draining`. [`ServerHandle::wait`] returns once the workers have
-//! gone idle.
+//! answer `draining`. [`ServerHandle::wait`] returns once the event loop
+//! has answered every waiter and the workers have gone idle.
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -36,9 +46,10 @@ use std::time::{Duration, Instant};
 
 use hmtx_types::JobSpec;
 
-use crate::cache::{ReportCache, Tier};
+use crate::cache::{ReportCache, Tier, DEFAULT_SHARDS};
 use crate::metrics::{bump, Metrics};
 use crate::proto::{self, Request};
+use crate::ready::{self, WakePipe};
 
 /// Server tunables. The defaults suit an interactive session; tests shrink
 /// the queue and add an artificial execution delay to exercise backpressure
@@ -49,8 +60,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Admission queue capacity; a full queue answers `busy`.
     pub queue_cap: usize,
-    /// In-memory cache capacity, in reports.
+    /// In-memory cache capacity, in reports (split across `shards`).
     pub mem_cache_cap: usize,
+    /// Memory-cache and single-flight shard count.
+    pub shards: usize,
     /// On-disk report store (`None` = memory-only).
     pub cache_dir: Option<PathBuf>,
     /// Deadline applied to job requests that carry none, in milliseconds.
@@ -65,9 +78,10 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            workers: 2,
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
             queue_cap: 64,
             mem_cache_cap: 512,
+            shards: DEFAULT_SHARDS,
             cache_dir: None,
             default_deadline_ms: 120_000,
             retry_after_ms: 250,
@@ -78,37 +92,46 @@ impl Default for ServerConfig {
 
 /// The published outcome of one execution: the report bytes, or a rendered
 /// error response (shared by every coalesced waiter).
-type CellOutcome = Result<Arc<Vec<u8>>, Arc<Vec<u8>>>;
+pub(crate) type CellOutcome = Result<Arc<Vec<u8>>, Arc<Vec<u8>>>;
 
 /// One admitted job: requests for the same key share a cell, and the cell's
-/// state is published exactly once by the executing worker.
-struct JobCell {
-    key: String,
+/// state is published exactly once by the executing worker. Waiters are
+/// event-loop pending slots, woken through the self-pipe rather than a
+/// condvar.
+pub(crate) struct JobCell {
+    pub(crate) key: String,
     spec: JobSpec,
     /// `None` until finished.
-    state: Mutex<Option<CellOutcome>>,
-    done: Condvar,
+    pub(crate) state: Mutex<Option<CellOutcome>>,
 }
 
 struct Sched {
     queue: VecDeque<Arc<JobCell>>,
-    inflight: HashMap<String, Arc<JobCell>>,
     executing: u64,
 }
 
-struct Inner {
-    cfg: ServerConfig,
-    metrics: Metrics,
+pub(crate) struct Inner {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) metrics: Metrics,
     cache: ReportCache,
     sched: Mutex<Sched>,
+    /// Per-shard single-flight registries, indexed like the cache shards.
+    flights: Vec<Mutex<HashMap<String, Arc<JobCell>>>>,
     work: Condvar,
-    draining: AtomicBool,
+    pub(crate) draining: AtomicBool,
+    pub(crate) wake: Arc<WakePipe>,
 }
 
 impl Inner {
-    fn begin_drain(&self) {
+    pub(crate) fn begin_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
         self.work.notify_all();
+        self.wake.wake();
+    }
+
+    pub(crate) fn queue_gauges(&self) -> (u64, u64) {
+        let sched = self.sched.lock().unwrap();
+        (sched.queue.len() as u64, sched.executing)
     }
 }
 
@@ -116,7 +139,7 @@ impl Inner {
 pub struct ServerHandle {
     inner: Arc<Inner>,
     addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -133,12 +156,12 @@ impl ServerHandle {
         self.inner.begin_drain();
     }
 
-    /// Waits for drain to complete (in-flight jobs finished, workers
+    /// Waits for drain to complete (in-flight waiters answered, workers
     /// exited). Call [`ServerHandle::drain`] first — otherwise this blocks
     /// until something else does.
     pub fn wait(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        if let Some(event) = self.event.take() {
+            let _ = event.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -150,21 +173,24 @@ impl ServerHandle {
     ///
     /// # Errors
     ///
-    /// Propagates bind errors.
+    /// Propagates bind errors and self-pipe creation failures.
     pub fn start(addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let wake = Arc::new(WakePipe::new()?);
+        let shards = cfg.shards.max(1);
         let inner = Arc::new(Inner {
-            cache: ReportCache::new(cfg.mem_cache_cap, cfg.cache_dir.clone()),
+            cache: ReportCache::with_shards(cfg.mem_cache_cap, shards, cfg.cache_dir.clone()),
             metrics: Metrics::new(),
             sched: Mutex::new(Sched {
                 queue: VecDeque::new(),
-                inflight: HashMap::new(),
                 executing: 0,
             }),
+            flights: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             work: Condvar::new(),
             draining: AtomicBool::new(false),
+            wake: Arc::clone(&wake),
             cfg,
         });
 
@@ -175,37 +201,17 @@ impl ServerHandle {
             })
             .collect();
 
-        let accept = {
+        let event = {
             let inner = Arc::clone(&inner);
-            std::thread::spawn(move || accept_loop(&listener, &inner))
+            std::thread::spawn(move || ready::event_loop(&inner, &listener))
         };
 
         Ok(ServerHandle {
             inner,
             addr,
-            accept: Some(accept),
+            event: Some(event),
             workers,
         })
-    }
-}
-
-/// Polls the nonblocking listener so the thread can notice drain promptly
-/// (no reliance on signal-interrupted `accept`).
-fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
-    loop {
-        if inner.draining.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let inner = Arc::clone(inner);
-                std::thread::spawn(move || handle_conn(&inner, stream));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
-        }
     }
 }
 
@@ -241,9 +247,10 @@ fn execute(inner: &Inner, cell: &JobCell) {
     let result = match hmtx_bench::run_job_report(&cell.spec) {
         Ok(report) => {
             let bytes = Arc::new(report.compact().into_bytes());
-            // Cache BEFORE leaving the in-flight map: a requester that sees
-            // the key absent from `inflight` re-probes the cache under the
-            // scheduler lock and is guaranteed to find these bytes.
+            // Cache BEFORE leaving the in-flight shard: a requester that
+            // sees the key absent from its flight shard re-probes the cache
+            // under the same shard lock and is guaranteed to find these
+            // bytes.
             let _ = inner.cache.put(&cell.key, Arc::clone(&bytes));
             bump(&inner.metrics.executed);
             let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -253,47 +260,62 @@ fn execute(inner: &Inner, cell: &JobCell) {
         Err(e) => Err(Arc::new(proto::sim_error_response(&e))),
     };
     {
+        let shard = inner.cache.shard_of(&cell.key);
+        let mut flight = inner.flights[shard].lock().unwrap();
+        flight.remove(&cell.key);
+    }
+    {
         let mut sched = inner.sched.lock().unwrap();
-        sched.inflight.remove(&cell.key);
         sched.executing = sched.executing.saturating_sub(1);
     }
     *cell.state.lock().unwrap() = Some(result);
-    cell.done.notify_all();
+    // Hand the published result back to the readiness loop.
+    inner.wake.wake();
 }
 
-fn handle_conn(inner: &Arc<Inner>, mut stream: TcpStream) {
-    // Small request/response frames must not sit in Nagle's buffer.
-    let _ = stream.set_nodelay(true);
-    loop {
-        let frame = match proto::read_frame(&mut stream) {
-            Ok(Some(frame)) => frame,
-            Ok(None) | Err(_) => return,
-        };
-        bump(&inner.metrics.requests);
-        let response = match Request::parse(&frame) {
-            Err(message) => {
-                bump(&inner.metrics.errors);
-                proto::error_response(&message, &[])
-            }
-            Ok(Request::Ping) => proto::pong_response(),
-            Ok(Request::Shutdown) => {
-                inner.begin_drain();
-                proto::ok_response()
-            }
-            Ok(Request::Stats) => {
-                let (queue_depth, executing) = {
-                    let sched = inner.sched.lock().unwrap();
-                    (sched.queue.len() as u64, sched.executing)
-                };
-                proto::stats_response(&inner.metrics.snapshot(queue_depth, executing))
-            }
-            Ok(Request::Job { spec, deadline_ms }) => {
-                bump(&inner.metrics.job_requests);
-                handle_job(inner, &spec, deadline_ms)
-            }
-        };
-        if proto::write_frame(&mut stream, &response).is_err() {
-            return;
+/// What one request frame resolved to: an immediate response, or a pending
+/// wait on an admitted (possibly coalesced) job cell.
+pub(crate) enum Outcome {
+    Respond(Vec<u8>),
+    Wait {
+        cell: Arc<JobCell>,
+        key: String,
+        deadline: Instant,
+    },
+}
+
+/// Parses and dispatches one request frame. Called from the event loop;
+/// everything here is non-blocking except short shard/scheduler lock holds
+/// and (worst case) a disk-tier cache read.
+pub(crate) fn handle_frame(inner: &Inner, frame: &[u8]) -> Outcome {
+    bump(&inner.metrics.requests);
+    match Request::parse(frame) {
+        Err(message) => {
+            bump(&inner.metrics.errors);
+            Outcome::Respond(proto::error_response(&message, &[]))
+        }
+        Ok(Request::Ping) => Outcome::Respond(proto::pong_response()),
+        Ok(Request::Shutdown) => {
+            inner.begin_drain();
+            Outcome::Respond(proto::ok_response())
+        }
+        Ok(Request::Stats) => {
+            let (queue_depth, executing) = inner.queue_gauges();
+            Outcome::Respond(proto::stats_response(
+                &inner.metrics.snapshot(queue_depth, executing),
+            ))
+        }
+        Ok(Request::Cluster) => {
+            // Only `hmtx-router` aggregates cluster stats; a lone backend
+            // says so instead of pretending to be a one-node cluster.
+            Outcome::Respond(proto::error_response(
+                "cluster stats are served by hmtx-router, not a backend",
+                &[],
+            ))
+        }
+        Ok(Request::Job { spec, deadline_ms }) => {
+            bump(&inner.metrics.job_requests);
+            admit_job(inner, &spec, deadline_ms)
         }
     }
 }
@@ -306,64 +328,79 @@ fn cache_answer(inner: &Inner, key: &str, bytes: &[u8], tier: Tier) -> Vec<u8> {
     proto::result_response(key, bytes)
 }
 
-fn handle_job(inner: &Inner, spec: &JobSpec, deadline_ms: Option<u64>) -> Vec<u8> {
+fn admit_job(inner: &Inner, spec: &JobSpec, deadline_ms: Option<u64>) -> Outcome {
     let key = spec.key();
 
-    // Fast path: cached report, no scheduler involvement.
+    // Fast path: cached report, no shard-registry involvement.
     if let Some((bytes, tier)) = inner.cache.get(&key) {
-        return cache_answer(inner, &key, &bytes, tier);
+        return Outcome::Respond(cache_answer(inner, &key, &bytes, tier));
     }
     if inner.draining.load(Ordering::SeqCst) {
         bump(&inner.metrics.rejected_draining);
-        return proto::draining_response();
+        return Outcome::Respond(proto::draining_response());
     }
 
-    // Admission, under the scheduler lock.
+    // Admission, under the key's shard lock.
+    let shard = inner.cache.shard_of(&key);
     let cell = {
-        let mut sched = inner.sched.lock().unwrap();
-        if let Some(cell) = sched.inflight.get(&key) {
+        let mut flight = inner.flights[shard].lock().unwrap();
+        if let Some(cell) = flight.get(&key) {
             bump(&inner.metrics.coalesced_hits);
             Arc::clone(cell)
         } else if let Some((bytes, tier)) = inner.cache.get(&key) {
             // The job finished between the unlocked probe and here; the
-            // worker caches before leaving `inflight`, so this re-probe
-            // closes the race window completely.
-            return cache_answer(inner, &key, &bytes, tier);
-        } else if sched.queue.len() >= inner.cfg.queue_cap {
-            bump(&inner.metrics.rejected_busy);
-            return proto::busy_response(inner.cfg.retry_after_ms);
+            // worker caches before leaving the flight shard, so this
+            // re-probe closes the race window completely.
+            return Outcome::Respond(cache_answer(inner, &key, &bytes, tier));
         } else {
+            let mut sched = inner.sched.lock().unwrap();
+            if sched.queue.len() >= inner.cfg.queue_cap {
+                bump(&inner.metrics.rejected_busy);
+                return Outcome::Respond(proto::busy_response(inner.cfg.retry_after_ms));
+            }
             bump(&inner.metrics.misses);
             let cell = Arc::new(JobCell {
                 key: key.clone(),
                 spec: *spec,
                 state: Mutex::new(None),
-                done: Condvar::new(),
             });
             sched.queue.push_back(Arc::clone(&cell));
-            sched.inflight.insert(key.clone(), Arc::clone(&cell));
+            flight.insert(key.clone(), Arc::clone(&cell));
             inner.work.notify_one();
             cell
         }
     };
 
-    // Wait for the result, bounded by the deadline. On timeout the job
-    // still completes and caches — a retry of the same spec is a hit.
-    let deadline = Duration::from_millis(deadline_ms.unwrap_or(inner.cfg.default_deadline_ms));
-    let guard = cell.state.lock().unwrap();
-    let (guard, _timeout) = cell
-        .done
-        .wait_timeout_while(guard, deadline, |state| state.is_none())
-        .unwrap();
-    match &*guard {
-        Some(Ok(bytes)) => proto::result_response(&key, bytes),
-        Some(Err(error_bytes)) => {
-            bump(&inner.metrics.errors);
-            error_bytes.to_vec()
-        }
-        None => {
-            bump(&inner.metrics.deadline_timeouts);
-            proto::timeout_response(&key)
-        }
+    let deadline = Instant::now()
+        + Duration::from_millis(deadline_ms.unwrap_or(inner.cfg.default_deadline_ms));
+    Outcome::Wait {
+        cell,
+        key,
+        deadline,
     }
+}
+
+/// Resolves a pending wait if its cell has published or its deadline has
+/// passed. Returns the response to send, or `None` to keep waiting.
+pub(crate) fn poll_pending(
+    inner: &Inner,
+    cell: &JobCell,
+    key: &str,
+    deadline: Instant,
+    now: Instant,
+) -> Option<Vec<u8>> {
+    if let Some(outcome) = cell.state.lock().unwrap().as_ref() {
+        return Some(match outcome {
+            Ok(bytes) => proto::result_response(key, bytes),
+            Err(error_bytes) => {
+                bump(&inner.metrics.errors);
+                error_bytes.to_vec()
+            }
+        });
+    }
+    if now >= deadline {
+        bump(&inner.metrics.deadline_timeouts);
+        return Some(proto::timeout_response(key));
+    }
+    None
 }

@@ -1,0 +1,140 @@
+//! Property tests for the sharded memory LRU (`cache.rs`): under arbitrary
+//! put/get sequences and arbitrary (capacity, shard count) geometry, the
+//! cache must agree with a straightforward reference model — per-shard LRU
+//! lists over `shard_index`/`shard_caps` — on membership, bytes, total
+//! occupancy, and per-shard occupancy. This pins capacity accounting and
+//! per-shard eviction order far beyond what the handwritten cases cover.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hmtx_server::cache::{shard_caps, shard_index, ReportCache};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(usize, u8),
+    Get(usize),
+}
+
+/// A pool of realistic keys: 32 lowercase hex chars, spread across prefixes
+/// (the high byte varies, so they land in different shards).
+fn key(index: usize) -> String {
+    format!("{:02x}{:030x}", (index * 37) % 256, index)
+}
+
+fn value(index: usize, generation: u8) -> Vec<u8> {
+    format!("{}:{generation}", key(index)).into_bytes()
+}
+
+/// The reference: one LRU list per shard, oldest first. `put` of an
+/// existing key refreshes it (moves to newest, replaces bytes); `get`
+/// refreshes recency; eviction removes the oldest while over the shard's
+/// capacity.
+struct Model {
+    caps: Vec<usize>,
+    shards: Vec<Vec<(String, Vec<u8>)>>,
+}
+
+impl Model {
+    fn new(cap: usize, shard_count: usize) -> Model {
+        let caps = shard_caps(cap, shard_count);
+        Model {
+            shards: caps.iter().map(|_| Vec::new()).collect(),
+            caps,
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        shard_index(key, self.shards.len())
+    }
+
+    fn put(&mut self, key: &str, bytes: Vec<u8>) {
+        let s = self.shard_of(key);
+        let cap = self.caps[s];
+        let shard = &mut self.shards[s];
+        if cap == 0 {
+            return;
+        }
+        shard.retain(|(k, _)| k != key);
+        shard.push((key.to_string(), bytes));
+        while shard.len() > cap {
+            shard.remove(0);
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<Vec<u8>> {
+        let s = self.shard_of(key);
+        let shard = &mut self.shards[s];
+        let at = shard.iter().position(|(k, _)| k == key)?;
+        let entry = shard.remove(at);
+        let bytes = entry.1.clone();
+        shard.push(entry);
+        Some(bytes)
+    }
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (any::<bool>(), 0usize..24, any::<u8>()).prop_map(|(is_put, index, generation)| {
+            if is_put {
+                Op::Put(index, generation)
+            } else {
+                Op::Get(index)
+            }
+        }),
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn sharded_lru_matches_the_reference_model(
+        ops in arb_ops(),
+        cap in 0usize..12,
+        shard_count in 1usize..6,
+    ) {
+        let cache = ReportCache::with_shards(cap, shard_count, None);
+        // `with_shards` clamps the shard count so no shard has capacity
+        // zero while total capacity is nonzero; mirror that.
+        let effective = shard_count.clamp(1, cap.max(1));
+        let mut model = Model::new(cap, effective);
+        prop_assert_eq!(cache.shard_count(), effective);
+
+        for op in &ops {
+            match *op {
+                Op::Put(index, generation) => {
+                    let bytes = value(index, generation);
+                    cache.put(&key(index), Arc::new(bytes.clone())).unwrap();
+                    model.put(&key(index), bytes);
+                }
+                Op::Get(index) => {
+                    let got = cache.get(&key(index)).map(|(b, _)| b.as_ref().clone());
+                    let want = model.get(&key(index));
+                    prop_assert_eq!(got, want, "get({}) diverged", index);
+                }
+            }
+        }
+
+        // Final state: capacity accounting holds globally and per shard,
+        // and the resident set is exactly the model's.
+        prop_assert!(cache.mem_len() <= cap, "over capacity: {}", cache.mem_len());
+        let mut model_total = 0;
+        for (s, shard) in model.shards.iter().enumerate() {
+            prop_assert!(shard.len() <= model.caps[s]);
+            prop_assert_eq!(cache.shard_len(s), shard.len(), "shard {} occupancy", s);
+            model_total += shard.len();
+        }
+        prop_assert_eq!(cache.mem_len(), model_total);
+        let mut resident: HashMap<String, Vec<u8>> = HashMap::new();
+        for shard in &model.shards {
+            for (k, v) in shard {
+                resident.insert(k.clone(), v.clone());
+            }
+        }
+        for index in 0..24 {
+            let got = cache.get(&key(index)).map(|(b, _)| b.as_ref().clone());
+            prop_assert_eq!(got, resident.get(&key(index)).cloned(), "final get({})", index);
+        }
+    }
+}

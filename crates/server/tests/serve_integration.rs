@@ -251,6 +251,133 @@ fn deadline_timeout_answers_but_job_still_caches() {
     handle.wait();
 }
 
+/// Readiness-loop pin: hundreds of idle connections must not pin hundreds
+/// of threads (thread-per-connection did; the poll loop holds them all on
+/// one thread), and the server must keep answering through the crowd.
+#[test]
+fn idle_connections_do_not_pin_threads() {
+    fn thread_count() -> usize {
+        std::fs::read_dir("/proc/self/task").map_or(0, |d| d.count())
+    }
+    let handle = start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let before = thread_count();
+    let idle: Vec<Client> = (0..300).map(|_| connect(&handle)).collect();
+    // Give the event loop a beat to accept everything.
+    std::thread::sleep(Duration::from_millis(300));
+    let with_idle = thread_count();
+    assert!(
+        with_idle < before + 50,
+        "300 idle connections grew threads {before} -> {with_idle}; \
+         thread-per-connection would add ~300"
+    );
+    // The server still serves real work through the idle crowd.
+    let mut client = connect(&handle);
+    let response = client.job(&spec(4), None).expect("job through idle crowd");
+    assert_eq!(response_type(&response).as_deref(), Some("result"));
+    assert!(client.ping().expect("ping"));
+    drop(idle);
+    handle.drain();
+    handle.wait();
+}
+
+/// Backpressure + client backoff (the `hmtx-load` path): a 1-worker server
+/// with a tiny queue rejects a burst with `busy`, and `job_with_retry`
+/// (seeded jittered exponential backoff from the server's hint) must
+/// absorb every rejection — all jobs eventually answer `result`.
+#[test]
+fn busy_responses_are_retried_with_backoff_until_success() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        retry_after_ms: 40,
+        execute_delay: Duration::from_millis(120),
+        ..ServerConfig::default()
+    });
+    let specs: Vec<JobSpec> = (3..9).map(variant_spec).collect();
+    let responses: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|s| {
+                let handle = &handle;
+                scope.spawn(move || {
+                    let mut client = connect(handle);
+                    client.job_with_retry(s, None, 60).expect("job with retry")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, r) in responses.iter().enumerate() {
+        assert_eq!(
+            response_type(r).as_deref(),
+            Some("result"),
+            "spec {i} must be retried through busy to a result"
+        );
+    }
+    let mut client = connect(&handle);
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.rejected_busy > 0,
+        "6 slow jobs through queue_cap=1 must trip backpressure at least once"
+    );
+    assert_eq!(stats.executed, specs.len() as u64, "each spec runs exactly once");
+    handle.drain();
+    handle.wait();
+}
+
+/// The PR 4 coalescing guarantee, extended to the sharded cache: many
+/// connections hammering the same key concurrently (plus a second key in a
+/// different shard) still execute each key exactly once.
+#[test]
+fn sharded_single_flight_survives_same_key_hammering() {
+    let handle = start(ServerConfig {
+        workers: 2,
+        shards: 16,
+        execute_delay: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let hot = spec(3);
+    let other = spec(6);
+    let n = 12;
+    let responses: Vec<(usize, Vec<u8>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let handle = &handle;
+                let s = if i % 4 == 0 { &other } else { &hot };
+                scope.spawn(move || {
+                    let mut client = connect(handle);
+                    (i, client.job(s, None).expect("job"))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let hot_first = responses.iter().find(|(i, _)| i % 4 != 0).unwrap();
+    let other_first = responses.iter().find(|(i, _)| i % 4 == 0).unwrap();
+    for (i, r) in &responses {
+        assert_eq!(response_type(r).as_deref(), Some("result"), "conn {i}");
+        let expect = if i % 4 == 0 { &other_first.1 } else { &hot_first.1 };
+        assert_eq!(r, expect, "conn {i} must see the coalesced bytes");
+    }
+    let mut client = connect(&handle);
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.executed, 2,
+        "two distinct keys, two executions, no duplicates under hammering"
+    );
+    assert_eq!(stats.misses, 2);
+    assert_eq!(
+        stats.cache_hits() + stats.misses,
+        n as u64,
+        "every request is a miss, a coalesce, or a late cache hit"
+    );
+    handle.drain();
+    handle.wait();
+}
+
 #[test]
 fn malformed_and_failing_jobs_answer_errors() {
     let handle = start(ServerConfig::default());

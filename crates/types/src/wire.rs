@@ -559,6 +559,8 @@ pub struct StatsSnapshot {
     pub p50_service_us: u64,
     /// p99 service time of executed jobs, microseconds.
     pub p99_service_us: u64,
+    /// p999 service time of executed jobs, microseconds.
+    pub p999_service_us: u64,
 }
 
 impl StatsSnapshot {
@@ -568,6 +570,33 @@ impl StatsSnapshot {
         self.mem_hits
             .saturating_add(self.disk_hits)
             .saturating_add(self.coalesced_hits)
+    }
+
+    /// Counter-wise saturating sum, for cluster-level aggregation across
+    /// backends. Every tally and gauge adds; the service-time quantiles are
+    /// **not** summable across nodes and are zeroed here — an aggregator
+    /// fills them from its own latency histogram (the mergeable
+    /// `LatencyHistogram::combine` in `hmtx-core`).
+    #[must_use]
+    pub fn counter_sum(&self, other: &Self) -> Self {
+        StatsSnapshot {
+            requests: self.requests.saturating_add(other.requests),
+            job_requests: self.job_requests.saturating_add(other.job_requests),
+            mem_hits: self.mem_hits.saturating_add(other.mem_hits),
+            disk_hits: self.disk_hits.saturating_add(other.disk_hits),
+            coalesced_hits: self.coalesced_hits.saturating_add(other.coalesced_hits),
+            misses: self.misses.saturating_add(other.misses),
+            executed: self.executed.saturating_add(other.executed),
+            rejected_busy: self.rejected_busy.saturating_add(other.rejected_busy),
+            rejected_draining: self.rejected_draining.saturating_add(other.rejected_draining),
+            deadline_timeouts: self.deadline_timeouts.saturating_add(other.deadline_timeouts),
+            errors: self.errors.saturating_add(other.errors),
+            queue_depth: self.queue_depth.saturating_add(other.queue_depth),
+            inflight: self.inflight.saturating_add(other.inflight),
+            p50_service_us: 0,
+            p99_service_us: 0,
+            p999_service_us: 0,
+        }
     }
 
     /// Serializes the snapshot (fixed key order).
@@ -590,6 +619,7 @@ impl StatsSnapshot {
             ("inflight", Json::Uint(self.inflight)),
             ("p50_service_us", Json::Uint(self.p50_service_us)),
             ("p99_service_us", Json::Uint(self.p99_service_us)),
+            ("p999_service_us", Json::Uint(self.p999_service_us)),
         ])
     }
 
@@ -620,6 +650,9 @@ impl StatsSnapshot {
             inflight: uint("inflight")?,
             p50_service_us: uint("p50_service_us")?,
             p99_service_us: uint("p99_service_us")?,
+            // Absent in pre-cluster snapshots; default 0 keeps old recordings
+            // parseable while new servers always emit it.
+            p999_service_us: v.get("p999_service_us").and_then(Json::as_u64).unwrap_or(0),
         })
     }
 }
@@ -801,6 +834,7 @@ mod tests {
             inflight: 1,
             p50_service_us: 1000,
             p99_service_us: 9000,
+            p999_service_us: 12_000,
         };
         let back = StatsSnapshot::from_json(&s.to_json()).unwrap();
         assert_eq!(back, s);

@@ -107,6 +107,7 @@ fn arb_stats() -> impl Strategy<Value = StatsSnapshot> {
             inflight: d.0,
             p50_service_us: d.1,
             p99_service_us: d.2,
+            p999_service_us: d.3,
         })
 }
 

@@ -12,7 +12,7 @@ cargo build --release
 for CRATE in hmtx-types hmtx-isa hmtx-analysis hmtx-mem hmtx-core \
              hmtx-machine hmtx-explore hmtx-modelcheck hmtx-runtime \
              hmtx-smtx hmtx-workloads hmtx-power hmtx-bench hmtx-server \
-             hmtx; do
+             hmtx-cluster hmtx; do
   echo "--- cargo test -p ${CRATE}"
   cargo test -q -p "$CRATE"
 done
@@ -46,6 +46,13 @@ fi
 # Serving-layer smoke: ephemeral hmtx-serve + hmtx-load burst; verifies
 # byte-identical cold/warm responses, cache-hit accounting, SIGTERM drain.
 bash scripts/serve_smoke.sh
+
+# Cluster smoke: 3 backends behind hmtx-router; checked sweeps stay green
+# through a hard backend kill (ring failover), the cluster frame reports
+# the fleet, and the router drains cleanly on SIGTERM. (The sustained-load
+# capacity benchmark is scripts/cluster_bench.sh -> BENCH_pr9.json; it is
+# an artifact generator, not a CI gate.)
+bash scripts/cluster_smoke.sh
 
 # Exploration smoke: bounded systematic schedule exploration (hmtx-explore)
 # must exhaust the kernel space clean, rediscover + shrink the planted
